@@ -1,0 +1,227 @@
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "data/partition.h"
+#include "data/synthetic_image.h"
+#include "data/synthetic_text.h"
+#include "fl/clusamp.h"
+#include "fl/fedavg.h"
+#include "fl/fedcluster.h"
+#include "fl/fedgen.h"
+#include "fl/scaffold.h"
+
+namespace fedcross::bench {
+namespace {
+
+constexpr int kImageSize = 8;  // 3x8x8 synthetic images
+
+data::FederatedDataset PartitionImages(const data::ImageCorpus& corpus,
+                                       const DataSpec& spec) {
+  util::Rng rng(spec.seed + 17);
+  data::Partition partition =
+      spec.beta > 0.0
+          ? data::DirichletPartition(*corpus.train, spec.num_clients,
+                                     spec.beta, rng)
+          : data::IidPartition(*corpus.train, spec.num_clients, rng);
+  data::FederatedDataset federated;
+  federated.num_classes = corpus.train->num_classes();
+  federated.client_train = data::MakeClientShards(corpus.train, partition);
+  federated.test = corpus.test;
+  return federated;
+}
+
+}  // namespace
+
+const std::vector<std::string>& PaperMethods() {
+  static const std::vector<std::string>* methods = new std::vector<std::string>{
+      "fedavg", "fedprox", "scaffold", "fedgen", "clusamp", "fedcross"};
+  return *methods;
+}
+
+std::string HeterogeneityLabel(double beta) {
+  if (beta <= 0.0) return "IID";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "beta=%.1f", beta);
+  return buffer;
+}
+
+util::StatusOr<data::FederatedDataset> BuildData(const DataSpec& spec) {
+  if (spec.dataset == "cifar10" || spec.dataset == "cifar100") {
+    data::SyntheticImageOptions options;
+    options.num_classes = spec.dataset == "cifar10" ? 10 : 20;  // scaled 100
+    options.channels = 3;
+    options.height = options.width = kImageSize;
+    options.train_per_class = spec.train_per_class;
+    options.test_per_class = spec.test_per_class;
+    options.noise_stddev = spec.noise;
+    options.seed = spec.seed;
+    return PartitionImages(data::MakeSyntheticImageCorpus(options), spec);
+  }
+  if (spec.dataset == "femnist") {
+    data::SyntheticFemnistOptions options;
+    options.num_writers = spec.num_clients;
+    options.num_classes = 20;  // scaled 62
+    options.classes_per_writer = 6;
+    options.height = options.width = kImageSize;
+    options.mean_samples_per_writer = 1.5 * spec.train_per_class;
+    options.test_per_class = spec.test_per_class;
+    options.seed = spec.seed;
+    return data::MakeSyntheticFemnist(options);
+  }
+  if (spec.dataset == "shakespeare") {
+    data::SyntheticCharLmOptions options;
+    options.num_clients = spec.num_clients;
+    options.vocab_size = 24;
+    options.seq_len = 12;
+    options.mean_samples_per_client = 2 * spec.train_per_class;
+    options.test_samples = 15 * spec.test_per_class;
+    options.seed = spec.seed;
+    return data::MakeSyntheticCharLm(options);
+  }
+  if (spec.dataset == "sent140") {
+    data::SyntheticSentimentOptions options;
+    options.num_clients = spec.num_clients;
+    options.vocab_size = 90;
+    options.seq_len = 10;
+    options.mean_samples_per_client = 3 * spec.train_per_class / 2;
+    options.test_samples = 15 * spec.test_per_class;
+    options.seed = spec.seed;
+    return data::MakeSyntheticSentiment(options);
+  }
+  return util::Status::InvalidArgument("unknown dataset: " + spec.dataset);
+}
+
+util::StatusOr<models::ModelFactory> BuildModel(const DataSpec& data,
+                                                const ModelChoice& model) {
+  bool text = data.dataset == "shakespeare" || data.dataset == "sent140";
+  if (text) {
+    models::LstmConfig config;
+    if (data.dataset == "shakespeare") {
+      config.vocab_size = 24;
+      config.num_classes = 24;
+      config.seq_len = 12;
+    } else {
+      config.vocab_size = 90;
+      config.num_classes = 2;
+      config.seq_len = 10;
+    }
+    config.embed_dim = 12;
+    config.hidden_dim = 24;
+    config.seed = model.seed;
+    return models::MakeLstm(config);
+  }
+
+  int num_classes = data.dataset == "cifar10" ? 10 : 20;
+  int in_channels = data.dataset == "femnist" ? 1 : 3;
+  if (model.arch == "cnn") {
+    models::CnnConfig config;
+    config.in_channels = in_channels;
+    config.height = config.width = kImageSize;
+    config.num_classes = num_classes;
+    config.conv1_channels = 6;
+    config.conv2_channels = 12;
+    config.fc_dim = 32;
+    config.seed = model.seed;
+    return models::MakeCnn(config);
+  }
+  if (model.arch == "resnet") {
+    models::ResNetConfig config;
+    config.in_channels = in_channels;
+    config.height = config.width = kImageSize;
+    config.num_classes = num_classes;
+    config.blocks_per_stage = 1;
+    config.base_width = 6;
+    config.gn_groups = 2;
+    config.seed = model.seed;
+    return models::MakeResNet(config);
+  }
+  if (model.arch == "vgg") {
+    models::VggConfig config;
+    config.in_channels = in_channels;
+    config.height = config.width = kImageSize;
+    config.num_classes = num_classes;
+    config.base_width = 6;
+    config.fc_dim = 48;
+    config.seed = model.seed;
+    return models::MakeVgg(config);
+  }
+  return util::Status::InvalidArgument("unknown arch: " + model.arch);
+}
+
+util::StatusOr<RunResult> RunMethod(const RunSpec& spec) {
+  auto data_or = BuildData(spec.data);
+  if (!data_or.ok()) return data_or.status();
+  auto factory_or = BuildModel(spec.data, spec.model);
+  if (!factory_or.ok()) return factory_or.status();
+  data::FederatedDataset data = std::move(data_or).value();
+  models::ModelFactory factory = std::move(factory_or).value();
+
+  fl::AlgorithmConfig config;
+  config.clients_per_round =
+      spec.clients_per_round > 0
+          ? spec.clients_per_round
+          : std::max(2, spec.data.num_clients / 10);
+  config.train.local_epochs = spec.local_epochs;
+  config.train.batch_size = spec.batch_size;
+  config.train.lr = spec.lr;
+  config.train.momentum = spec.momentum;
+  config.seed = spec.seed;
+
+  std::unique_ptr<fl::FlAlgorithm> algorithm;
+  if (spec.method == "fedavg") {
+    algorithm = std::make_unique<fl::FedAvg>(config, std::move(data), factory);
+  } else if (spec.method == "fedprox") {
+    algorithm = std::make_unique<fl::FedProx>(config, std::move(data), factory,
+                                              spec.prox_mu);
+  } else if (spec.method == "scaffold") {
+    algorithm =
+        std::make_unique<fl::Scaffold>(config, std::move(data), factory);
+  } else if (spec.method == "fedgen") {
+    algorithm = std::make_unique<fl::FedGen>(config, std::move(data), factory);
+  } else if (spec.method == "fedcluster") {
+    algorithm = std::make_unique<fl::FedCluster>(
+        config, std::move(data), factory,
+        std::max(2, config.clients_per_round / 2));
+  } else if (spec.method == "clusamp") {
+    algorithm =
+        std::make_unique<fl::CluSamp>(config, std::move(data), factory);
+  } else if (spec.method == "fedcross") {
+    algorithm = std::make_unique<core::FedCross>(config, std::move(data),
+                                                 factory, spec.fedcross);
+  } else {
+    return util::Status::InvalidArgument("unknown method: " + spec.method);
+  }
+
+  algorithm->Run(spec.rounds, spec.eval_every);
+  RunResult result;
+  result.history = algorithm->history();
+  result.model_size = algorithm->model_size();
+  if (!result.history.records().empty()) {
+    result.round_bytes_up = result.history.records().back().bytes_up;
+    result.round_bytes_down = result.history.records().back().bytes_down;
+  }
+  return result;
+}
+
+util::StatusOr<AccuracyCell> BestAccuracyCell(RunSpec spec, int repeats) {
+  std::vector<double> values;
+  for (int r = 0; r < repeats; ++r) {
+    spec.seed = spec.seed + r * 1000;
+    spec.data.seed = spec.data.seed + r;
+    auto result = RunMethod(spec);
+    if (!result.ok()) return result.status();
+    values.push_back(result.value().history.BestAccuracy() * 100.0);
+  }
+  AccuracyCell cell;
+  for (double v : values) cell.mean += v;
+  cell.mean /= values.size();
+  if (values.size() > 1) {
+    double var = 0.0;
+    for (double v : values) var += (v - cell.mean) * (v - cell.mean);
+    cell.stddev = std::sqrt(var / (values.size() - 1));
+  }
+  return cell;
+}
+
+}  // namespace fedcross::bench

@@ -1,0 +1,95 @@
+#ifndef FEDCROSS_BENCH_BENCH_COMMON_H_
+#define FEDCROSS_BENCH_BENCH_COMMON_H_
+
+// Shared experiment drivers for the bench/ binaries. Each binary
+// regenerates one table or figure of the FedCross paper (see DESIGN.md §3)
+// at a CPU-friendly scale; these helpers build the scaled-down datasets,
+// models, and algorithm instances from a compact spec.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fedcross.h"
+#include "data/dataset.h"
+#include "fl/algorithm.h"
+#include "fl/history.h"
+#include "models/model_zoo.h"
+#include "util/status.h"
+
+namespace fedcross::bench {
+
+// A scaled-down dataset scenario, named after the paper's datasets.
+// "cifar10" / "cifar100": synthetic image corpus + Dirichlet or IID split.
+// "femnist": natural writer partition. "shakespeare" / "sent140": text.
+struct DataSpec {
+  std::string dataset = "cifar10";
+  int num_clients = 20;
+  double beta = 0.0;  // Dirichlet beta; <= 0 means IID (image datasets only)
+  std::uint64_t seed = 1;
+  // Image-scale knobs (defaults match the bench scale).
+  int train_per_class = 40;
+  int test_per_class = 30;
+  float noise = 1.1f;  // class-overlap level; keeps accuracy off the ceiling
+};
+
+// Which model family to train, named after the paper's models.
+struct ModelChoice {
+  std::string arch = "cnn";  // cnn | resnet | vgg | lstm
+  std::uint64_t seed = 1;
+};
+
+// One FL run configuration.
+struct RunSpec {
+  DataSpec data;
+  ModelChoice model;
+  std::string method = "fedcross";  // fedavg|fedprox|scaffold|fedgen|clusamp|fedcross
+  int rounds = 20;
+  int clients_per_round = 0;  // 0 = 10% of num_clients (min 2)
+  int eval_every = 1;
+  std::uint64_t seed = 42;
+  // Training hyperparameters (paper defaults, scaled loops).
+  int local_epochs = 5;
+  int batch_size = 20;
+  float lr = 0.03f;
+  float momentum = 0.5f;
+  // FedCross knobs.
+  core::FedCrossOptions fedcross;
+  // FedProx mu.
+  float prox_mu = 0.01f;
+};
+
+// Builds the federated dataset for a spec.
+util::StatusOr<data::FederatedDataset> BuildData(const DataSpec& spec);
+
+// Builds the model factory matched to the dataset geometry.
+util::StatusOr<models::ModelFactory> BuildModel(const DataSpec& data,
+                                                const ModelChoice& model);
+
+// Instantiates the algorithm and runs it; returns the metrics history.
+// On error (unknown method/arch/dataset) returns the status.
+struct RunResult {
+  fl::MetricsHistory history;
+  double round_bytes_up = 0.0;
+  double round_bytes_down = 0.0;
+  std::int64_t model_size = 0;
+};
+util::StatusOr<RunResult> RunMethod(const RunSpec& spec);
+
+// Mean/stddev of best accuracy over `repeats` seeds (paper cells are
+// mean +- std over runs). repeats=1 reports std 0.
+struct AccuracyCell {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+util::StatusOr<AccuracyCell> BestAccuracyCell(RunSpec spec, int repeats);
+
+// The six methods of Table II, in paper order.
+const std::vector<std::string>& PaperMethods();
+
+// Pretty heterogeneity label: "beta=0.1" or "IID".
+std::string HeterogeneityLabel(double beta);
+
+}  // namespace fedcross::bench
+
+#endif  // FEDCROSS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) for the numeric substrate and the
+// FedCross server-side primitives: GEMM, conv forward/backward, flat
+// parameter round-trips, cross-aggregation and cosine similarity vs model
+// size. These quantify the design decisions called out in DESIGN.md §4
+// (flat parameter views make CrossAggr / similarity O(P) passes).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/fedcross.h"
+#include "models/model_zoo.h"
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace fedcross {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  Tensor a = Tensor::RandomNormal({n, n}, rng);
+  Tensor b = Tensor::RandomNormal({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    ops::Gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+              c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  int channels = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, rng);
+  Tensor input = Tensor::RandomNormal({8, channels, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor output = conv.Forward(input, true);
+    benchmark::DoNotOptimize(output.data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ConvBackward(benchmark::State& state) {
+  int channels = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, rng);
+  Tensor input = Tensor::RandomNormal({8, channels, 16, 16}, rng);
+  Tensor output = conv.Forward(input, true);
+  for (auto _ : state) {
+    Tensor grad = conv.Backward(output);
+    benchmark::DoNotOptimize(grad.data());
+  }
+}
+BENCHMARK(BM_ConvBackward)->Arg(4)->Arg(8)->Arg(16);
+
+nn::Sequential ZooModel(int scale) {
+  models::VggConfig config;
+  config.base_width = 4 * scale;
+  config.fc_dim = 32 * scale;
+  return models::MakeVgg(config)();
+}
+
+void BM_FlatRoundTrip(benchmark::State& state) {
+  nn::Sequential model = ZooModel(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<float> flat = model.ParamsToFlat();
+    model.ParamsFromFlat(flat);
+    benchmark::DoNotOptimize(flat.data());
+  }
+  state.SetBytesProcessed(state.iterations() * model.NumParams() *
+                          static_cast<std::int64_t>(sizeof(float)) * 2);
+}
+BENCHMARK(BM_FlatRoundTrip)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CrossAggregate(benchmark::State& state) {
+  nn::Sequential model = ZooModel(static_cast<int>(state.range(0)));
+  std::vector<float> a = model.ParamsToFlat();
+  std::vector<float> b = a;
+  for (auto _ : state) {
+    std::vector<float> fused = core::FedCross::CrossAggregate(a, b, 0.99);
+    benchmark::DoNotOptimize(fused.data());
+  }
+  state.SetBytesProcessed(state.iterations() * model.NumParams() *
+                          static_cast<std::int64_t>(sizeof(float)) * 3);
+}
+BENCHMARK(BM_CrossAggregate)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  nn::Sequential model = ZooModel(static_cast<int>(state.range(0)));
+  std::vector<float> a = model.ParamsToFlat();
+  std::vector<float> b = a;
+  b[0] += 1.0f;
+  for (auto _ : state) {
+    double sim = ops::CosineSimilarity(a, b);
+    benchmark::DoNotOptimize(sim);
+  }
+  state.SetBytesProcessed(state.iterations() * model.NumParams() *
+                          static_cast<std::int64_t>(sizeof(float)) * 2);
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_LossForwardBackward(benchmark::State& state) {
+  util::Rng rng(4);
+  Tensor logits = Tensor::RandomNormal({64, 100}, rng);
+  std::vector<int> labels(64);
+  for (int i = 0; i < 64; ++i) labels[i] = i % 100;
+  nn::CrossEntropyLoss criterion;
+  for (auto _ : state) {
+    nn::LossResult result = criterion.Compute(logits, labels);
+    benchmark::DoNotOptimize(result.loss);
+  }
+}
+BENCHMARK(BM_LossForwardBackward);
+
+}  // namespace
+}  // namespace fedcross

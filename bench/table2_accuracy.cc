@@ -1,0 +1,112 @@
+// Regenerates Table II of the paper: test accuracy of the six FL methods
+// across models (CNN / ResNet / VGG / LSTM), datasets (CIFAR-10-like,
+// CIFAR-100-like, FEMNIST-like, Shakespeare-like, Sent140-like) and
+// heterogeneity settings (Dirichlet beta in {0.1, 0.5, 1.0} and IID).
+//
+// Scaled-down defaults finish in minutes on one CPU core; use
+// --rounds/--repeats/--clients to scale up towards the paper's setting.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace fedcross::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  int rounds = flags.GetInt("rounds", 120);
+  int repeats = flags.GetInt("repeats", 1);
+  int num_clients = flags.GetInt("clients", 50);
+  int k = flags.GetInt("k", 5);
+  std::string only_model = flags.GetString("model", "");
+  std::string csv_path = flags.GetString("csv", "table2_accuracy.csv");
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
+
+  util::CsvWriter csv(csv_path);
+  csv.WriteRow({"model", "dataset", "heterogeneity", "method",
+                "accuracy_mean", "accuracy_std"});
+
+  struct ImageSetting {
+    std::string dataset;
+    double beta;
+  };
+  std::vector<ImageSetting> image_settings = {
+      {"cifar10", 0.1}, {"cifar10", 0.5}, {"cifar10", 1.0}, {"cifar10", 0.0},
+      {"cifar100", 0.1}, {"cifar100", 0.5}, {"cifar100", 1.0},
+      {"cifar100", 0.0}, {"femnist", 0.0},
+  };
+
+  auto run_block = [&](const std::string& arch,
+                       const std::vector<ImageSetting>& settings) {
+    std::printf("\n=== Table II block: model=%s ===\n", arch.c_str());
+    std::vector<std::string> header = {"Dataset", "Heterogeneity"};
+    for (const std::string& method : PaperMethods()) header.push_back(method);
+    util::TablePrinter table(header);
+
+    for (const ImageSetting& setting : settings) {
+      std::vector<std::string> row = {
+          setting.dataset,
+          setting.dataset == "femnist" ? "natural"
+                                       : HeterogeneityLabel(setting.beta)};
+      for (const std::string& method : PaperMethods()) {
+        RunSpec spec;
+        spec.data.dataset = setting.dataset;
+        spec.data.beta = setting.beta;
+        spec.data.num_clients = num_clients;
+        spec.model.arch = arch;
+        spec.method = method;
+        spec.rounds = rounds;
+        spec.clients_per_round = k;
+        spec.data.train_per_class = 80;
+        spec.eval_every = 4;
+        // femnist/text shards are larger per client; fewer rounds suffice.
+        bool slow = setting.dataset == "femnist" || arch == "lstm";
+        spec.rounds = slow ? std::max(2, rounds / 3) : rounds;
+        // Scaled-down horizon: alpha 0.9 plays the role of the paper 0.99.
+        spec.fedcross.alpha = 0.9;
+        auto cell = BestAccuracyCell(spec, repeats);
+        if (!cell.ok()) {
+          std::fprintf(stderr, "%s\n", cell.status().ToString().c_str());
+          row.push_back("ERR");
+          continue;
+        }
+        row.push_back(util::TablePrinter::MeanStd(cell.value().mean,
+                                                  cell.value().stddev));
+        csv.WriteRow({arch, setting.dataset,
+                      setting.dataset == "femnist"
+                          ? "natural"
+                          : HeterogeneityLabel(setting.beta),
+                      method, util::CsvWriter::Field(cell.value().mean),
+                      util::CsvWriter::Field(cell.value().stddev)});
+      }
+      table.AddRow(row);
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+    table.Print(stdout);
+  };
+
+  for (const std::string& arch : {"cnn", "resnet", "vgg"}) {
+    if (!only_model.empty() && only_model != arch) continue;
+    run_block(arch, image_settings);
+  }
+  if (only_model.empty() || only_model == "lstm") {
+    run_block("lstm", {{"shakespeare", 0.0}, {"sent140", 0.0}});
+  }
+  std::printf("\nCSV written to %s\n", csv_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedcross::bench
+
+int main(int argc, char** argv) { return fedcross::bench::Main(argc, argv); }

@@ -1,0 +1,100 @@
+// Scenario: an AIoT fleet (the paper's motivating setting) whose devices
+// hold heavily skewed local data. This example sweeps the Dirichlet
+// heterogeneity parameter and compares FedAvg against FedCross at each
+// level, printing a compact study table — how much accuracy does the
+// one-to-multi scheme lose as skew grows, and how much does multi-to-multi
+// cross-aggregation recover?
+//
+//   ./heterogeneity_study [--rounds 60] [--clients 30] [--k 3]
+#include <cstdio>
+#include <memory>
+
+#include "core/fedcross.h"
+#include "data/partition.h"
+#include "data/synthetic_image.h"
+#include "fl/fedavg.h"
+#include "models/model_zoo.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace fedcross;
+
+data::FederatedDataset MakeData(double beta, int num_clients,
+                                std::uint64_t seed) {
+  data::SyntheticImageOptions image_options;
+  image_options.num_classes = 10;
+  image_options.height = image_options.width = 8;
+  image_options.train_per_class = 60;
+  image_options.test_per_class = 20;
+  image_options.seed = seed;
+  data::ImageCorpus corpus = data::MakeSyntheticImageCorpus(image_options);
+
+  util::Rng rng(seed + 1);
+  data::FederatedDataset federated;
+  federated.num_classes = 10;
+  federated.client_train = data::MakeClientShards(
+      corpus.train,
+      beta > 0 ? data::DirichletPartition(*corpus.train, num_clients, beta,
+                                          rng)
+               : data::IidPartition(*corpus.train, num_clients, rng));
+  federated.test = corpus.test;
+  return federated;
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  int rounds = flags.GetInt("rounds", 60);
+  int num_clients = flags.GetInt("clients", 30);
+  int k = flags.GetInt("k", 3);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
+
+  models::CnnConfig cnn;
+  cnn.height = cnn.width = 8;
+  cnn.num_classes = 10;
+  models::ModelFactory factory = models::MakeCnn(cnn);
+
+  fl::AlgorithmConfig config;
+  config.clients_per_round = k;
+  config.train.local_epochs = 5;
+  config.train.batch_size = 20;
+  config.train.lr = 0.03f;
+  config.train.momentum = 0.5f;
+
+  util::TablePrinter table({"Heterogeneity", "FedAvg best (%)",
+                            "FedCross best (%)", "FedCross gain (pp)"});
+  for (double beta : {0.1, 0.5, 1.0, 0.0}) {
+    fl::FedAvg fedavg(config, MakeData(beta, num_clients, 3), factory);
+    double fedavg_best = fedavg.Run(rounds, 2).BestAccuracy() * 100;
+
+    core::FedCrossOptions options;
+    options.alpha = 0.9;
+    core::FedCross fedcross(config, MakeData(beta, num_clients, 3), factory,
+                            options);
+    double fedcross_best = fedcross.Run(rounds, 2).BestAccuracy() * 100;
+
+    table.AddRow({beta > 0 ? "Dir(" + util::TablePrinter::Fixed(beta, 1) + ")"
+                           : "IID",
+                  util::TablePrinter::Fixed(fedavg_best),
+                  util::TablePrinter::Fixed(fedcross_best),
+                  util::TablePrinter::Fixed(fedcross_best - fedavg_best)});
+    std::printf("finished %s\n",
+                (beta > 0 ? "beta=" + util::TablePrinter::Fixed(beta, 1)
+                          : std::string("IID"))
+                    .c_str());
+  }
+
+  std::printf("\n=== Heterogeneity study: FedAvg vs FedCross (CNN, %d "
+              "clients, K=%d, %d rounds) ===\n",
+              num_clients, k, rounds);
+  table.Print(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

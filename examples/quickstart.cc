@@ -1,0 +1,98 @@
+// Quickstart: train a CNN with FedCross on a synthetic CIFAR-10-like
+// federated dataset and watch the global model's accuracy per round.
+//
+//   ./quickstart [--rounds 40] [--clients 20] [--k 4] [--beta 0.5]
+//                [--alpha 0.9] [--strategy lowest-similarity]
+//
+// This is the minimal end-to-end use of the public API:
+//   1. build a dataset and partition it across clients,
+//   2. pick a model factory,
+//   3. construct the FedCross server and call Run().
+#include <cstdio>
+
+#include "core/fedcross.h"
+#include "data/partition.h"
+#include "data/synthetic_image.h"
+#include "models/model_zoo.h"
+#include "util/flags.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  using namespace fedcross;
+
+  util::FlagParser flags(argc, argv);
+  int rounds = flags.GetInt("rounds", 40);
+  int num_clients = flags.GetInt("clients", 20);
+  int k = flags.GetInt("k", 4);
+  double beta = flags.GetDouble("beta", 0.5);
+  double alpha = flags.GetDouble("alpha", 0.9);
+  std::string strategy_name =
+      flags.GetString("strategy", "lowest-similarity");
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
+
+  // 1. Data: a synthetic image corpus, Dirichlet-partitioned (non-IID).
+  data::SyntheticImageOptions image_options;
+  image_options.num_classes = 10;
+  image_options.height = image_options.width = 8;
+  image_options.train_per_class = 60;
+  image_options.test_per_class = 20;
+  data::ImageCorpus corpus = data::MakeSyntheticImageCorpus(image_options);
+
+  util::Rng rng(7);
+  data::FederatedDataset federated;
+  federated.num_classes = 10;
+  federated.client_train = data::MakeClientShards(
+      corpus.train,
+      beta > 0 ? data::DirichletPartition(*corpus.train, num_clients, beta,
+                                          rng)
+               : data::IidPartition(*corpus.train, num_clients, rng));
+  federated.test = corpus.test;
+
+  // 2. Model: the FedAvg-style CNN, sized for the 8x8 synthetic images.
+  models::CnnConfig cnn;
+  cnn.height = cnn.width = 8;
+  cnn.num_classes = 10;
+  models::ModelFactory factory = models::MakeCnn(cnn);
+
+  // 3. FedCross server.
+  auto strategy = core::ParseSelectionStrategy(strategy_name);
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "%s\n", strategy.status().ToString().c_str());
+    return 1;
+  }
+  core::FedCrossOptions options;
+  options.alpha = alpha;
+  options.strategy = strategy.value();
+
+  fl::AlgorithmConfig config;
+  config.clients_per_round = k;
+  config.train.local_epochs = 5;
+  config.train.batch_size = 20;
+  config.train.lr = 0.03f;
+  config.train.momentum = 0.5f;
+
+  core::FedCross fedcross(config, std::move(federated), factory, options);
+  std::printf("FedCross quickstart: %d clients, K=%d, beta=%s, alpha=%.2f, "
+              "%s selection\n",
+              num_clients, k, beta > 0 ? "non-IID" : "IID", alpha,
+              core::SelectionStrategyName(options.strategy));
+  std::printf("model: %s\n", factory().Summary().c_str());
+
+  for (int round = 0; round < rounds; ++round) {
+    fedcross.RunRound(round);
+    if ((round + 1) % 5 == 0 || round == rounds - 1) {
+      fl::EvalResult eval = fedcross.Evaluate(fedcross.GlobalParams());
+      std::printf("round %3d  accuracy %.2f%%  loss %.4f\n", round + 1,
+                  eval.accuracy * 100, eval.loss);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,100 @@
+// Scenario: federated next-character language modelling (the paper's
+// Shakespeare workload). Each client is a "role" with its own character
+// statistics — a naturally non-IID text federation. An LSTM classifier is
+// trained with FedCross and with FedAvg for comparison; we also show the
+// per-client personalisation gap (global model accuracy on each client's
+// own data distribution).
+//
+//   ./text_federation [--rounds 30] [--clients 12] [--k 3]
+#include <cstdio>
+#include <memory>
+
+#include "core/fedcross.h"
+#include "data/synthetic_text.h"
+#include "fl/evaluator.h"
+#include "fl/fedavg.h"
+#include "models/model_zoo.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace fedcross;
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  int rounds = flags.GetInt("rounds", 30);
+  int num_clients = flags.GetInt("clients", 12);
+  int k = flags.GetInt("k", 3);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
+
+  data::SyntheticCharLmOptions text_options;
+  text_options.num_clients = num_clients;
+  text_options.vocab_size = 24;
+  text_options.seq_len = 12;
+  text_options.mean_samples_per_client = 150;
+  text_options.test_samples = 500;
+
+  models::LstmConfig lstm;
+  lstm.vocab_size = 24;
+  lstm.num_classes = 24;
+  lstm.embed_dim = 12;
+  lstm.hidden_dim = 24;
+  models::ModelFactory factory = models::MakeLstm(lstm);
+
+  fl::AlgorithmConfig config;
+  config.clients_per_round = k;
+  config.train.local_epochs = 3;
+  config.train.batch_size = 20;
+  config.train.lr = 0.1f;
+  config.train.momentum = 0.5f;
+
+  std::printf("Federated char-LM: %d role clients, vocab %d, seq %d\n",
+              num_clients, text_options.vocab_size, text_options.seq_len);
+
+  // FedAvg baseline.
+  fl::FedAvg fedavg(config, data::MakeSyntheticCharLm(text_options), factory);
+  fedavg.Run(rounds, 5);
+
+  // FedCross.
+  core::FedCrossOptions options;
+  options.alpha = 0.9;
+  core::FedCross fedcross(config, data::MakeSyntheticCharLm(text_options),
+                          factory, options);
+  fedcross.Run(rounds, 5);
+
+  util::TablePrinter table({"Method", "Best acc (%)", "Final acc (%)",
+                            "Final loss"});
+  for (fl::FlAlgorithm* algorithm :
+       {static_cast<fl::FlAlgorithm*>(&fedavg),
+        static_cast<fl::FlAlgorithm*>(&fedcross)}) {
+    const fl::MetricsHistory& history = algorithm->history();
+    table.AddRow({algorithm->name(),
+                  util::TablePrinter::Fixed(history.BestAccuracy() * 100),
+                  util::TablePrinter::Fixed(history.FinalAccuracy() * 100),
+                  util::TablePrinter::Fixed(
+                      history.records().back().test_loss, 4)});
+  }
+  std::printf("(chance accuracy: %.1f%%)\n", 100.0 / lstm.num_classes);
+  table.Print(stdout);
+
+  // Personalisation gap: accuracy of FedCross's global model on each
+  // client's own shard (how well one global model serves skewed roles).
+  fl::FlatParams global = fedcross.GlobalParams();
+  data::FederatedDataset fresh = data::MakeSyntheticCharLm(text_options);
+  std::printf("\nPer-client accuracy of the FedCross global model:\n");
+  for (int c = 0; c < std::min(num_clients, 6); ++c) {
+    fl::EvalResult eval =
+        fl::EvaluateParams(factory, global, *fresh.client_train[c]);
+    std::printf("  client %d (n=%d): %.2f%%\n", c,
+                fresh.client_train[c]->size(), eval.accuracy * 100);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

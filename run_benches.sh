@@ -1,0 +1,4 @@
+#!/bin/bash
+cd /root/repo
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt
+echo "BENCH_SUITE_DONE" >> /root/repo/bench_output.txt

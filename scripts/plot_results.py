@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Plot the CSV outputs of the bench/ binaries (optional; needs matplotlib).
+
+Usage:
+    python3 scripts/plot_results.py fig5_curves.csv         # learning curves
+    python3 scripts/plot_results.py fig4_landscape.csv      # loss surfaces
+    python3 scripts/plot_results.py fig8_alpha_curves.csv   # alpha sweep
+    python3 scripts/plot_results.py theory_convergence.csv  # O(1/t) check
+
+Each bench CSV is self-describing; this script dispatches on its header.
+Figures are written next to the CSV as <name>.png.
+"""
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def load(path):
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        rows = [dict(zip(header, row)) for row in reader]
+    return header, rows
+
+
+def plot_curves(plt, rows, group_keys, x_key, y_key, title):
+    """One subplot per value of group_keys[0]; one line per group_keys[1]."""
+    panels = defaultdict(lambda: defaultdict(list))
+    for row in rows:
+        panel = row[group_keys[0]]
+        series = row[group_keys[1]]
+        panels[panel][series].append((float(row[x_key]), float(row[y_key])))
+
+    n = len(panels)
+    fig, axes = plt.subplots(1, n, figsize=(4 * n, 3.2), squeeze=False)
+    for ax, (panel, series_map) in zip(axes[0], sorted(panels.items())):
+        for name, points in sorted(series_map.items()):
+            points.sort()
+            ax.plot([p[0] for p in points], [p[1] for p in points],
+                    label=name, linewidth=1.2)
+        ax.set_title(f"{title} ({panel})", fontsize=9)
+        ax.set_xlabel(x_key)
+        ax.set_ylabel(y_key)
+        ax.legend(fontsize=6)
+    fig.tight_layout()
+    return fig
+
+
+def plot_landscape(plt, rows):
+    panels = defaultdict(list)
+    for row in rows:
+        panels[(row["setting"], row["method"])].append(
+            (float(row["x"]), float(row["y"]), float(row["loss"])))
+    n = len(panels)
+    fig, axes = plt.subplots(1, n, figsize=(3.4 * n, 3), squeeze=False)
+    for ax, (key, points) in zip(axes[0], sorted(panels.items())):
+        xs = sorted({p[0] for p in points})
+        ys = sorted({p[1] for p in points})
+        grid = [[0.0] * len(xs) for _ in ys]
+        for x, y, loss in points:
+            grid[ys.index(y)][xs.index(x)] = loss
+        im = ax.contourf(xs, ys, grid, levels=14)
+        ax.set_title(" / ".join(key), fontsize=9)
+        fig.colorbar(im, ax=ax, shrink=0.8)
+    fig.tight_layout()
+    return fig
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    path = Path(sys.argv[1])
+    header, rows = load(path)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; raw data is in", path)
+        return 1
+
+    if {"setting", "method", "round", "test_accuracy"} <= set(header):
+        fig = plot_curves(plt, rows, ("setting", "method"), "round",
+                          "test_accuracy", path.stem)
+    elif {"strategy", "alpha", "round"} <= set(header):
+        fig = plot_curves(plt, rows, ("strategy", "alpha"), "round",
+                          "test_accuracy", path.stem)
+    elif {"k", "method", "round"} <= set(header):
+        fig = plot_curves(plt, rows, ("k", "method"), "round",
+                          "test_accuracy", path.stem)
+    elif {"n", "method", "round"} <= set(header):
+        fig = plot_curves(plt, rows, ("n", "method"), "round",
+                          "test_accuracy", path.stem)
+    elif {"setting", "variant", "round"} <= set(header):
+        fig = plot_curves(plt, rows, ("setting", "variant"), "round",
+                          "test_accuracy", path.stem)
+    elif {"series", "round", "gap"} <= set(header):
+        fig = plot_curves(plt, rows, ("series", "series"), "round", "gap",
+                          path.stem)
+        for ax in fig.axes:
+            ax.set_yscale("log")
+    elif {"setting", "method", "x", "y", "loss"} <= set(header):
+        fig = plot_landscape(plt, rows)
+    else:
+        print("unrecognised CSV header:", header)
+        return 1
+
+    out = path.with_suffix(".png")
+    fig.savefig(out, dpi=130)
+    print("wrote", out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,197 @@
+#include "core/fedcross.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace fedcross::core {
+
+const char* SelectionStrategyName(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kInOrder:
+      return "in-order";
+    case SelectionStrategy::kHighestSimilarity:
+      return "highest-similarity";
+    case SelectionStrategy::kLowestSimilarity:
+      return "lowest-similarity";
+  }
+  return "unknown";
+}
+
+util::StatusOr<SelectionStrategy> ParseSelectionStrategy(
+    const std::string& name) {
+  if (name == "in-order" || name == "inorder") {
+    return SelectionStrategy::kInOrder;
+  }
+  if (name == "highest-similarity" || name == "highest") {
+    return SelectionStrategy::kHighestSimilarity;
+  }
+  if (name == "lowest-similarity" || name == "lowest") {
+    return SelectionStrategy::kLowestSimilarity;
+  }
+  return util::Status::InvalidArgument("unknown selection strategy: " + name);
+}
+
+const char* SimilarityMeasureName(SimilarityMeasure measure) {
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      return "cosine";
+    case SimilarityMeasure::kNegativeEuclidean:
+      return "euclidean";
+  }
+  return "unknown";
+}
+
+util::StatusOr<SimilarityMeasure> ParseSimilarityMeasure(
+    const std::string& name) {
+  if (name == "cosine") return SimilarityMeasure::kCosine;
+  if (name == "euclidean" || name == "negative-euclidean") {
+    return SimilarityMeasure::kNegativeEuclidean;
+  }
+  return util::Status::InvalidArgument("unknown similarity measure: " + name);
+}
+
+double ModelSimilarity(const fl::FlatParams& x, const fl::FlatParams& y,
+                       SimilarityMeasure measure) {
+  FC_CHECK_EQ(x.size(), y.size());
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      return ops::CosineSimilarity(x, y);
+    case SimilarityMeasure::kNegativeEuclidean: {
+      double total = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        double d = static_cast<double>(x[i]) - y[i];
+        total += d * d;
+      }
+      return -std::sqrt(total);
+    }
+  }
+  FC_CHECK(false) << "unreachable";
+  return 0.0;
+}
+
+FedCross::FedCross(fl::AlgorithmConfig config, data::FederatedDataset data,
+                   models::ModelFactory factory, FedCrossOptions options)
+    : FlAlgorithm("FedCross", config, std::move(data), std::move(factory)),
+      options_(options) {
+  FC_CHECK_GE(options_.alpha, 0.0);
+  FC_CHECK_LT(options_.alpha, 1.0);
+  FC_CHECK_GE(options_.propeller_count, 0);
+  FC_CHECK_GE(options_.dynamic_alpha_rounds, 0);
+  FC_CHECK_GT(config.clients_per_round, 1)
+      << "FedCross needs at least two middleware models";
+  // Initialise the K middleware models from the common factory seed (the
+  // paper dispatches homogeneous models; identical initialisation mirrors
+  // FedAvg's single starting point).
+  nn::Sequential initial = this->factory()();
+  fl::FlatParams init = initial.ParamsToFlat();
+  middleware_.assign(config.clients_per_round, init);
+}
+
+double FedCross::AlphaAt(int round) const {
+  if (options_.dynamic_alpha_rounds <= 0) return options_.alpha;
+  if (round < options_.dynamic_alpha_begin) return options_.alpha;
+  int progress = round - options_.dynamic_alpha_begin;
+  if (progress >= options_.dynamic_alpha_rounds) return options_.alpha;
+  double fraction =
+      static_cast<double>(progress + 1) / options_.dynamic_alpha_rounds;
+  return options_.dynamic_alpha_start +
+         (options_.alpha - options_.dynamic_alpha_start) * fraction;
+}
+
+int FedCross::SelectCollaborator(
+    int model_index, int round,
+    const std::vector<fl::FlatParams>& uploaded) const {
+  int k = static_cast<int>(uploaded.size());
+  FC_CHECK_GT(k, 1);
+  switch (options_.strategy) {
+    case SelectionStrategy::kInOrder:
+      return (model_index + (round % (k - 1) + 1)) % k;
+    case SelectionStrategy::kHighestSimilarity:
+    case SelectionStrategy::kLowestSimilarity: {
+      bool highest = options_.strategy == SelectionStrategy::kHighestSimilarity;
+      int best = -1;
+      double best_sim = highest ? -1e300 : 1e300;
+      for (int j = 0; j < k; ++j) {
+        if (j == model_index) continue;
+        double sim = ModelSimilarity(uploaded[model_index], uploaded[j],
+                                     options_.similarity);
+        if ((highest && sim > best_sim) || (!highest && sim < best_sim)) {
+          best_sim = sim;
+          best = j;
+        }
+      }
+      return best;
+    }
+  }
+  FC_CHECK(false) << "unreachable";
+  return -1;
+}
+
+fl::FlatParams FedCross::CrossAggregate(const fl::FlatParams& model,
+                                        const fl::FlatParams& collaborator,
+                                        double alpha) {
+  FC_CHECK_EQ(model.size(), collaborator.size());
+  fl::FlatParams fused(model.size());
+  float a = static_cast<float>(alpha);
+  float b = 1.0f - a;
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    fused[i] = a * model[i] + b * collaborator[i];
+  }
+  return fused;
+}
+
+void FedCross::RunRound(int round) {
+  int k = config().clients_per_round;
+
+  // Algorithm 1 lines 4-5: random client selection, then shuffle so each
+  // middleware model meets a fresh client (model i trains on L_c[i]).
+  std::vector<int> selected = SampleClients();
+  rng().Shuffle(selected);
+
+  // Lines 7-10: local training of every middleware model. A dropped client
+  // simply never uploads, so the server keeps its dispatched copy of that
+  // middleware model (result.params echoes the dispatch in that case).
+  std::vector<fl::FlatParams> uploaded(k);
+  fl::ClientTrainSpec spec;
+  spec.options = config().train;
+  for (int i = 0; i < k; ++i) {
+    fl::LocalTrainResult result =
+        TrainClient(selected[i], middleware_[i], spec);
+    uploaded[i] = std::move(result.params);
+  }
+
+  // Lines 11-15: CoModelSel + CrossAggr.
+  double alpha = AlphaAt(round);
+  bool use_propellers = options_.propeller_count > 0 &&
+                        round < options_.propeller_rounds;
+  std::vector<fl::FlatParams> next(k);
+  for (int i = 0; i < k; ++i) {
+    if (use_propellers) {
+      // Propeller acceleration: average propeller_count in-order-selected
+      // models to share the (1 - alpha) mass.
+      int count = std::min(options_.propeller_count, k - 1);
+      fl::FlatParams propeller_mean(uploaded[i].size(), 0.0f);
+      for (int p = 0; p < count; ++p) {
+        int j = (i + (round % (k - 1) + 1) + p) % k;
+        if (j == i) j = (j + 1) % k;
+        const fl::FlatParams& source = uploaded[j];
+        for (std::size_t x = 0; x < propeller_mean.size(); ++x) {
+          propeller_mean[x] += source[x];
+        }
+      }
+      float inv = 1.0f / static_cast<float>(count);
+      for (float& x : propeller_mean) x *= inv;
+      next[i] = CrossAggregate(uploaded[i], propeller_mean, alpha);
+    } else {
+      int co = SelectCollaborator(i, round, uploaded);
+      next[i] = CrossAggregate(uploaded[i], uploaded[co], alpha);
+    }
+  }
+  middleware_ = std::move(next);
+}
+
+fl::FlatParams FedCross::GlobalParams() { return Average(middleware_); }
+
+}  // namespace fedcross::core

@@ -1,0 +1,174 @@
+#include "core/landscape.h"
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "fl/evaluator.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace fedcross::core {
+namespace {
+
+// Gaussian direction rescaled per parameter tensor so that each tensor's
+// slice has the same norm as the corresponding weight slice ("filter
+// normalisation" collapsed to tensor granularity).
+fl::FlatParams FilterNormalizedDirection(nn::Sequential& model,
+                                         const fl::FlatParams& params,
+                                         util::Rng& rng) {
+  fl::FlatParams direction(params.size());
+  for (float& value : direction) value = static_cast<float>(rng.Normal());
+
+  std::size_t offset = 0;
+  for (nn::Param* param : model.Params()) {
+    std::int64_t count = param->value.numel();
+    double weight_norm = 0.0;
+    double dir_norm = 0.0;
+    for (std::int64_t j = 0; j < count; ++j) {
+      weight_norm += static_cast<double>(params[offset + j]) * params[offset + j];
+      dir_norm +=
+          static_cast<double>(direction[offset + j]) * direction[offset + j];
+    }
+    weight_norm = std::sqrt(weight_norm);
+    dir_norm = std::sqrt(dir_norm);
+    float scale =
+        dir_norm > 1e-12 ? static_cast<float>(weight_norm / dir_norm) : 0.0f;
+    for (std::int64_t j = 0; j < count; ++j) direction[offset + j] *= scale;
+    offset += count;
+  }
+  return direction;
+}
+
+void OrthogonalizeAgainst(fl::FlatParams& direction,
+                          const fl::FlatParams& reference) {
+  double dot = 0.0;
+  double ref_norm = 0.0;
+  for (std::size_t i = 0; i < direction.size(); ++i) {
+    dot += static_cast<double>(direction[i]) * reference[i];
+    ref_norm += static_cast<double>(reference[i]) * reference[i];
+  }
+  if (ref_norm < 1e-12) return;
+  float factor = static_cast<float>(dot / ref_norm);
+  for (std::size_t i = 0; i < direction.size(); ++i) {
+    direction[i] -= factor * reference[i];
+  }
+}
+
+// The evaluation dataset, optionally truncated to max_examples.
+std::shared_ptr<const data::Dataset> EvalSubset(const data::Dataset& dataset,
+                                                int max_examples) {
+  struct Wrapper : data::Dataset {
+    const data::Dataset* base;
+    int limit;
+    int size() const override { return limit; }
+    int num_classes() const override { return base->num_classes(); }
+    Tensor::Shape example_shape() const override {
+      return base->example_shape();
+    }
+    void GetBatch(const std::vector<int>& indices, Tensor& features,
+                  std::vector<int>& labels) const override {
+      base->GetBatch(indices, features, labels);
+    }
+    int LabelOf(int index) const override { return base->LabelOf(index); }
+  };
+  auto wrapper = std::make_shared<Wrapper>();
+  wrapper->base = &dataset;
+  wrapper->limit = max_examples > 0 ? std::min(max_examples, dataset.size())
+                                    : dataset.size();
+  return wrapper;
+}
+
+double LossAt(nn::Sequential& model, const fl::FlatParams& base,
+              const fl::FlatParams& d1, const fl::FlatParams& d2, double x,
+              double y, const data::Dataset& dataset, int batch_size) {
+  fl::FlatParams shifted(base.size());
+  float fx = static_cast<float>(x);
+  float fy = static_cast<float>(y);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    shifted[i] = base[i] + fx * d1[i] + fy * d2[i];
+  }
+  model.ParamsFromFlat(shifted);
+  return fl::EvaluateModel(model, dataset, batch_size).loss;
+}
+
+}  // namespace
+
+LandscapeResult ProbeLossLandscape(const models::ModelFactory& factory,
+                                   const fl::FlatParams& params,
+                                   const data::Dataset& dataset,
+                                   const LandscapeOptions& options) {
+  FC_CHECK_GE(options.grid, 3);
+  FC_CHECK_GT(options.radius, 0.0);
+
+  nn::Sequential model = factory();
+  util::Rng rng(options.seed);
+  fl::FlatParams d1 = FilterNormalizedDirection(model, params, rng);
+  fl::FlatParams d2 = FilterNormalizedDirection(model, params, rng);
+  OrthogonalizeAgainst(d2, d1);
+
+  auto subset = EvalSubset(dataset, options.max_examples);
+
+  LandscapeResult result;
+  result.grid = options.grid;
+  result.radius = options.radius;
+  result.loss.assign(options.grid, std::vector<double>(options.grid, 0.0));
+
+  int half = options.grid / 2;
+  for (int yi = 0; yi < options.grid; ++yi) {
+    double y = options.radius * (yi - half) / half;
+    for (int xi = 0; xi < options.grid; ++xi) {
+      double x = options.radius * (xi - half) / half;
+      result.loss[yi][xi] = LossAt(model, params, d1, d2, x, y, *subset,
+                                   options.batch_size);
+    }
+  }
+  result.center_loss = result.loss[half][half];
+
+  double border_total = 0.0;
+  int border_count = 0;
+  double max_increase = 0.0;
+  for (int yi = 0; yi < options.grid; ++yi) {
+    for (int xi = 0; xi < options.grid; ++xi) {
+      double increase = result.loss[yi][xi] - result.center_loss;
+      max_increase = std::max(max_increase, increase);
+      bool border = yi == 0 || xi == 0 || yi == options.grid - 1 ||
+                    xi == options.grid - 1;
+      if (border) {
+        border_total += increase;
+        ++border_count;
+      }
+    }
+  }
+  result.border_sharpness = border_total / border_count;
+  result.max_increase = max_increase;
+  return result;
+}
+
+double DirectionalSharpness(const models::ModelFactory& factory,
+                            const fl::FlatParams& params,
+                            const data::Dataset& dataset, double radius,
+                            int count, std::uint64_t seed, int max_examples) {
+  FC_CHECK_GT(count, 0);
+  nn::Sequential model = factory();
+  util::Rng rng(seed);
+  auto subset = EvalSubset(dataset, max_examples);
+
+  model.ParamsFromFlat(params);
+  double center = fl::EvaluateModel(model, *subset, /*batch_size=*/100).loss;
+
+  fl::FlatParams zero(params.size(), 0.0f);
+  double total = 0.0;
+  for (int i = 0; i < count; ++i) {
+    fl::FlatParams direction = FilterNormalizedDirection(model, params, rng);
+    // Average the +r and -r probes to cancel the linear term.
+    double up = LossAt(model, params, direction, zero, radius, 0.0, *subset,
+                       /*batch_size=*/100);
+    double down = LossAt(model, params, direction, zero, -radius, 0.0,
+                         *subset, /*batch_size=*/100);
+    total += 0.5 * (up + down) - center;
+  }
+  return total / count;
+}
+
+}  // namespace fedcross::core

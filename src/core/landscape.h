@@ -1,0 +1,59 @@
+#ifndef FEDCROSS_CORE_LANDSCAPE_H_
+#define FEDCROSS_CORE_LANDSCAPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/types.h"
+#include "models/model_zoo.h"
+
+namespace fedcross::core {
+
+// 2-D loss-landscape probe with filter normalisation (Li et al., 2018),
+// backing the paper's Fig. 4 (FedAvg converges into sharper minima than
+// FedCross) and the Fig. 1 motivation.
+//
+// Two random directions are drawn and rescaled per parameter tensor to
+// match that tensor's norm, the second is orthogonalised against the
+// first, and the loss F(w + x*d1 + y*d2) is evaluated on a grid of
+// (x, y) in [-radius, radius]^2.
+struct LandscapeOptions {
+  int grid = 9;          // odd, so the centre point is on the grid
+  double radius = 0.5;   // in filter-normalised units
+  int max_examples = 0;  // cap evaluation cost; 0 = whole dataset
+  int batch_size = 100;
+  std::uint64_t seed = 7;
+};
+
+struct LandscapeResult {
+  int grid = 0;
+  double radius = 0.0;
+  // loss[y][x], row-major; centre = loss[grid/2][grid/2].
+  std::vector<std::vector<double>> loss;
+  double center_loss = 0.0;
+
+  // Sharpness summaries (larger = sharper minimum):
+  // mean loss increase over the grid border relative to the centre...
+  double border_sharpness = 0.0;
+  // ...and the maximum increase anywhere on the grid.
+  double max_increase = 0.0;
+};
+
+LandscapeResult ProbeLossLandscape(const models::ModelFactory& factory,
+                                   const fl::FlatParams& params,
+                                   const data::Dataset& dataset,
+                                   const LandscapeOptions& options);
+
+// 1-D sharpness proxy: expected loss increase when perturbing the
+// parameters by `count` random filter-normalised directions of the given
+// radius. Cheaper than the full grid; used by tests.
+double DirectionalSharpness(const models::ModelFactory& factory,
+                            const fl::FlatParams& params,
+                            const data::Dataset& dataset, double radius,
+                            int count, std::uint64_t seed,
+                            int max_examples = 0);
+
+}  // namespace fedcross::core
+
+#endif  // FEDCROSS_CORE_LANDSCAPE_H_

@@ -1,0 +1,144 @@
+#include "core/quadratic.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fedcross::core {
+
+QuadraticProblem QuadraticProblem::Make(int dim, int num_clients, double mu,
+                                        double l, double heterogeneity,
+                                        std::uint64_t seed) {
+  FC_CHECK_GT(dim, 0);
+  FC_CHECK_GT(num_clients, 0);
+  FC_CHECK_GT(mu, 0.0);
+  FC_CHECK_GE(l, mu);
+  util::Rng rng(seed);
+
+  QuadraticProblem problem;
+  problem.dim_ = dim;
+  problem.num_clients_ = num_clients;
+  problem.curvature_.assign(num_clients, std::vector<double>(dim));
+  problem.center_.assign(num_clients, std::vector<double>(dim));
+  for (int i = 0; i < num_clients; ++i) {
+    for (int d = 0; d < dim; ++d) {
+      problem.curvature_[i][d] = rng.Uniform(mu, l);
+      problem.center_[i][d] = heterogeneity * rng.Normal();
+    }
+  }
+  return problem;
+}
+
+double QuadraticProblem::ClientLoss(int client,
+                                    const std::vector<double>& w) const {
+  FC_CHECK_GE(client, 0);
+  FC_CHECK_LT(client, num_clients_);
+  FC_CHECK_EQ(static_cast<int>(w.size()), dim_);
+  double loss = 0.0;
+  for (int d = 0; d < dim_; ++d) {
+    double diff = w[d] - center_[client][d];
+    loss += 0.5 * curvature_[client][d] * diff * diff;
+  }
+  return loss;
+}
+
+std::vector<double> QuadraticProblem::ClientStochasticGrad(
+    int client, const std::vector<double>& w, double noise,
+    util::Rng& rng) const {
+  FC_CHECK_GE(client, 0);
+  FC_CHECK_LT(client, num_clients_);
+  std::vector<double> grad(dim_);
+  for (int d = 0; d < dim_; ++d) {
+    grad[d] = curvature_[client][d] * (w[d] - center_[client][d]) +
+              (noise > 0.0 ? rng.Normal(0.0, noise) : 0.0);
+  }
+  return grad;
+}
+
+double QuadraticProblem::GlobalLoss(const std::vector<double>& w) const {
+  double total = 0.0;
+  for (int i = 0; i < num_clients_; ++i) total += ClientLoss(i, w);
+  return total / num_clients_;
+}
+
+std::vector<double> QuadraticProblem::OptimalPoint() const {
+  // Minimiser of (1/N) sum 0.5*a_i (w-b_i)^2: weighted mean per coordinate.
+  std::vector<double> w(dim_);
+  for (int d = 0; d < dim_; ++d) {
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (int i = 0; i < num_clients_; ++i) {
+      numerator += curvature_[i][d] * center_[i][d];
+      denominator += curvature_[i][d];
+    }
+    w[d] = numerator / denominator;
+  }
+  return w;
+}
+
+double QuadraticProblem::OptimalLoss() const {
+  return GlobalLoss(OptimalPoint());
+}
+
+std::vector<double> RunQuadraticSimulation(const QuadraticProblem& problem,
+                                           const QuadraticSimOptions& options,
+                                           int rounds) {
+  FC_CHECK_GT(rounds, 0);
+  FC_CHECK_GT(options.local_steps, 0);
+  util::Rng rng(options.seed);
+  int n = problem.num_clients();
+  int dim = problem.dim();
+
+  // Every client hosts one model (full participation, as in the proof).
+  std::vector<std::vector<double>> models(n, std::vector<double>(dim, 0.0));
+  double f_star = problem.OptimalLoss();
+
+  std::vector<double> gaps;
+  gaps.reserve(rounds);
+  std::int64_t step = 0;
+  for (int round = 0; round < rounds; ++round) {
+    // E local SGD steps per client with the Theorem-1 schedule.
+    for (int e = 0; e < options.local_steps; ++e) {
+      double eta =
+          options.eta_c / (static_cast<double>(step) + options.eta_lambda);
+      for (int i = 0; i < n; ++i) {
+        std::vector<double> grad = problem.ClientStochasticGrad(
+            i, models[i], options.grad_noise, rng);
+        for (int d = 0; d < dim; ++d) models[i][d] -= eta * grad[d];
+      }
+      ++step;
+    }
+
+    if (options.fedcross) {
+      // In-order cross-aggregation: w_i = alpha*v_i + (1-alpha)*v_i'.
+      std::vector<std::vector<double>> next(n, std::vector<double>(dim));
+      for (int i = 0; i < n; ++i) {
+        int co = (i + (round % (n - 1) + 1)) % n;
+        for (int d = 0; d < dim; ++d) {
+          next[i][d] = options.alpha * models[i][d] +
+                       (1.0 - options.alpha) * models[co][d];
+        }
+      }
+      models = std::move(next);
+    } else {
+      // FedAvg: every model collapses to the mean.
+      std::vector<double> mean(dim, 0.0);
+      for (const auto& model : models) {
+        for (int d = 0; d < dim; ++d) mean[d] += model[d];
+      }
+      for (int d = 0; d < dim; ++d) mean[d] /= n;
+      for (auto& model : models) model = mean;
+    }
+
+    // Optimality gap of the deployable (averaged) model.
+    std::vector<double> average(dim, 0.0);
+    for (const auto& model : models) {
+      for (int d = 0; d < dim; ++d) average[d] += model[d];
+    }
+    for (int d = 0; d < dim; ++d) average[d] /= n;
+    gaps.push_back(problem.GlobalLoss(average) - f_star);
+  }
+  return gaps;
+}
+
+}  // namespace fedcross::core

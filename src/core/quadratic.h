@@ -1,0 +1,69 @@
+#ifndef FEDCROSS_CORE_QUADRATIC_H_
+#define FEDCROSS_CORE_QUADRATIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedcross::core {
+
+// Synthetic strongly-convex federated optimisation problem matching the
+// assumptions of the paper's convergence analysis (Section III-C): each
+// client i holds f_i(w) = 0.5 * sum_d a_i[d] * (w[d] - b_i[d])^2 with
+// mu <= a_i[d] <= L. Stochastic gradients add bounded Gaussian noise
+// (Assumption 3.3). Used by the theory bench and property tests to verify
+// Theorem 1's O(1/t) convergence and Lemma 3.4's mean-preservation.
+class QuadraticProblem {
+ public:
+  // heterogeneity scales how far apart the client optima b_i are.
+  static QuadraticProblem Make(int dim, int num_clients, double mu, double l,
+                               double heterogeneity, std::uint64_t seed);
+
+  int dim() const { return dim_; }
+  int num_clients() const { return num_clients_; }
+
+  double ClientLoss(int client, const std::vector<double>& w) const;
+  // Exact gradient plus N(0, noise^2) per-coordinate stochastic noise.
+  std::vector<double> ClientStochasticGrad(int client,
+                                           const std::vector<double>& w,
+                                           double noise,
+                                           util::Rng& rng) const;
+
+  // F(w) = (1/N) sum_i f_i(w).
+  double GlobalLoss(const std::vector<double>& w) const;
+  // Closed-form global minimiser (diagonal quadratics).
+  std::vector<double> OptimalPoint() const;
+  double OptimalLoss() const;
+
+ private:
+  int dim_ = 0;
+  int num_clients_ = 0;
+  std::vector<std::vector<double>> curvature_;  // a_i
+  std::vector<std::vector<double>> center_;     // b_i
+};
+
+// Simulation of FedAvg / FedCross (in-order selection, full participation)
+// on a QuadraticProblem with local SGD, matching the setting of the
+// convergence proof: E local steps between aggregations and the Theorem-1
+// learning-rate schedule eta_t = eta_c / (t + lambda).
+struct QuadraticSimOptions {
+  bool fedcross = true;     // false = FedAvg aggregation
+  double alpha = 0.7;       // cross-aggregation weight
+  int local_steps = 5;      // E
+  double grad_noise = 0.05;
+  double eta_c = 1.0;       // schedule numerator
+  double eta_lambda = 10.0; // schedule shift
+  std::uint64_t seed = 3;
+};
+
+// Runs `rounds` FL rounds and returns the optimality gap
+// F(w_bar_t) - F* after every round (monotone-ish, O(1/t) under the
+// schedule). w_bar is the average of the per-client models.
+std::vector<double> RunQuadraticSimulation(const QuadraticProblem& problem,
+                                           const QuadraticSimOptions& options,
+                                           int rounds);
+
+}  // namespace fedcross::core
+
+#endif  // FEDCROSS_CORE_QUADRATIC_H_

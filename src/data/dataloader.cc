@@ -1,0 +1,46 @@
+#include "data/dataloader.h"
+
+#include <numeric>
+
+namespace fedcross::data {
+
+DataLoader::DataLoader(const Dataset& dataset, int batch_size, util::Rng& rng,
+                       bool drop_last)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      drop_last_(drop_last),
+      order_(dataset.size()) {
+  FC_CHECK_GT(batch_size, 0);
+  FC_CHECK_GT(dataset.size(), 0);
+  std::iota(order_.begin(), order_.end(), 0);
+  rng_.Shuffle(order_);
+}
+
+bool DataLoader::NextBatch(Tensor& features, std::vector<int>& labels) {
+  if (cursor_ >= order_.size()) return false;
+  std::size_t end = std::min(cursor_ + batch_size_, order_.size());
+  if (drop_last_ && end - cursor_ < static_cast<std::size_t>(batch_size_) &&
+      cursor_ != 0) {
+    return false;
+  }
+  std::vector<int> indices(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  dataset_.GetBatch(indices, features, labels);
+  return true;
+}
+
+void DataLoader::Reset() {
+  cursor_ = 0;
+  rng_.Shuffle(order_);
+}
+
+int DataLoader::batches_per_epoch() const {
+  int full = dataset_.size() / batch_size_;
+  int remainder = dataset_.size() % batch_size_;
+  if (remainder == 0) return full;
+  if (drop_last_ && full > 0) return full;
+  return full + 1;
+}
+
+}  // namespace fedcross::data

@@ -1,0 +1,46 @@
+#ifndef FEDCROSS_DATA_DATALOADER_H_
+#define FEDCROSS_DATA_DATALOADER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace fedcross::data {
+
+// Iterates a dataset in shuffled mini-batches. One pass:
+//
+//   DataLoader loader(dataset, 50, rng);
+//   Tensor features; std::vector<int> labels;
+//   while (loader.NextBatch(features, labels)) { ... }
+//   loader.Reset();  // reshuffles for the next epoch
+//
+// The final batch of an epoch may be smaller than batch_size. A dataset
+// smaller than one batch yields a single short batch.
+class DataLoader {
+ public:
+  // `rng` must outlive the loader. drop_last drops a trailing short batch
+  // (except when it is the only batch of the epoch).
+  DataLoader(const Dataset& dataset, int batch_size, util::Rng& rng,
+             bool drop_last = false);
+
+  // Fills the next batch; returns false at epoch end.
+  bool NextBatch(Tensor& features, std::vector<int>& labels);
+
+  // Starts a new (reshuffled) epoch.
+  void Reset();
+
+  int batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  int batch_size_;
+  util::Rng& rng_;
+  bool drop_last_;
+  std::vector<int> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fedcross::data
+
+#endif  // FEDCROSS_DATA_DATALOADER_H_

@@ -1,0 +1,100 @@
+#include "data/dataset.h"
+
+#include <cstring>
+
+namespace fedcross::data {
+namespace {
+
+std::int64_t ShapeNumel(const Tensor::Shape& shape) {
+  std::int64_t numel = 1;
+  for (int dim : shape) numel *= dim;
+  return numel;
+}
+
+Tensor::Shape BatchShape(const Tensor::Shape& example_shape, int batch) {
+  Tensor::Shape shape;
+  shape.reserve(example_shape.size() + 1);
+  shape.push_back(batch);
+  shape.insert(shape.end(), example_shape.begin(), example_shape.end());
+  return shape;
+}
+
+}  // namespace
+
+std::vector<int> Dataset::LabelCounts() const {
+  std::vector<int> counts(num_classes(), 0);
+  for (int i = 0; i < size(); ++i) {
+    int label = LabelOf(i);
+    FC_CHECK_GE(label, 0);
+    FC_CHECK_LT(label, num_classes());
+    ++counts[label];
+  }
+  return counts;
+}
+
+InMemoryDataset::InMemoryDataset(Tensor::Shape example_shape,
+                                 std::vector<float> features,
+                                 std::vector<int> labels, int num_classes)
+    : example_shape_(std::move(example_shape)),
+      example_numel_(ShapeNumel(example_shape_)),
+      features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  FC_CHECK_GT(num_classes_, 0);
+  FC_CHECK_EQ(static_cast<std::int64_t>(features_.size()),
+              example_numel_ * static_cast<std::int64_t>(labels_.size()));
+}
+
+void InMemoryDataset::GetBatch(const std::vector<int>& indices,
+                               Tensor& features,
+                               std::vector<int>& labels) const {
+  int batch = static_cast<int>(indices.size());
+  features = Tensor(BatchShape(example_shape_, batch));
+  labels.resize(batch);
+  float* out = features.data();
+  for (int b = 0; b < batch; ++b) {
+    int index = indices[b];
+    FC_CHECK_GE(index, 0);
+    FC_CHECK_LT(index, size());
+    std::memcpy(out + b * example_numel_,
+                features_.data() + index * example_numel_,
+                example_numel_ * sizeof(float));
+    labels[b] = labels_[index];
+  }
+}
+
+int InMemoryDataset::LabelOf(int index) const {
+  FC_CHECK_GE(index, 0);
+  FC_CHECK_LT(index, size());
+  return labels_[index];
+}
+
+SubsetDataset::SubsetDataset(std::shared_ptr<const Dataset> base,
+                             std::vector<int> indices)
+    : base_(std::move(base)), indices_(std::move(indices)) {
+  FC_CHECK(base_ != nullptr);
+  for (int index : indices_) {
+    FC_CHECK_GE(index, 0);
+    FC_CHECK_LT(index, base_->size());
+  }
+}
+
+void SubsetDataset::GetBatch(const std::vector<int>& indices, Tensor& features,
+                             std::vector<int>& labels) const {
+  std::vector<int> base_indices(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    int index = indices[i];
+    FC_CHECK_GE(index, 0);
+    FC_CHECK_LT(index, size());
+    base_indices[i] = indices_[index];
+  }
+  base_->GetBatch(base_indices, features, labels);
+}
+
+int SubsetDataset::LabelOf(int index) const {
+  FC_CHECK_GE(index, 0);
+  FC_CHECK_LT(index, size());
+  return base_->LabelOf(indices_[index]);
+}
+
+}  // namespace fedcross::data

@@ -1,0 +1,86 @@
+#ifndef FEDCROSS_DATA_DATASET_H_
+#define FEDCROSS_DATA_DATASET_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedcross::data {
+
+// A labelled supervised dataset. Features of one example have a fixed shape
+// (e.g. {3, 16, 16} for images, {seq_len} for token sequences); GetBatch
+// stacks them into [batch, ...shape].
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual int size() const = 0;
+  virtual int num_classes() const = 0;
+  virtual Tensor::Shape example_shape() const = 0;
+
+  // Fills `features` ([indices.size(), ...example_shape]) and `labels`.
+  virtual void GetBatch(const std::vector<int>& indices, Tensor& features,
+                        std::vector<int>& labels) const = 0;
+
+  virtual int LabelOf(int index) const = 0;
+
+  // Label histogram (size num_classes); used by partition statistics and
+  // FedGen's label-count aggregation.
+  std::vector<int> LabelCounts() const;
+};
+
+// Dataset materialised in memory: one contiguous feature buffer plus labels.
+class InMemoryDataset : public Dataset {
+ public:
+  // features.size() must equal size * prod(example_shape).
+  InMemoryDataset(Tensor::Shape example_shape, std::vector<float> features,
+                  std::vector<int> labels, int num_classes);
+
+  int size() const override { return static_cast<int>(labels_.size()); }
+  int num_classes() const override { return num_classes_; }
+  Tensor::Shape example_shape() const override { return example_shape_; }
+  void GetBatch(const std::vector<int>& indices, Tensor& features,
+                std::vector<int>& labels) const override;
+  int LabelOf(int index) const override;
+
+ private:
+  Tensor::Shape example_shape_;
+  std::int64_t example_numel_;
+  std::vector<float> features_;
+  std::vector<int> labels_;
+  int num_classes_;
+};
+
+// Non-owning view of a subset of another dataset (a client's shard).
+class SubsetDataset : public Dataset {
+ public:
+  SubsetDataset(std::shared_ptr<const Dataset> base, std::vector<int> indices);
+
+  int size() const override { return static_cast<int>(indices_.size()); }
+  int num_classes() const override { return base_->num_classes(); }
+  Tensor::Shape example_shape() const override {
+    return base_->example_shape();
+  }
+  void GetBatch(const std::vector<int>& indices, Tensor& features,
+                std::vector<int>& labels) const override;
+  int LabelOf(int index) const override;
+
+ private:
+  std::shared_ptr<const Dataset> base_;
+  std::vector<int> indices_;
+};
+
+// A complete federated learning corpus: one training shard per client plus
+// a held-out global test set.
+struct FederatedDataset {
+  std::vector<std::shared_ptr<Dataset>> client_train;
+  std::shared_ptr<Dataset> test;
+  int num_classes = 0;
+
+  int num_clients() const { return static_cast<int>(client_train.size()); }
+};
+
+}  // namespace fedcross::data
+
+#endif  // FEDCROSS_DATA_DATASET_H_

@@ -1,0 +1,103 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace fedcross::data {
+
+Partition IidPartition(const Dataset& base, int num_clients, util::Rng& rng) {
+  FC_CHECK_GT(num_clients, 0);
+  std::vector<int> order(base.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  Partition partition(num_clients);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    partition[i % num_clients].push_back(order[i]);
+  }
+  return partition;
+}
+
+Partition DirichletPartition(const Dataset& base, int num_clients, double beta,
+                             util::Rng& rng, int min_size) {
+  FC_CHECK_GT(num_clients, 0);
+  FC_CHECK_GT(beta, 0.0);
+
+  // Group example indices by class.
+  std::vector<std::vector<int>> by_class(base.num_classes());
+  for (int i = 0; i < base.size(); ++i) by_class[base.LabelOf(i)].push_back(i);
+
+  Partition partition;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    partition.assign(num_clients, {});
+    for (auto& class_indices : by_class) {
+      if (class_indices.empty()) continue;
+      std::vector<int> shuffled = class_indices;
+      rng.Shuffle(shuffled);
+      std::vector<double> proportions = rng.Dirichlet(beta, num_clients);
+      // Convert proportions to contiguous slice boundaries.
+      std::size_t start = 0;
+      double cumulative = 0.0;
+      for (int c = 0; c < num_clients; ++c) {
+        cumulative += proportions[c];
+        std::size_t end =
+            c == num_clients - 1
+                ? shuffled.size()
+                : static_cast<std::size_t>(cumulative * shuffled.size());
+        end = std::min(end, shuffled.size());
+        for (std::size_t i = start; i < end; ++i) {
+          partition[c].push_back(shuffled[i]);
+        }
+        start = end;
+      }
+    }
+    int smallest = base.size();
+    for (const auto& shard : partition) {
+      smallest = std::min(smallest, static_cast<int>(shard.size()));
+    }
+    if (smallest >= min_size) return partition;
+  }
+  // At extreme skew some client is empty in every draw (expected for small
+  // beta and many clients). Keep the skewed draw and rebalance: move
+  // samples from the largest shards into undersized ones. This preserves
+  // the heterogeneity instead of collapsing to IID.
+  FC_LOG(Debug) << "DirichletPartition: rebalancing undersized shards "
+                << "(min_size=" << min_size << ")";
+  for (int c = 0; c < num_clients; ++c) {
+    while (static_cast<int>(partition[c].size()) < min_size) {
+      int largest = 0;
+      for (int d = 1; d < num_clients; ++d) {
+        if (partition[d].size() > partition[largest].size()) largest = d;
+      }
+      FC_CHECK_GT(partition[largest].size(), static_cast<std::size_t>(1));
+      partition[c].push_back(partition[largest].back());
+      partition[largest].pop_back();
+    }
+  }
+  return partition;
+}
+
+std::vector<std::shared_ptr<Dataset>> MakeClientShards(
+    std::shared_ptr<const Dataset> base, const Partition& partition) {
+  std::vector<std::shared_ptr<Dataset>> shards;
+  shards.reserve(partition.size());
+  for (const auto& indices : partition) {
+    shards.push_back(std::make_shared<SubsetDataset>(base, indices));
+  }
+  return shards;
+}
+
+std::vector<std::vector<int>> PartitionLabelCounts(
+    const Dataset& base, const Partition& partition) {
+  std::vector<std::vector<int>> counts;
+  counts.reserve(partition.size());
+  for (const auto& indices : partition) {
+    std::vector<int> client_counts(base.num_classes(), 0);
+    for (int index : indices) ++client_counts[base.LabelOf(index)];
+    counts.push_back(std::move(client_counts));
+  }
+  return counts;
+}
+
+}  // namespace fedcross::data

@@ -1,0 +1,38 @@
+#ifndef FEDCROSS_DATA_PARTITION_H_
+#define FEDCROSS_DATA_PARTITION_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace fedcross::data {
+
+// Client index assignments over a base dataset.
+using Partition = std::vector<std::vector<int>>;
+
+// Shuffles the base dataset and deals examples round-robin: every client
+// gets (approximately) the same size and label mix.
+Partition IidPartition(const Dataset& base, int num_clients, util::Rng& rng);
+
+// Label-skew partition via Dir(beta) (Hsu et al., 2019), the paper's non-IID
+// generator: for each class, a Dirichlet draw over clients decides what
+// fraction of that class each client receives. Smaller beta = more skew.
+// Re-draws until every client has at least `min_size` samples (guarding
+// against empty shards at extreme beta), up to 100 attempts.
+Partition DirichletPartition(const Dataset& base, int num_clients, double beta,
+                             util::Rng& rng, int min_size = 2);
+
+// Wraps partition index lists as per-client SubsetDataset shards.
+std::vector<std::shared_ptr<Dataset>> MakeClientShards(
+    std::shared_ptr<const Dataset> base, const Partition& partition);
+
+// Per-client per-class sample counts — the data behind the paper's Fig. 3
+// bubble plot.
+std::vector<std::vector<int>> PartitionLabelCounts(const Dataset& base,
+                                                   const Partition& partition);
+
+}  // namespace fedcross::data
+
+#endif  // FEDCROSS_DATA_PARTITION_H_

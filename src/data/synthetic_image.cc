@@ -1,0 +1,185 @@
+#include "data/synthetic_image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace fedcross::data {
+namespace {
+
+// Box-blurs a [channels, height, width] field in place (radius 1), giving
+// prototypes local spatial correlation.
+void SmoothField(std::vector<float>& field, int channels, int height,
+                 int width) {
+  std::vector<float> smoothed(field.size());
+  for (int c = 0; c < channels; ++c) {
+    const float* in = field.data() + static_cast<std::int64_t>(c) * height * width;
+    float* out =
+        smoothed.data() + static_cast<std::int64_t>(c) * height * width;
+    for (int h = 0; h < height; ++h) {
+      for (int w = 0; w < width; ++w) {
+        double acc = 0.0;
+        int count = 0;
+        for (int dh = -1; dh <= 1; ++dh) {
+          for (int dw = -1; dw <= 1; ++dw) {
+            int hh = h + dh;
+            int ww = w + dw;
+            if (hh < 0 || hh >= height || ww < 0 || ww >= width) continue;
+            acc += in[hh * width + ww];
+            ++count;
+          }
+        }
+        out[h * width + w] = static_cast<float>(acc / count);
+      }
+    }
+  }
+  field = std::move(smoothed);
+}
+
+// Per-class smoothed prototypes, unit-ish scale.
+std::vector<std::vector<float>> MakePrototypes(int num_classes, int channels,
+                                               int height, int width,
+                                               fedcross::util::Rng& rng) {
+  std::vector<std::vector<float>> prototypes(num_classes);
+  std::int64_t numel = static_cast<std::int64_t>(channels) * height * width;
+  for (int k = 0; k < num_classes; ++k) {
+    std::vector<float> field(numel);
+    for (float& value : field) value = static_cast<float>(rng.Normal(0.0, 1.5));
+    SmoothField(field, channels, height, width);
+    prototypes[k] = std::move(field);
+  }
+  return prototypes;
+}
+
+// Writes prototype `proto` shifted by (dh, dw) with gain/bias and noise
+// into `out`.
+void RenderSample(const std::vector<float>& proto, int channels, int height,
+                  int width, int dh, int dw, float gain, float bias,
+                  float noise_stddev, fedcross::util::Rng& rng, float* out) {
+  for (int c = 0; c < channels; ++c) {
+    const float* plane =
+        proto.data() + static_cast<std::int64_t>(c) * height * width;
+    float* out_plane = out + static_cast<std::int64_t>(c) * height * width;
+    for (int h = 0; h < height; ++h) {
+      for (int w = 0; w < width; ++w) {
+        int sh = h + dh;
+        int sw = w + dw;
+        float base = (sh >= 0 && sh < height && sw >= 0 && sw < width)
+                         ? plane[sh * width + sw]
+                         : 0.0f;
+        out_plane[h * width + w] =
+            gain * base + bias +
+            static_cast<float>(rng.Normal(0.0, noise_stddev));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ImageCorpus MakeSyntheticImageCorpus(const SyntheticImageOptions& options) {
+  FC_CHECK_GT(options.num_classes, 0);
+  util::Rng rng(options.seed);
+  auto prototypes = MakePrototypes(options.num_classes, options.channels,
+                                   options.height, options.width, rng);
+  std::int64_t numel =
+      static_cast<std::int64_t>(options.channels) * options.height * options.width;
+
+  auto make_split = [&](int per_class) {
+    int total = per_class * options.num_classes;
+    std::vector<float> features(static_cast<std::size_t>(total) * numel);
+    std::vector<int> labels(total);
+    int index = 0;
+    for (int k = 0; k < options.num_classes; ++k) {
+      for (int i = 0; i < per_class; ++i) {
+        int dh = options.max_shift == 0
+                     ? 0
+                     : static_cast<int>(rng.UniformInt(2 * options.max_shift + 1)) -
+                           options.max_shift;
+        int dw = options.max_shift == 0
+                     ? 0
+                     : static_cast<int>(rng.UniformInt(2 * options.max_shift + 1)) -
+                           options.max_shift;
+        float gain = 1.0f + static_cast<float>(rng.Normal(0.0, 0.1));
+        RenderSample(prototypes[k], options.channels, options.height,
+                     options.width, dh, dw, gain, /*bias=*/0.0f,
+                     options.noise_stddev, rng,
+                     features.data() + static_cast<std::int64_t>(index) * numel);
+        labels[index] = k;
+        ++index;
+      }
+    }
+    return std::make_shared<InMemoryDataset>(
+        Tensor::Shape{options.channels, options.height, options.width},
+        std::move(features), std::move(labels), options.num_classes);
+  };
+
+  ImageCorpus corpus;
+  corpus.train = make_split(options.train_per_class);
+  corpus.test = make_split(options.test_per_class);
+  return corpus;
+}
+
+FederatedDataset MakeSyntheticFemnist(const SyntheticFemnistOptions& options) {
+  FC_CHECK_GT(options.num_writers, 0);
+  FC_CHECK_LE(options.classes_per_writer, options.num_classes);
+  util::Rng rng(options.seed);
+  auto prototypes = MakePrototypes(options.num_classes, /*channels=*/1,
+                                   options.height, options.width, rng);
+  std::int64_t numel =
+      static_cast<std::int64_t>(options.height) * options.width;
+
+  FederatedDataset federated;
+  federated.num_classes = options.num_classes;
+
+  for (int writer = 0; writer < options.num_writers; ++writer) {
+    // Writer style: gain/bias plus its own class subset and sample count.
+    float gain = 1.0f + static_cast<float>(rng.Normal(0.0, 0.25));
+    float bias = static_cast<float>(rng.Normal(0.0, 0.15));
+    std::vector<int> writer_classes =
+        rng.SampleWithoutReplacement(options.num_classes,
+                                     options.classes_per_writer);
+    // Lognormal sample count around the configured mean.
+    double log_mean = std::log(options.mean_samples_per_writer) - 0.125;
+    int samples =
+        std::max(10, static_cast<int>(std::exp(rng.Normal(log_mean, 0.5))));
+
+    std::vector<float> features(static_cast<std::size_t>(samples) * numel);
+    std::vector<int> labels(samples);
+    for (int i = 0; i < samples; ++i) {
+      int label = writer_classes[rng.UniformInt(writer_classes.size())];
+      int dh = static_cast<int>(rng.UniformInt(3)) - 1;
+      int dw = static_cast<int>(rng.UniformInt(3)) - 1;
+      RenderSample(prototypes[label], /*channels=*/1, options.height,
+                   options.width, dh, dw, gain, bias, options.noise_stddev,
+                   rng, features.data() + static_cast<std::int64_t>(i) * numel);
+      labels[i] = label;
+    }
+    federated.client_train.push_back(std::make_shared<InMemoryDataset>(
+        Tensor::Shape{1, options.height, options.width}, std::move(features),
+        std::move(labels), options.num_classes));
+  }
+
+  // Global neutral-style test set across all classes.
+  int test_total = options.test_per_class * options.num_classes;
+  std::vector<float> features(static_cast<std::size_t>(test_total) * numel);
+  std::vector<int> labels(test_total);
+  int index = 0;
+  for (int k = 0; k < options.num_classes; ++k) {
+    for (int i = 0; i < options.test_per_class; ++i) {
+      RenderSample(prototypes[k], /*channels=*/1, options.height,
+                   options.width, /*dh=*/0, /*dw=*/0, /*gain=*/1.0f,
+                   /*bias=*/0.0f, options.noise_stddev, rng,
+                   features.data() + static_cast<std::int64_t>(index) * numel);
+      labels[index] = k;
+      ++index;
+    }
+  }
+  federated.test = std::make_shared<InMemoryDataset>(
+      Tensor::Shape{1, options.height, options.width}, std::move(features),
+      std::move(labels), options.num_classes);
+  return federated;
+}
+
+}  // namespace fedcross::data

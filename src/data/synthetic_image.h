@@ -1,0 +1,57 @@
+#ifndef FEDCROSS_DATA_SYNTHETIC_IMAGE_H_
+#define FEDCROSS_DATA_SYNTHETIC_IMAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.h"
+
+namespace fedcross::data {
+
+// Synthetic stand-in for CIFAR-10 / CIFAR-100 (see DESIGN.md §1): each
+// class has a smoothed random prototype image; examples are the prototype
+// plus a random per-sample gain, pixel translation, and Gaussian noise.
+// The noise level controls task difficulty; spatial smoothing gives conv
+// layers real spatial structure to exploit.
+struct SyntheticImageOptions {
+  int num_classes = 10;
+  int channels = 3;
+  int height = 16;
+  int width = 16;
+  int train_per_class = 100;
+  int test_per_class = 20;
+  float noise_stddev = 0.8f;   // within-class noise
+  int max_shift = 1;           // random translation in pixels
+  std::uint64_t seed = 1;
+};
+
+struct ImageCorpus {
+  std::shared_ptr<InMemoryDataset> train;
+  std::shared_ptr<InMemoryDataset> test;
+};
+
+// Builds matched train/test sets drawn from the same class prototypes.
+ImageCorpus MakeSyntheticImageCorpus(const SyntheticImageOptions& options);
+
+// Synthetic stand-in for FEMNIST (LEAF): 62-class single-channel images
+// with a *natural* writer partition — every writer (client) draws from its
+// own class subset, has a lognormal sample count, and applies a writer
+// style (gain/bias/stroke noise). Returns per-client shards plus a global
+// test set covering all classes.
+struct SyntheticFemnistOptions {
+  int num_writers = 30;
+  int num_classes = 62;
+  int height = 14;
+  int width = 14;
+  int classes_per_writer = 15;
+  double mean_samples_per_writer = 120.0;  // lognormal mean
+  int test_per_class = 6;
+  float noise_stddev = 0.7f;
+  std::uint64_t seed = 1;
+};
+
+FederatedDataset MakeSyntheticFemnist(const SyntheticFemnistOptions& options);
+
+}  // namespace fedcross::data
+
+#endif  // FEDCROSS_DATA_SYNTHETIC_IMAGE_H_

@@ -1,0 +1,201 @@
+#include "data/synthetic_text.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace fedcross::data {
+namespace {
+
+using TransitionMatrix = std::vector<std::vector<double>>;
+
+// Row-stochastic base chain with a few dominant successors per token.
+TransitionMatrix MakeBaseChain(int vocab, fedcross::util::Rng& rng) {
+  TransitionMatrix chain(vocab);
+  for (int token = 0; token < vocab; ++token) {
+    chain[token] = rng.Dirichlet(0.3, vocab);
+  }
+  return chain;
+}
+
+// Per-role chain: elementwise log-normal perturbation of the base chain.
+TransitionMatrix PerturbChain(const TransitionMatrix& base, double strength,
+                              fedcross::util::Rng& rng) {
+  TransitionMatrix chain = base;
+  for (auto& row : chain) {
+    double total = 0.0;
+    for (double& p : row) {
+      p *= std::exp(strength * rng.Normal());
+      total += p;
+    }
+    for (double& p : row) p /= total;
+  }
+  return chain;
+}
+
+// Generates `count` sliding-window (sequence -> next token) examples from a
+// Markov chain stream.
+void GenerateCharLmExamples(const TransitionMatrix& chain, int seq_len,
+                            int count, fedcross::util::Rng& rng,
+                            std::vector<float>& features,
+                            std::vector<int>& labels) {
+  int vocab = static_cast<int>(chain.size());
+  int stream_len = count + seq_len;
+  std::vector<int> stream(stream_len);
+  stream[0] = static_cast<int>(rng.UniformInt(vocab));
+  for (int i = 1; i < stream_len; ++i) {
+    stream[i] = rng.Categorical(chain[stream[i - 1]]);
+  }
+  std::size_t base_index = features.size();
+  features.resize(base_index + static_cast<std::size_t>(count) * seq_len);
+  for (int i = 0; i < count; ++i) {
+    for (int t = 0; t < seq_len; ++t) {
+      features[base_index + static_cast<std::size_t>(i) * seq_len + t] =
+          static_cast<float>(stream[i + t]);
+    }
+    labels.push_back(stream[i + seq_len]);
+  }
+}
+
+int VariedCount(int mean, fedcross::util::Rng& rng) {
+  double factor = rng.Uniform(0.5, 1.5);
+  return std::max(10, static_cast<int>(mean * factor));
+}
+
+}  // namespace
+
+FederatedDataset MakeSyntheticCharLm(const SyntheticCharLmOptions& options) {
+  FC_CHECK_GT(options.num_clients, 0);
+  FC_CHECK_GT(options.vocab_size, 1);
+  util::Rng rng(options.seed);
+  TransitionMatrix base = MakeBaseChain(options.vocab_size, rng);
+
+  FederatedDataset federated;
+  federated.num_classes = options.vocab_size;
+
+  std::vector<TransitionMatrix> role_chains;
+  role_chains.reserve(options.num_clients);
+  for (int c = 0; c < options.num_clients; ++c) {
+    role_chains.push_back(PerturbChain(base, options.role_perturbation, rng));
+    int count = VariedCount(options.mean_samples_per_client, rng);
+    std::vector<float> features;
+    std::vector<int> labels;
+    GenerateCharLmExamples(role_chains.back(), options.seq_len, count, rng,
+                           features, labels);
+    federated.client_train.push_back(std::make_shared<InMemoryDataset>(
+        Tensor::Shape{options.seq_len}, std::move(features), std::move(labels),
+        options.vocab_size));
+  }
+
+  // Global test set: an even mixture over all roles.
+  std::vector<float> features;
+  std::vector<int> labels;
+  int per_role = std::max(1, options.test_samples / options.num_clients);
+  for (const TransitionMatrix& chain : role_chains) {
+    GenerateCharLmExamples(chain, options.seq_len, per_role, rng, features,
+                           labels);
+  }
+  federated.test = std::make_shared<InMemoryDataset>(
+      Tensor::Shape{options.seq_len}, std::move(features), std::move(labels),
+      options.vocab_size);
+  return federated;
+}
+
+FederatedDataset MakeSyntheticSentiment(
+    const SyntheticSentimentOptions& options) {
+  FC_CHECK_GT(options.num_clients, 0);
+  FC_CHECK_GE(options.vocab_size, 9);
+  util::Rng rng(options.seed);
+
+  // Lexicon split: [0, third) positive, [third, 2*third) negative, rest
+  // neutral.
+  int third = options.vocab_size / 3;
+  auto sample_token = [&](int lexicon, const std::vector<int>& preferred) {
+    // 70% of in-lexicon draws come from the client's preferred subset.
+    if (!preferred.empty() && rng.Uniform() < 0.7) {
+      return preferred[rng.UniformInt(preferred.size())];
+    }
+    switch (lexicon) {
+      case 0:  // positive
+        return static_cast<int>(rng.UniformInt(third));
+      case 1:  // negative
+        return third + static_cast<int>(rng.UniformInt(third));
+      default:  // neutral
+        return 2 * third +
+               static_cast<int>(rng.UniformInt(options.vocab_size - 2 * third));
+    }
+  };
+
+  auto generate_client = [&](double pos_prob, const std::vector<int>& pos_pref,
+                             const std::vector<int>& neg_pref, int count,
+                             std::vector<float>& features,
+                             std::vector<int>& labels) {
+    for (int i = 0; i < count; ++i) {
+      int label = rng.Uniform() < pos_prob ? 1 : 0;
+      int pos_count = 0;
+      int neg_count = 0;
+      std::vector<int> tokens(options.seq_len);
+      for (int t = 0; t < options.seq_len; ++t) {
+        double draw = rng.Uniform();
+        int lexicon;
+        if (draw < 0.45) {
+          lexicon = label == 1 ? 0 : 1;  // dominant polarity
+        } else if (draw < 0.6) {
+          lexicon = label == 1 ? 1 : 0;  // minority polarity
+        } else {
+          lexicon = 2;  // neutral
+        }
+        int token = sample_token(
+            lexicon, lexicon == 0 ? pos_pref
+                                  : (lexicon == 1 ? neg_pref
+                                                  : std::vector<int>{}));
+        tokens[t] = token;
+        if (token < third) ++pos_count;
+        else if (token < 2 * third) ++neg_count;
+      }
+      // Guarantee the label matches the dominant polarity: force one token.
+      if (label == 1 && pos_count <= neg_count) {
+        tokens[0] = sample_token(0, pos_pref);
+      } else if (label == 0 && neg_count <= pos_count) {
+        tokens[0] = sample_token(1, neg_pref);
+      }
+      for (int t = 0; t < options.seq_len; ++t) {
+        features.push_back(static_cast<float>(tokens[t]));
+      }
+      labels.push_back(label);
+    }
+  };
+
+  FederatedDataset federated;
+  federated.num_classes = 2;
+
+  for (int c = 0; c < options.num_clients; ++c) {
+    // Polarity mix skewed by a symmetric Beta-like draw.
+    double u = rng.Gamma(options.polarity_skew);
+    double v = rng.Gamma(options.polarity_skew);
+    double pos_prob = u / (u + v);
+    std::vector<int> pos_pref = rng.SampleWithoutReplacement(third, third / 3);
+    std::vector<int> neg_pref = rng.SampleWithoutReplacement(third, third / 3);
+    for (int& token : neg_pref) token += third;
+    int count = VariedCount(options.mean_samples_per_client, rng);
+
+    std::vector<float> features;
+    std::vector<int> labels;
+    generate_client(pos_prob, pos_pref, neg_pref, count, features, labels);
+    federated.client_train.push_back(std::make_shared<InMemoryDataset>(
+        Tensor::Shape{options.seq_len}, std::move(features), std::move(labels),
+        /*num_classes=*/2));
+  }
+
+  // Balanced, style-free global test set.
+  std::vector<float> features;
+  std::vector<int> labels;
+  generate_client(/*pos_prob=*/0.5, /*pos_pref=*/{}, /*neg_pref=*/{},
+                  options.test_samples, features, labels);
+  federated.test = std::make_shared<InMemoryDataset>(
+      Tensor::Shape{options.seq_len}, std::move(features), std::move(labels),
+      /*num_classes=*/2);
+  return federated;
+}
+
+}  // namespace fedcross::data

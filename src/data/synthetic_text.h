@@ -1,0 +1,46 @@
+#ifndef FEDCROSS_DATA_SYNTHETIC_TEXT_H_
+#define FEDCROSS_DATA_SYNTHETIC_TEXT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace fedcross::data {
+
+// Synthetic stand-in for LEAF Shakespeare (see DESIGN.md §1): next-character
+// prediction over Markov-chain character streams. Each client is a "role"
+// whose transition matrix is a perturbation of a shared base chain, so the
+// task is naturally non-IID while remaining globally learnable.
+// Examples: features = [seq_len] token ids, label = next token;
+// num_classes = vocab_size.
+struct SyntheticCharLmOptions {
+  int num_clients = 16;
+  int vocab_size = 32;
+  int seq_len = 16;
+  int mean_samples_per_client = 120;
+  int test_samples = 400;
+  double role_perturbation = 1.2;  // strength of per-role chain skew
+  std::uint64_t seed = 1;
+};
+
+FederatedDataset MakeSyntheticCharLm(const SyntheticCharLmOptions& options);
+
+// Synthetic stand-in for Sent140: binary sentiment over token sequences.
+// Tokens split into positive / negative / neutral lexicons; a sequence's
+// label is the dominant polarity among its non-neutral tokens. Clients have
+// skewed polarity mixes and preferred vocabulary subsets (user style).
+struct SyntheticSentimentOptions {
+  int num_clients = 24;
+  int vocab_size = 120;
+  int seq_len = 12;
+  int mean_samples_per_client = 100;
+  int test_samples = 400;
+  double polarity_skew = 0.8;  // Beta-like skew of per-client pos/neg mix
+  std::uint64_t seed = 1;
+};
+
+FederatedDataset MakeSyntheticSentiment(const SyntheticSentimentOptions& options);
+
+}  // namespace fedcross::data
+
+#endif  // FEDCROSS_DATA_SYNTHETIC_TEXT_H_

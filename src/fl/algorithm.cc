@@ -1,0 +1,127 @@
+#include "fl/algorithm.h"
+
+#include "util/logging.h"
+
+namespace fedcross::fl {
+
+FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
+                         data::FederatedDataset data,
+                         models::ModelFactory factory)
+    : name_(std::move(name)),
+      config_(config),
+      factory_(std::move(factory)),
+      test_(std::move(data.test)),
+      rng_(config.seed) {
+  FC_CHECK(test_ != nullptr);
+  FC_CHECK_GT(config_.clients_per_round, 0);
+  FC_CHECK_LE(config_.clients_per_round,
+              static_cast<int>(data.client_train.size()))
+      << "K exceeds the number of clients";
+  clients_.reserve(data.client_train.size());
+  for (std::size_t i = 0; i < data.client_train.size(); ++i) {
+    clients_.emplace_back(static_cast<int>(i), data.client_train[i]);
+  }
+  nn::Sequential probe = factory_();
+  model_size_ = probe.NumParams();
+}
+
+const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
+                                       bool verbose) {
+  FC_CHECK_GT(eval_every, 0);
+  for (int round = 0; round < rounds; ++round) {
+    comm_.BeginRound();
+    round_loss_sum_ = 0.0;
+    round_loss_count_ = 0;
+    RunRound(round);
+    if ((round + 1) % eval_every == 0 || round == rounds - 1) {
+      EvalResult eval = Evaluate(GlobalParams());
+      RoundRecord record;
+      record.round = round + 1;
+      record.test_loss = eval.loss;
+      record.test_accuracy = eval.accuracy;
+      record.bytes_up = comm_.round_upload_bytes();
+      record.bytes_down = comm_.round_download_bytes();
+      record.mean_client_loss = TakeRoundClientLoss();
+      history_.Add(record);
+      if (verbose) {
+        FC_LOG(Info) << name_ << " round " << record.round << " acc "
+                     << record.test_accuracy << " loss " << record.test_loss;
+      }
+    }
+  }
+  return history_;
+}
+
+EvalResult FlAlgorithm::Evaluate(const FlatParams& params) {
+  return EvaluateParams(factory_, params, *test_, config_.eval_batch_size);
+}
+
+std::vector<int> FlAlgorithm::SampleClients() {
+  return rng_.SampleWithoutReplacement(num_clients(),
+                                       config_.clients_per_round);
+}
+
+LocalTrainResult FlAlgorithm::TrainClient(int client_id,
+                                          const FlatParams& init_params,
+                                          const ClientTrainSpec& spec) {
+  FC_CHECK_GE(client_id, 0);
+  FC_CHECK_LT(client_id, num_clients());
+  comm_.AddDownload(CommTracker::FloatBytes(model_size_));
+
+  // Fault injection: the device received the model but never uploads.
+  if (config_.dropout_prob > 0.0 && rng_.Uniform() < config_.dropout_prob) {
+    LocalTrainResult dropped;
+    dropped.params = init_params;
+    dropped.num_samples = clients_[client_id].num_samples();
+    dropped.dropped = true;
+    return dropped;
+  }
+
+  LocalTrainResult result =
+      clients_[client_id].Train(factory_, init_params, spec, rng_);
+  if (config_.dp.clip_norm > 0.0f) {
+    result.params = SanitizeUpdate(init_params, result.params, config_.dp,
+                                   rng_);
+  }
+  comm_.AddUpload(CommTracker::FloatBytes(model_size_));
+  round_loss_sum_ += result.mean_loss;
+  ++round_loss_count_;
+  return result;
+}
+
+FlatParams FlAlgorithm::WeightedAverage(const std::vector<FlatParams>& models,
+                                        const std::vector<double>& weights) {
+  FC_CHECK(!models.empty());
+  FC_CHECK_EQ(models.size(), weights.size());
+  double total_weight = 0.0;
+  for (double w : weights) {
+    FC_CHECK_GE(w, 0.0);
+    total_weight += w;
+  }
+  FC_CHECK_GT(total_weight, 0.0);
+
+  FlatParams result(models[0].size(), 0.0f);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    FC_CHECK_EQ(models[m].size(), result.size());
+    float factor = static_cast<float>(weights[m] / total_weight);
+    const float* src = models[m].data();
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      result[i] += factor * src[i];
+    }
+  }
+  return result;
+}
+
+FlatParams FlAlgorithm::Average(const std::vector<FlatParams>& models) {
+  return WeightedAverage(models, std::vector<double>(models.size(), 1.0));
+}
+
+double FlAlgorithm::TakeRoundClientLoss() {
+  double mean =
+      round_loss_count_ > 0 ? round_loss_sum_ / round_loss_count_ : 0.0;
+  round_loss_sum_ = 0.0;
+  round_loss_count_ = 0;
+  return mean;
+}
+
+}  // namespace fedcross::fl

@@ -1,0 +1,112 @@
+#ifndef FEDCROSS_FL_ALGORITHM_H_
+#define FEDCROSS_FL_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/client.h"
+#include "fl/comm_tracker.h"
+#include "fl/evaluator.h"
+#include "fl/history.h"
+#include "fl/privacy.h"
+#include "fl/types.h"
+#include "models/model_zoo.h"
+#include "util/rng.h"
+
+namespace fedcross::fl {
+
+// Shared configuration for all FL algorithms.
+struct AlgorithmConfig {
+  int clients_per_round = 10;  // K; the paper activates 10% of N clients
+  TrainOptions train;
+  std::uint64_t seed = 42;
+  int eval_batch_size = 100;
+
+  // Fault injection: probability that a selected client fails before
+  // uploading (TrainClient reports dropped=true; algorithms degrade
+  // gracefully). 0 disables.
+  double dropout_prob = 0.0;
+
+  // Differential privacy: clip-and-noise applied to every client upload
+  // (see fl/privacy.h). clip_norm <= 0 disables.
+  DpOptions dp;
+};
+
+// Base class of every FL algorithm in the repository (the five baselines in
+// src/fl plus FedCross in src/core). Owns the simulated clients, the global
+// test set, communication accounting and the metrics history; subclasses
+// implement one training round and expose their deployable global model.
+class FlAlgorithm {
+ public:
+  FlAlgorithm(std::string name, AlgorithmConfig config,
+              data::FederatedDataset data, models::ModelFactory factory);
+  virtual ~FlAlgorithm() = default;
+
+  FlAlgorithm(const FlAlgorithm&) = delete;
+  FlAlgorithm& operator=(const FlAlgorithm&) = delete;
+
+  // Executes one FL round: client sampling, local training, aggregation.
+  // Communication must be logged through comm(). `round` is 0-based.
+  virtual void RunRound(int round) = 0;
+
+  // The deployable global model (for FedCross: the average of the
+  // middleware models, generated on demand).
+  virtual FlatParams GlobalParams() = 0;
+
+  // Driver: runs `rounds` rounds, evaluating the global model on the test
+  // set every `eval_every` rounds and recording a RoundRecord. Returns the
+  // accumulated history.
+  const MetricsHistory& Run(int rounds, int eval_every = 1,
+                            bool verbose = false);
+
+  const std::string& name() const { return name_; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  std::int64_t model_size() const { return model_size_; }
+  const MetricsHistory& history() const { return history_; }
+  CommTracker& comm() { return comm_; }
+  const data::Dataset& test_set() const { return *test_; }
+  const models::ModelFactory& factory() const { return factory_; }
+
+  // Evaluates arbitrary flat params on the held-out test set.
+  EvalResult Evaluate(const FlatParams& params);
+
+ protected:
+  const AlgorithmConfig& config() const { return config_; }
+  util::Rng& rng() { return rng_; }
+  const FlClient& client(int id) const { return clients_[id]; }
+
+  // Samples K distinct client ids uniformly (the paper's random selection).
+  std::vector<int> SampleClients();
+
+  // Runs local training on one client, logging model down/up traffic and
+  // accumulating the round's mean client loss.
+  LocalTrainResult TrainClient(int client_id, const FlatParams& init_params,
+                               const ClientTrainSpec& spec);
+
+  // Sample-count-weighted average of client models (FedAvg aggregation).
+  static FlatParams WeightedAverage(const std::vector<FlatParams>& models,
+                                    const std::vector<double>& weights);
+  // Unweighted mean.
+  static FlatParams Average(const std::vector<FlatParams>& models);
+
+  double TakeRoundClientLoss();  // mean loss over the round's clients
+
+ private:
+  std::string name_;
+  AlgorithmConfig config_;
+  models::ModelFactory factory_;
+  std::vector<FlClient> clients_;
+  std::shared_ptr<data::Dataset> test_;
+  std::int64_t model_size_;
+  util::Rng rng_;
+  CommTracker comm_;
+  MetricsHistory history_;
+  double round_loss_sum_ = 0.0;
+  int round_loss_count_ = 0;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_ALGORITHM_H_

@@ -1,0 +1,112 @@
+#include "fl/client.h"
+
+#include "data/dataloader.h"
+#include "nn/loss.h"
+#include "optim/sgd.h"
+
+namespace fedcross::fl {
+namespace {
+
+// Adds the FedProx proximal gradient and/or the SCAFFOLD correction to the
+// freshly computed model gradients, walking the flat-offset layout.
+void AdjustGradients(nn::Sequential& model, const ClientTrainSpec& spec) {
+  if (spec.prox_anchor == nullptr && spec.scaffold_correction == nullptr) {
+    return;
+  }
+  std::size_t offset = 0;
+  for (nn::Param* param : model.Params()) {
+    float* grad = param->grad.data();
+    const float* value = param->value.data();
+    std::int64_t count = param->value.numel();
+    if (spec.prox_anchor != nullptr) {
+      const float* anchor = spec.prox_anchor->data() + offset;
+      for (std::int64_t j = 0; j < count; ++j) {
+        grad[j] += spec.prox_mu * (value[j] - anchor[j]);
+      }
+    }
+    if (spec.scaffold_correction != nullptr) {
+      const float* correction = spec.scaffold_correction->data() + offset;
+      for (std::int64_t j = 0; j < count; ++j) grad[j] += correction[j];
+    }
+    offset += count;
+  }
+}
+
+}  // namespace
+
+FlClient::FlClient(int id, std::shared_ptr<const data::Dataset> dataset)
+    : id_(id), dataset_(std::move(dataset)) {
+  FC_CHECK(dataset_ != nullptr);
+  FC_CHECK_GT(dataset_->size(), 0) << "client " << id << " has no data";
+}
+
+LocalTrainResult FlClient::Train(const models::ModelFactory& factory,
+                                 const FlatParams& init_params,
+                                 const ClientTrainSpec& spec,
+                                 util::Rng& rng) const {
+  nn::Sequential model = factory();
+  model.ParamsFromFlat(init_params);
+
+  optim::SgdOptions sgd_options;
+  sgd_options.lr = spec.options.lr;
+  sgd_options.momentum = spec.options.momentum;
+  sgd_options.weight_decay = spec.options.weight_decay;
+  sgd_options.grad_clip_norm = spec.options.grad_clip_norm;
+  optim::Sgd sgd(model.Params(), sgd_options);
+
+  util::Rng data_rng = rng.Fork(static_cast<std::uint64_t>(id_) + 1);
+  data::DataLoader loader(*dataset_, spec.options.batch_size, data_rng);
+  std::unique_ptr<data::DataLoader> augment_loader;
+  if (spec.augment_data != nullptr && spec.augment_data->size() > 0) {
+    augment_loader = std::make_unique<data::DataLoader>(
+        *spec.augment_data, spec.options.batch_size, data_rng);
+  }
+
+  nn::CrossEntropyLoss criterion;
+  Tensor features;
+  std::vector<int> labels;
+  double total_loss = 0.0;
+  int steps = 0;
+
+  for (int epoch = 0; epoch < spec.options.local_epochs; ++epoch) {
+    while (loader.NextBatch(features, labels)) {
+      model.ZeroGrad();
+      Tensor logits = model.Forward(features, /*train=*/true);
+      nn::LossResult loss = criterion.Compute(logits, labels);
+      model.Backward(loss.grad_logits);
+      AdjustGradients(model, spec);
+      sgd.Step();
+      total_loss += loss.loss;
+      ++steps;
+    }
+    loader.Reset();
+
+    // FedGen-style synthetic augmentation: a few weighted batches of
+    // generator data per epoch.
+    if (augment_loader != nullptr) {
+      for (int b = 0; b < spec.augment_batches_per_epoch; ++b) {
+        if (!augment_loader->NextBatch(features, labels)) {
+          augment_loader->Reset();
+          if (!augment_loader->NextBatch(features, labels)) break;
+        }
+        model.ZeroGrad();
+        Tensor logits = model.Forward(features, /*train=*/true);
+        nn::LossResult loss = criterion.Compute(logits, labels);
+        loss.grad_logits.Scale(spec.augment_weight);
+        model.Backward(loss.grad_logits);
+        AdjustGradients(model, spec);
+        sgd.Step();
+      }
+    }
+  }
+
+  LocalTrainResult result;
+  result.params = model.ParamsToFlat();
+  result.num_samples = dataset_->size();
+  result.num_steps = steps;
+  result.lr = spec.options.lr;
+  result.mean_loss = steps > 0 ? total_loss / steps : 0.0;
+  return result;
+}
+
+}  // namespace fedcross::fl

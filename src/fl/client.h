@@ -1,0 +1,70 @@
+#ifndef FEDCROSS_FL_CLIENT_H_
+#define FEDCROSS_FL_CLIENT_H_
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "fl/types.h"
+#include "models/model_zoo.h"
+#include "util/rng.h"
+
+namespace fedcross::fl {
+
+// Extra ingredients some algorithms inject into local training.
+struct ClientTrainSpec {
+  TrainOptions options;
+
+  // FedProx: adds (prox_mu/2)*||w - anchor||^2 to the local objective,
+  // i.e. prox_mu*(w - anchor) to every gradient step.
+  const FlatParams* prox_anchor = nullptr;
+  float prox_mu = 0.0f;
+
+  // SCAFFOLD: per-step flat gradient correction (c - c_i) added to the
+  // model gradient, implementing the variance-reduced local update.
+  const FlatParams* scaffold_correction = nullptr;
+
+  // FedGen-style augmentation: synthetic examples mixed into each epoch,
+  // loss-weighted by augment_weight.
+  const data::Dataset* augment_data = nullptr;
+  float augment_weight = 1.0f;
+  int augment_batches_per_epoch = 1;
+};
+
+// Outcome of one client's local training.
+struct LocalTrainResult {
+  FlatParams params;        // trained model
+  int num_samples = 0;      // |D_i|, the FedAvg aggregation weight
+  int num_steps = 0;        // SGD steps taken (used by SCAFFOLD's c_i update)
+  float lr = 0.0f;          // learning rate used
+  double mean_loss = 0.0;   // mean training loss over all steps
+  // True if the simulated device failed this round (client dropout): params
+  // echo the dispatched model and nothing was uploaded.
+  bool dropped = false;
+};
+
+// A simulated device: owns a training shard and can run local SGD on any
+// dispatched model. Stateless across rounds (SCAFFOLD's c_i lives in the
+// server, keyed by client id, mirroring the usual simulation setup).
+class FlClient {
+ public:
+  FlClient(int id, std::shared_ptr<const data::Dataset> dataset);
+
+  int id() const { return id_; }
+  int num_samples() const { return dataset_->size(); }
+  const data::Dataset& dataset() const { return *dataset_; }
+
+  // Trains a fresh factory-built model initialised from `init_params` for
+  // spec.options.local_epochs epochs and returns the result. `rng` drives
+  // batch shuffling (forked internally so client runs are reproducible).
+  LocalTrainResult Train(const models::ModelFactory& factory,
+                         const FlatParams& init_params,
+                         const ClientTrainSpec& spec, util::Rng& rng) const;
+
+ private:
+  int id_;
+  std::shared_ptr<const data::Dataset> dataset_;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_CLIENT_H_

@@ -1,0 +1,140 @@
+#include "fl/clusamp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace fedcross::fl {
+namespace {
+
+// L2-normalises a vector in place; returns false if it is (near) zero.
+bool Normalize(FlatParams& v) {
+  double norm = 0.0;
+  for (float x : v) norm += static_cast<double>(x) * x;
+  norm = std::sqrt(norm);
+  if (norm < 1e-12) return false;
+  float inv = static_cast<float>(1.0 / norm);
+  for (float& x : v) x *= inv;
+  return true;
+}
+
+}  // namespace
+
+CluSamp::CluSamp(AlgorithmConfig config, data::FederatedDataset data,
+                 models::ModelFactory factory, int kmeans_iters)
+    : FlAlgorithm("CluSamp", config, std::move(data), std::move(factory)),
+      kmeans_iters_(kmeans_iters) {
+  nn::Sequential initial = this->factory()();
+  global_ = initial.ParamsToFlat();
+  client_updates_.assign(num_clients(), FlatParams());
+  assignment_.assign(num_clients(), 0);
+  // Initial assignment: round-robin (no history yet).
+  for (int i = 0; i < num_clients(); ++i) {
+    assignment_[i] = i % config.clients_per_round;
+  }
+}
+
+void CluSamp::UpdateClusters() {
+  int k = config().clients_per_round;
+  int n = num_clients();
+
+  // Clients with history participate in k-means on normalised updates.
+  std::vector<int> with_history;
+  for (int i = 0; i < n; ++i) {
+    if (!client_updates_[i].empty()) with_history.push_back(i);
+  }
+  if (static_cast<int>(with_history.size()) >= k) {
+    // Seed centroids from k distinct historied clients.
+    std::vector<FlatParams> centroids;
+    std::vector<int> seeds =
+        rng().SampleWithoutReplacement(static_cast<int>(with_history.size()), k);
+    for (int seed : seeds) centroids.push_back(client_updates_[with_history[seed]]);
+
+    for (int iter = 0; iter < kmeans_iters_; ++iter) {
+      // Assign by max cosine similarity.
+      for (int i : with_history) {
+        double best = -2.0;
+        int best_cluster = 0;
+        for (int c = 0; c < k; ++c) {
+          double sim = ops::CosineSimilarity(client_updates_[i], centroids[c]);
+          if (sim > best) {
+            best = sim;
+            best_cluster = c;
+          }
+        }
+        assignment_[i] = best_cluster;
+      }
+      // Recompute centroids as normalised member means.
+      std::vector<FlatParams> sums(k, FlatParams(global_.size(), 0.0f));
+      std::vector<int> counts(k, 0);
+      for (int i : with_history) {
+        const FlatParams& update = client_updates_[i];
+        FlatParams& sum = sums[assignment_[i]];
+        for (std::size_t j = 0; j < sum.size(); ++j) sum[j] += update[j];
+        ++counts[assignment_[i]];
+      }
+      for (int c = 0; c < k; ++c) {
+        if (counts[c] == 0) continue;  // keep old centroid
+        if (Normalize(sums[c])) centroids[c] = std::move(sums[c]);
+      }
+    }
+  }
+  // Clients without history: spread round-robin over clusters.
+  int next = 0;
+  for (int i = 0; i < n; ++i) {
+    if (client_updates_[i].empty()) assignment_[i] = next++ % k;
+  }
+  // Guarantee no empty cluster: reassign from the largest cluster.
+  std::vector<std::vector<int>> members(k);
+  for (int i = 0; i < n; ++i) members[assignment_[i]].push_back(i);
+  for (int c = 0; c < k; ++c) {
+    while (members[c].empty()) {
+      int largest = 0;
+      for (int d = 1; d < k; ++d) {
+        if (members[d].size() > members[largest].size()) largest = d;
+      }
+      FC_CHECK_GT(members[largest].size(), 1u);
+      int moved = members[largest].back();
+      members[largest].pop_back();
+      members[c].push_back(moved);
+      assignment_[moved] = c;
+    }
+  }
+}
+
+void CluSamp::RunRound(int round) {
+  (void)round;
+  UpdateClusters();
+  int k = config().clients_per_round;
+
+  // One uniformly sampled client per cluster.
+  std::vector<std::vector<int>> members(k);
+  for (int i = 0; i < num_clients(); ++i) members[assignment_[i]].push_back(i);
+
+  std::vector<FlatParams> local_models;
+  std::vector<double> weights;
+  ClientTrainSpec spec;
+  spec.options = config().train;
+
+  for (int c = 0; c < k; ++c) {
+    FC_CHECK(!members[c].empty());
+    int client_id = members[c][rng().UniformInt(members[c].size())];
+    LocalTrainResult result = TrainClient(client_id, global_, spec);
+    if (result.dropped) continue;  // device failed before uploading
+
+    // Store the (normalised) update direction for the next clustering.
+    FlatParams update(global_.size());
+    for (std::size_t j = 0; j < update.size(); ++j) {
+      update[j] = result.params[j] - global_[j];
+    }
+    if (Normalize(update)) client_updates_[client_id] = std::move(update);
+
+    weights.push_back(result.num_samples);
+    local_models.push_back(std::move(result.params));
+  }
+  if (local_models.empty()) return;  // every client dropped
+  global_ = WeightedAverage(local_models, weights);
+}
+
+}  // namespace fedcross::fl

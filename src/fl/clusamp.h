@@ -1,0 +1,42 @@
+#ifndef FEDCROSS_FL_CLUSAMP_H_
+#define FEDCROSS_FL_CLUSAMP_H_
+
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace fedcross::fl {
+
+// Clustered sampling (Fraboni et al., 2021), model-similarity variant —
+// the configuration used by the paper's experiments (Section IV-A2).
+//
+// The server remembers each client's last model update direction. Every
+// round it groups the N clients into K clusters by cosine similarity of
+// those updates (k-means, cosine distance; clients with no history are
+// spread round-robin), then samples one client per cluster. This lowers
+// the variance of the aggregated model versus uniform sampling because
+// similar clients are not double-counted. Aggregation is FedAvg-weighted.
+class CluSamp : public FlAlgorithm {
+ public:
+  CluSamp(AlgorithmConfig config, data::FederatedDataset data,
+          models::ModelFactory factory, int kmeans_iters = 5);
+
+  void RunRound(int round) override;
+  FlatParams GlobalParams() override { return global_; }
+
+  // Exposed for tests: current cluster assignment (size N, values [0, K)).
+  const std::vector<int>& cluster_assignment() const { return assignment_; }
+
+ private:
+  // Re-clusters clients from their stored update directions.
+  void UpdateClusters();
+
+  int kmeans_iters_;
+  FlatParams global_;
+  std::vector<FlatParams> client_updates_;  // last delta per client
+  std::vector<int> assignment_;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_CLUSAMP_H_

@@ -1,0 +1,40 @@
+#ifndef FEDCROSS_FL_COMM_TRACKER_H_
+#define FEDCROSS_FL_COMM_TRACKER_H_
+
+#include <cstdint>
+
+namespace fedcross::fl {
+
+// Accounts the bytes every FL algorithm moves between cloud and clients,
+// backing the paper's Table I / Section IV-C3 communication analysis.
+// Algorithms call AddDownload for each dispatch (model, control variate,
+// generator, ...) and AddUpload for each client upload.
+class CommTracker {
+ public:
+  void AddDownload(double bytes) { round_down_ += bytes; total_down_ += bytes; }
+  void AddUpload(double bytes) { round_up_ += bytes; total_up_ += bytes; }
+
+  // Convenience: a payload of `floats` float32 values.
+  static double FloatBytes(std::int64_t floats) {
+    return static_cast<double>(floats) * sizeof(float);
+  }
+
+  // Per-round counters; reset at round start.
+  void BeginRound() { round_down_ = 0.0; round_up_ = 0.0; }
+  double round_download_bytes() const { return round_down_; }
+  double round_upload_bytes() const { return round_up_; }
+
+  // Cumulative counters.
+  double total_download_bytes() const { return total_down_; }
+  double total_upload_bytes() const { return total_up_; }
+
+ private:
+  double round_down_ = 0.0;
+  double round_up_ = 0.0;
+  double total_down_ = 0.0;
+  double total_up_ = 0.0;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_COMM_TRACKER_H_

@@ -1,0 +1,47 @@
+#include "fl/evaluator.h"
+
+#include <numeric>
+
+#include "nn/loss.h"
+
+namespace fedcross::fl {
+
+EvalResult EvaluateModel(nn::Sequential& model, const data::Dataset& dataset,
+                         int batch_size) {
+  FC_CHECK_GT(batch_size, 0);
+  nn::CrossEntropyLoss criterion;
+  Tensor features;
+  std::vector<int> labels;
+  double total_loss = 0.0;
+  int total_correct = 0;
+  int total = dataset.size();
+
+  std::vector<int> indices;
+  for (int start = 0; start < total; start += batch_size) {
+    int end = std::min(start + batch_size, total);
+    indices.resize(end - start);
+    std::iota(indices.begin(), indices.end(), start);
+    dataset.GetBatch(indices, features, labels);
+    Tensor logits = model.Forward(features, /*train=*/false);
+    nn::LossResult loss =
+        criterion.Compute(logits, labels, /*compute_grad=*/false);
+    total_loss += static_cast<double>(loss.loss) * (end - start);
+    total_correct += loss.correct;
+  }
+
+  EvalResult result;
+  result.loss = total > 0 ? static_cast<float>(total_loss / total) : 0.0f;
+  result.accuracy =
+      total > 0 ? static_cast<float>(total_correct) / total : 0.0f;
+  return result;
+}
+
+EvalResult EvaluateParams(const models::ModelFactory& factory,
+                          const FlatParams& params,
+                          const data::Dataset& dataset, int batch_size) {
+  nn::Sequential model = factory();
+  model.ParamsFromFlat(params);
+  return EvaluateModel(model, dataset, batch_size);
+}
+
+}  // namespace fedcross::fl

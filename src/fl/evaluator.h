@@ -1,0 +1,22 @@
+#ifndef FEDCROSS_FL_EVALUATOR_H_
+#define FEDCROSS_FL_EVALUATOR_H_
+
+#include "data/dataset.h"
+#include "fl/types.h"
+#include "models/model_zoo.h"
+
+namespace fedcross::fl {
+
+// Evaluates flat parameters on a dataset: builds a model from the factory,
+// loads the parameters, and runs inference in eval mode.
+EvalResult EvaluateParams(const models::ModelFactory& factory,
+                          const FlatParams& params,
+                          const data::Dataset& dataset, int batch_size = 100);
+
+// Evaluates an already-constructed model (avoids rebuild in tight loops).
+EvalResult EvaluateModel(nn::Sequential& model, const data::Dataset& dataset,
+                         int batch_size = 100);
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_EVALUATOR_H_

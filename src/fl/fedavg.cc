@@ -1,0 +1,52 @@
+#include "fl/fedavg.h"
+
+namespace fedcross::fl {
+
+FedAvg::FedAvg(AlgorithmConfig config, data::FederatedDataset data,
+               models::ModelFactory factory, std::string name)
+    : FlAlgorithm(std::move(name), config, std::move(data),
+                  std::move(factory)) {
+  nn::Sequential initial = this->factory()();
+  global_ = initial.ParamsToFlat();
+}
+
+ClientTrainSpec FedAvg::MakeClientSpec() const {
+  ClientTrainSpec spec;
+  spec.options = config().train;
+  return spec;
+}
+
+void FedAvg::RunRound(int round) {
+  (void)round;
+  std::vector<int> selected = SampleClients();
+  std::vector<FlatParams> local_models;
+  std::vector<double> weights;
+  local_models.reserve(selected.size());
+  weights.reserve(selected.size());
+
+  ClientTrainSpec spec = MakeClientSpec();
+  for (int client_id : selected) {
+    LocalTrainResult result = TrainClient(client_id, global_, spec);
+    if (result.dropped) continue;  // device failed before uploading
+    weights.push_back(result.num_samples);
+    local_models.push_back(std::move(result.params));
+  }
+  if (local_models.empty()) return;  // every client dropped: keep the model
+  global_ = WeightedAverage(local_models, weights);
+}
+
+FedProx::FedProx(AlgorithmConfig config, data::FederatedDataset data,
+                 models::ModelFactory factory, float mu)
+    : FedAvg(config, std::move(data), std::move(factory), "FedProx"),
+      mu_(mu) {
+  FC_CHECK_GE(mu, 0.0f);
+}
+
+ClientTrainSpec FedProx::MakeClientSpec() const {
+  ClientTrainSpec spec = FedAvg::MakeClientSpec();
+  spec.prox_anchor = &global_;
+  spec.prox_mu = mu_;
+  return spec;
+}
+
+}  // namespace fedcross::fl

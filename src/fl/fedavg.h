@@ -1,0 +1,46 @@
+#ifndef FEDCROSS_FL_FEDAVG_H_
+#define FEDCROSS_FL_FEDAVG_H_
+
+#include <string>
+
+#include "fl/algorithm.h"
+
+namespace fedcross::fl {
+
+// FedAvg (McMahan et al., 2017): the classic one-to-multi scheme. Each
+// round the server dispatches the single global model to K sampled clients
+// and replaces it with the sample-count-weighted average of their locally
+// trained models.
+class FedAvg : public FlAlgorithm {
+ public:
+  FedAvg(AlgorithmConfig config, data::FederatedDataset data,
+         models::ModelFactory factory, std::string name = "FedAvg");
+
+  void RunRound(int round) override;
+  FlatParams GlobalParams() override { return global_; }
+
+ protected:
+  // Hook for subclasses that modify the client objective (FedProx).
+  virtual ClientTrainSpec MakeClientSpec() const;
+
+  FlatParams global_;
+};
+
+// FedProx (Li et al., 2020): FedAvg plus a proximal term
+// (mu/2)*||w - w_global||^2 in every client objective, stabilising local
+// training under heterogeneity.
+class FedProx : public FedAvg {
+ public:
+  FedProx(AlgorithmConfig config, data::FederatedDataset data,
+          models::ModelFactory factory, float mu);
+
+ protected:
+  ClientTrainSpec MakeClientSpec() const override;
+
+ private:
+  float mu_;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_FEDAVG_H_

@@ -1,0 +1,58 @@
+#include "fl/fedcluster.h"
+
+#include <numeric>
+
+namespace fedcross::fl {
+
+FedCluster::FedCluster(AlgorithmConfig config, data::FederatedDataset data,
+                       models::ModelFactory factory, int num_clusters)
+    : FlAlgorithm("FedCluster", config, std::move(data), std::move(factory)),
+      num_clusters_(num_clusters) {
+  FC_CHECK_GT(num_clusters, 0);
+  FC_CHECK_LE(num_clusters, config.clients_per_round)
+      << "need at least one sampled client per cluster";
+  nn::Sequential initial = this->factory()();
+  global_ = initial.ParamsToFlat();
+
+  // Random, size-balanced clusters, fixed for the whole run (the original
+  // method clusters once; re-clustering variants exist but are not needed
+  // for the baseline).
+  std::vector<int> order(num_clients());
+  std::iota(order.begin(), order.end(), 0);
+  rng().Shuffle(order);
+  clusters_.assign(num_clusters_, {});
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    clusters_[i % num_clusters_].push_back(order[i]);
+  }
+}
+
+void FedCluster::RunRound(int round) {
+  int per_cluster =
+      (config().clients_per_round + num_clusters_ - 1) / num_clusters_;
+  ClientTrainSpec spec;
+  spec.options = config().train;
+
+  // Cycle through clusters, rotating the starting cluster each round so no
+  // cluster permanently gets the "last word" within the cycle.
+  for (int step = 0; step < num_clusters_; ++step) {
+    const std::vector<int>& cluster =
+        clusters_[(round + step) % num_clusters_];
+    int take = std::min<int>(per_cluster, static_cast<int>(cluster.size()));
+    if (take == 0) continue;
+
+    std::vector<int> picks = rng().SampleWithoutReplacement(
+        static_cast<int>(cluster.size()), take);
+    std::vector<FlatParams> local_models;
+    std::vector<double> weights;
+    for (int pick : picks) {
+      LocalTrainResult result = TrainClient(cluster[pick], global_, spec);
+      if (result.dropped) continue;
+      weights.push_back(result.num_samples);
+      local_models.push_back(std::move(result.params));
+    }
+    if (local_models.empty()) continue;  // whole cluster step dropped
+    global_ = WeightedAverage(local_models, weights);
+  }
+}
+
+}  // namespace fedcross::fl

@@ -1,0 +1,38 @@
+#ifndef FEDCROSS_FL_FEDCLUSTER_H_
+#define FEDCROSS_FL_FEDCLUSTER_H_
+
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace fedcross::fl {
+
+// FedCluster (Chen et al., 2020) — the other client-grouping method in the
+// paper's related work (Section II-B): clients are split into m clusters
+// that "perform federated learning cyclically in each learning round".
+// One round here = one full cycle: for each cluster in (rotating) order, a
+// few of its clients train the current model and their FedAvg aggregate
+// becomes the model handed to the next cluster. The intra-round sequencing
+// gives every cluster's data a chance to correct the model within a single
+// round, at the same per-round communication as FedAvg.
+class FedCluster : public FlAlgorithm {
+ public:
+  // num_clusters m; each cluster contributes ceil(K/m) clients per cycle
+  // (total per-round client count stays ~K). m must be <= K.
+  FedCluster(AlgorithmConfig config, data::FederatedDataset data,
+             models::ModelFactory factory, int num_clusters);
+
+  void RunRound(int round) override;
+  FlatParams GlobalParams() override { return global_; }
+
+  const std::vector<std::vector<int>>& clusters() const { return clusters_; }
+
+ private:
+  int num_clusters_;
+  FlatParams global_;
+  std::vector<std::vector<int>> clusters_;  // random, fixed at construction
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_FEDCLUSTER_H_

@@ -1,0 +1,150 @@
+#include "fl/fedgen.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "optim/sgd.h"
+
+namespace fedcross::fl {
+
+FedGen::FedGen(AlgorithmConfig config, data::FederatedDataset data,
+               models::ModelFactory factory)
+    : FedGen(config, std::move(data), std::move(factory), Options()) {}
+
+FedGen::FedGen(AlgorithmConfig config, data::FederatedDataset data,
+               models::ModelFactory factory, Options options)
+    : FlAlgorithm("FedGen", config, std::move(data), std::move(factory)),
+      options_(options) {
+  nn::Sequential initial = this->factory()();
+  global_ = initial.ParamsToFlat();
+
+  example_shape_ = test_set().example_shape();
+  example_numel_ = 1;
+  for (int dim : example_shape_) example_numel_ *= dim;
+  num_classes_ = test_set().num_classes();
+  // Single-axis examples are token sequences: embedding blocks input grads.
+  discrete_inputs_ = example_shape_.size() == 1;
+  label_weights_.assign(num_classes_, 1.0);
+
+  util::Rng gen_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  generator_.Add(std::make_unique<nn::Linear>(
+      options_.latent_dim + num_classes_, options_.generator_hidden, gen_rng));
+  generator_.Add(std::make_unique<nn::Relu>());
+  generator_.Add(std::make_unique<nn::Linear>(
+      options_.generator_hidden, static_cast<int>(example_numel_), gen_rng));
+  generator_size_ = generator_.NumParams();
+}
+
+Tensor FedGen::SampleGeneratorInput(int batch, std::vector<int>& labels) {
+  Tensor input({batch, options_.latent_dim + num_classes_});
+  labels.resize(batch);
+  float* data = input.data();
+  for (int b = 0; b < batch; ++b) {
+    int label = rng().Categorical(label_weights_);
+    labels[b] = label;
+    float* row =
+        data + static_cast<std::int64_t>(b) * (options_.latent_dim + num_classes_);
+    for (int z = 0; z < options_.latent_dim; ++z) {
+      row[z] = static_cast<float>(rng().Normal());
+    }
+    row[options_.latent_dim + label] = 1.0f;
+  }
+  return input;
+}
+
+void FedGen::TrainGenerator() {
+  if (discrete_inputs_) return;  // no input gradients through embeddings
+
+  nn::Sequential global_model = factory()();
+  global_model.ParamsFromFlat(global_);
+
+  optim::SgdOptions sgd_options;
+  sgd_options.lr = options_.generator_lr;
+  sgd_options.momentum = 0.9f;
+  sgd_options.grad_clip_norm = 5.0f;
+  optim::Sgd sgd(generator_.Params(), sgd_options);
+
+  nn::CrossEntropyLoss criterion;
+  std::vector<int> labels;
+  for (int step = 0; step < options_.generator_steps_per_round; ++step) {
+    Tensor input = SampleGeneratorInput(options_.generator_batch, labels);
+    generator_.ZeroGrad();
+    Tensor fake = generator_.Forward(input, /*train=*/true);
+
+    Tensor::Shape batch_shape;
+    batch_shape.push_back(options_.generator_batch);
+    batch_shape.insert(batch_shape.end(), example_shape_.begin(),
+                       example_shape_.end());
+    fake.Reshape(batch_shape);
+
+    // Teacher pass: the global model should classify fakes as their label.
+    global_model.ZeroGrad();
+    Tensor logits = global_model.Forward(fake, /*train=*/false);
+    nn::LossResult loss = criterion.Compute(logits, labels);
+    Tensor grad_input = global_model.Backward(loss.grad_logits);
+    grad_input.Reshape(
+        {options_.generator_batch, static_cast<int>(example_numel_)});
+    generator_.Backward(grad_input);
+    sgd.Step();
+  }
+}
+
+void FedGen::RegenerateSyntheticSet() {
+  std::vector<int> labels;
+  Tensor input = SampleGeneratorInput(options_.synthetic_samples, labels);
+  Tensor fake = generator_.Forward(input, /*train=*/false);
+
+  std::vector<float> features(
+      static_cast<std::size_t>(options_.synthetic_samples) * example_numel_);
+  const float* data = fake.data();
+  if (discrete_inputs_) {
+    // Round into valid token ids (label-conditioned random sequences).
+    int vocab = num_classes_;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      float scaled = (std::tanh(data[i]) * 0.5f + 0.5f) * (vocab - 1);
+      features[i] = std::floor(std::max(0.0f, std::min(scaled, vocab - 1.0f)));
+    }
+  } else {
+    for (std::size_t i = 0; i < features.size(); ++i) features[i] = data[i];
+  }
+  synthetic_ = std::make_shared<data::InMemoryDataset>(
+      example_shape_, std::move(features), std::move(labels), num_classes_);
+}
+
+void FedGen::RunRound(int round) {
+  (void)round;
+  std::vector<int> selected = SampleClients();
+  std::vector<FlatParams> local_models;
+  std::vector<double> weights;
+  std::vector<double> new_label_weights(num_classes_, 1e-3);
+
+  ClientTrainSpec spec;
+  spec.options = config().train;
+  spec.augment_data = synthetic_.get();  // null in round 0
+  spec.augment_weight = options_.augment_weight;
+  spec.augment_batches_per_epoch = options_.augment_batches_per_epoch;
+
+  for (int client_id : selected) {
+    // Generator payload rides along with the model dispatch.
+    if (synthetic_ != nullptr) {
+      comm().AddDownload(CommTracker::FloatBytes(generator_size_));
+    }
+    LocalTrainResult result = TrainClient(client_id, global_, spec);
+    if (result.dropped) continue;  // device failed before uploading
+    weights.push_back(result.num_samples);
+    local_models.push_back(std::move(result.params));
+
+    std::vector<int> counts = client(client_id).dataset().LabelCounts();
+    for (int k = 0; k < num_classes_; ++k) new_label_weights[k] += counts[k];
+  }
+
+  if (local_models.empty()) return;  // every client dropped
+  global_ = WeightedAverage(local_models, weights);
+  label_weights_ = std::move(new_label_weights);
+  TrainGenerator();
+  RegenerateSyntheticSet();
+}
+
+}  // namespace fedcross::fl

@@ -1,0 +1,68 @@
+#ifndef FEDCROSS_FL_FEDGEN_H_
+#define FEDCROSS_FL_FEDGEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "fl/algorithm.h"
+#include "nn/sequential.h"
+
+namespace fedcross::fl {
+
+// FedGen (Zhu et al., 2021): data-free knowledge distillation with a
+// server-side generator. After each aggregation the server trains a small
+// conditional generator G(z, y) so that the current global model classifies
+// G's outputs as their conditioning label (gradients flow through the
+// global model into the generator via input backprop). The generator's
+// synthetic examples are dispatched with the model and mixed into the next
+// round's local training, transferring cross-client knowledge.
+//
+// Reproduction note (DESIGN.md §1): our generator emits *input-space*
+// samples. For image models this is full data-free KD; for token-sequence
+// models the embedding layer blocks input gradients, so the generator
+// degenerates to label-conditioned random sequences (weak augmentation).
+class FedGen : public FlAlgorithm {
+ public:
+  struct Options {
+    int latent_dim = 8;
+    int generator_hidden = 12;
+    int generator_steps_per_round = 20;
+    int generator_batch = 32;
+    float generator_lr = 0.01f;
+    int synthetic_samples = 128;   // size of the dispatched proxy set
+    float augment_weight = 0.5f;   // KD loss weight on clients
+    int augment_batches_per_epoch = 1;
+  };
+
+  FedGen(AlgorithmConfig config, data::FederatedDataset data,
+         models::ModelFactory factory, Options options);
+  FedGen(AlgorithmConfig config, data::FederatedDataset data,
+         models::ModelFactory factory);
+
+  void RunRound(int round) override;
+  FlatParams GlobalParams() override { return global_; }
+
+  // Size of the generator payload in floats (communication accounting).
+  std::int64_t generator_size() const { return generator_size_; }
+
+ private:
+  void TrainGenerator();
+  void RegenerateSyntheticSet();
+  // One generator batch input [batch, latent+classes] plus its labels.
+  Tensor SampleGeneratorInput(int batch, std::vector<int>& labels);
+
+  Options options_;
+  FlatParams global_;
+  nn::Sequential generator_;
+  std::int64_t generator_size_ = 0;
+  Tensor::Shape example_shape_;
+  std::int64_t example_numel_ = 0;
+  int num_classes_ = 0;
+  bool discrete_inputs_ = false;  // token datasets: no input gradients
+  std::vector<double> label_weights_;  // aggregated client label counts
+  std::shared_ptr<data::InMemoryDataset> synthetic_;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_FEDGEN_H_

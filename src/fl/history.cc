@@ -1,0 +1,52 @@
+#include "fl/history.h"
+
+#include <algorithm>
+
+#include "util/csv_writer.h"
+
+namespace fedcross::fl {
+
+float MetricsHistory::BestAccuracy() const {
+  float best = 0.0f;
+  for (const RoundRecord& record : records_) {
+    best = std::max(best, record.test_accuracy);
+  }
+  return best;
+}
+
+float MetricsHistory::FinalAccuracy(int window) const {
+  if (records_.empty()) return 0.0f;
+  int count = std::min<int>(window, static_cast<int>(records_.size()));
+  double total = 0.0;
+  for (int i = static_cast<int>(records_.size()) - count;
+       i < static_cast<int>(records_.size()); ++i) {
+    total += records_[i].test_accuracy;
+  }
+  return static_cast<float>(total / count);
+}
+
+int MetricsHistory::RoundsToAccuracy(float target) const {
+  for (const RoundRecord& record : records_) {
+    if (record.test_accuracy >= target) return record.round;
+  }
+  return -1;
+}
+
+util::Status MetricsHistory::WriteCsv(const std::string& path,
+                                      const std::string& series_name) const {
+  util::CsvWriter csv(path);
+  if (!csv.ok()) return util::Status::Internal("cannot open " + path);
+  csv.WriteRow({"series", "round", "test_accuracy", "test_loss", "bytes_up",
+                "bytes_down", "client_loss"});
+  for (const RoundRecord& record : records_) {
+    csv.WriteRow({series_name, util::CsvWriter::Field(record.round),
+                  util::CsvWriter::Field(record.test_accuracy),
+                  util::CsvWriter::Field(record.test_loss),
+                  util::CsvWriter::Field(record.bytes_up),
+                  util::CsvWriter::Field(record.bytes_down),
+                  util::CsvWriter::Field(record.mean_client_loss)});
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace fedcross::fl

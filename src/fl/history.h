@@ -1,0 +1,41 @@
+#ifndef FEDCROSS_FL_HISTORY_H_
+#define FEDCROSS_FL_HISTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "fl/types.h"
+#include "util/status.h"
+
+namespace fedcross::fl {
+
+// Round-by-round metrics of one FL run — the data behind the paper's
+// learning-curve figures (Fig. 5-9).
+class MetricsHistory {
+ public:
+  void Add(RoundRecord record) { records_.push_back(record); }
+
+  const std::vector<RoundRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+
+  // Highest test accuracy seen so far (the paper reports best accuracy).
+  float BestAccuracy() const;
+
+  // Mean accuracy over the last `window` rounds (stability metric).
+  float FinalAccuracy(int window = 5) const;
+
+  // First round whose accuracy reached `target`, or -1 (rounds-to-target,
+  // used by the communication-savings analysis).
+  int RoundsToAccuracy(float target) const;
+
+  // Writes "round,test_accuracy,test_loss,bytes_up,bytes_down,client_loss".
+  util::Status WriteCsv(const std::string& path,
+                        const std::string& series_name) const;
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_HISTORY_H_

@@ -1,0 +1,48 @@
+#include "fl/privacy.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fedcross::fl {
+
+double UpdateNorm(const FlatParams& reference, const FlatParams& uploaded) {
+  FC_CHECK_EQ(reference.size(), uploaded.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    double d = static_cast<double>(uploaded[i]) - reference[i];
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
+FlatParams SanitizeUpdate(const FlatParams& reference,
+                          const FlatParams& uploaded, const DpOptions& options,
+                          util::Rng& rng) {
+  FC_CHECK_EQ(reference.size(), uploaded.size());
+  if (options.clip_norm <= 0.0f) return uploaded;
+
+  double norm = UpdateNorm(reference, uploaded);
+  double scale = norm > options.clip_norm && norm > 0.0
+                     ? options.clip_norm / norm
+                     : 1.0;
+  double sigma = static_cast<double>(options.noise_multiplier) *
+                 options.clip_norm;
+
+  FlatParams sanitised(reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    double delta = (static_cast<double>(uploaded[i]) - reference[i]) * scale;
+    if (sigma > 0.0) delta += rng.Normal(0.0, sigma);
+    sanitised[i] = static_cast<float>(reference[i] + delta);
+  }
+  return sanitised;
+}
+
+double GaussianMechanismEpsilon(double noise_multiplier, double delta) {
+  FC_CHECK_GT(noise_multiplier, 0.0);
+  FC_CHECK_GT(delta, 0.0);
+  FC_CHECK_LT(delta, 1.0);
+  return std::sqrt(2.0 * std::log(1.25 / delta)) / noise_multiplier;
+}
+
+}  // namespace fedcross::fl

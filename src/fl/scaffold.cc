@@ -1,0 +1,63 @@
+#include "fl/scaffold.h"
+
+namespace fedcross::fl {
+
+Scaffold::Scaffold(AlgorithmConfig config, data::FederatedDataset data,
+                   models::ModelFactory factory)
+    : FlAlgorithm("SCAFFOLD", config, std::move(data), std::move(factory)) {
+  nn::Sequential initial = this->factory()();
+  global_ = initial.ParamsToFlat();
+  server_c_.assign(global_.size(), 0.0f);
+  client_c_.assign(num_clients(), FlatParams());
+}
+
+void Scaffold::RunRound(int round) {
+  (void)round;
+  std::vector<int> selected = SampleClients();
+  std::vector<FlatParams> local_models;
+  std::vector<double> weights;
+  FlatParams c_delta_sum(global_.size(), 0.0f);
+
+  for (int client_id : selected) {
+    FlatParams& c_i = client_c_[client_id];
+    if (c_i.empty()) c_i.assign(global_.size(), 0.0f);
+
+    // Per-step correction c - c_i.
+    FlatParams correction(global_.size());
+    for (std::size_t j = 0; j < correction.size(); ++j) {
+      correction[j] = server_c_[j] - c_i[j];
+    }
+
+    ClientTrainSpec spec;
+    spec.options = config().train;
+    spec.scaffold_correction = &correction;
+    LocalTrainResult result = TrainClient(client_id, global_, spec);
+    if (result.dropped) continue;  // no upload, no variate update
+    // Variate traffic: one variate down (c), one up (c_i+).
+    comm().AddDownload(CommTracker::FloatBytes(model_size()));
+    comm().AddUpload(CommTracker::FloatBytes(model_size()));
+
+    // Option II variate update.
+    float inv_step =
+        result.num_steps > 0 ? 1.0f / (result.num_steps * result.lr) : 0.0f;
+    for (std::size_t j = 0; j < c_i.size(); ++j) {
+      float c_new =
+          c_i[j] - server_c_[j] + (global_[j] - result.params[j]) * inv_step;
+      c_delta_sum[j] += c_new - c_i[j];
+      c_i[j] = c_new;
+    }
+
+    weights.push_back(result.num_samples);
+    local_models.push_back(std::move(result.params));
+  }
+
+  if (local_models.empty()) return;  // every client dropped
+  global_ = WeightedAverage(local_models, weights);
+  // c += (|S| / N) * mean_i(c_i+ - c_i), over the clients that uploaded.
+  float scale = 1.0f / static_cast<float>(num_clients());
+  for (std::size_t j = 0; j < server_c_.size(); ++j) {
+    server_c_[j] += scale * c_delta_sum[j];
+  }
+}
+
+}  // namespace fedcross::fl

@@ -1,0 +1,35 @@
+#ifndef FEDCROSS_FL_SCAFFOLD_H_
+#define FEDCROSS_FL_SCAFFOLD_H_
+
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace fedcross::fl {
+
+// SCAFFOLD (Karimireddy et al., 2020): stochastic controlled averaging.
+// The server maintains a control variate c and each client a variate c_i;
+// local SGD steps are corrected by (c - c_i), cancelling client drift. The
+// client variate update uses the paper's Option II:
+//   c_i+ = c_i - c + (x - y_i) / (steps * lr).
+// Communication doubles relative to FedAvg (model + variate each way),
+// which the communication benchmark (Table I) reproduces.
+class Scaffold : public FlAlgorithm {
+ public:
+  Scaffold(AlgorithmConfig config, data::FederatedDataset data,
+           models::ModelFactory factory);
+
+  void RunRound(int round) override;
+  FlatParams GlobalParams() override { return global_; }
+
+  const FlatParams& server_variate() const { return server_c_; }
+
+ private:
+  FlatParams global_;
+  FlatParams server_c_;
+  std::vector<FlatParams> client_c_;  // indexed by client id; lazily sized
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_SCAFFOLD_H_

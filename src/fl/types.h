@@ -1,0 +1,43 @@
+#ifndef FEDCROSS_FL_TYPES_H_
+#define FEDCROSS_FL_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fedcross::fl {
+
+// A model's parameters as one flat float vector — the unit that crosses the
+// (simulated) network and that all aggregation rules operate on.
+using FlatParams = std::vector<float>;
+
+// Client-side local training hyperparameters. Defaults follow the paper's
+// experimental settings (Section IV-A): B=50, E=5 epochs, SGD lr=0.01 with
+// momentum 0.5.
+struct TrainOptions {
+  int local_epochs = 5;
+  int batch_size = 50;
+  float lr = 0.01f;
+  float momentum = 0.5f;
+  float weight_decay = 0.0f;
+  float grad_clip_norm = 5.0f;  // stabilises small-width CPU models
+};
+
+// Test-set metrics of one global model.
+struct EvalResult {
+  float loss = 0.0f;
+  float accuracy = 0.0f;  // fraction in [0, 1]
+};
+
+// One FL round's record, kept by MetricsHistory.
+struct RoundRecord {
+  int round = 0;
+  float test_loss = 0.0f;
+  float test_accuracy = 0.0f;
+  double bytes_up = 0.0;
+  double bytes_down = 0.0;
+  double mean_client_loss = 0.0;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_TYPES_H_

@@ -1,0 +1,71 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace fedcross::nn {
+
+Tensor Relu::Forward(const Tensor& input, bool train) {
+  (void)train;
+  cached_input_ = input;
+  Tensor output = input;
+  float* data = output.data();
+  for (std::int64_t i = 0; i < output.numel(); ++i) {
+    if (data[i] < 0.0f) data[i] = 0.0f;
+  }
+  return output;
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  FC_CHECK(grad_output.SameShape(cached_input_));
+  Tensor grad_input = grad_output;
+  float* grad = grad_input.data();
+  const float* input = cached_input_.data();
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+    if (input[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad_input;
+}
+
+Tensor Tanh::Forward(const Tensor& input, bool train) {
+  (void)train;
+  Tensor output = input;
+  float* data = output.data();
+  for (std::int64_t i = 0; i < output.numel(); ++i) data[i] = std::tanh(data[i]);
+  cached_output_ = output;
+  return output;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  FC_CHECK(grad_output.SameShape(cached_output_));
+  Tensor grad_input = grad_output;
+  float* grad = grad_input.data();
+  const float* out = cached_output_.data();
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+    grad[i] *= 1.0f - out[i] * out[i];
+  }
+  return grad_input;
+}
+
+Tensor Sigmoid::Forward(const Tensor& input, bool train) {
+  (void)train;
+  Tensor output = input;
+  float* data = output.data();
+  for (std::int64_t i = 0; i < output.numel(); ++i) {
+    data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+  }
+  cached_output_ = output;
+  return output;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  FC_CHECK(grad_output.SameShape(cached_output_));
+  Tensor grad_input = grad_output;
+  float* grad = grad_input.data();
+  const float* out = cached_output_.data();
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+    grad[i] *= out[i] * (1.0f - out[i]);
+  }
+  return grad_input;
+}
+
+}  // namespace fedcross::nn

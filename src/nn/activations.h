@@ -1,0 +1,45 @@
+#ifndef FEDCROSS_NN_ACTIVATIONS_H_
+#define FEDCROSS_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace fedcross::nn {
+
+// Elementwise max(0, x). Works on tensors of any rank.
+class Relu : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Relu"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+// Elementwise tanh(x).
+class Tanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+// Elementwise logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_ACTIVATIONS_H_

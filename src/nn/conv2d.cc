@@ -1,0 +1,109 @@
+#include "nn/conv2d.h"
+
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace fedcross::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(KaimingNormal({out_channels, in_channels * kernel * kernel},
+                            in_channels * kernel * kernel, rng)),
+      bias_(Tensor::Zeros({out_channels})) {
+  FC_CHECK_GT(in_channels, 0);
+  FC_CHECK_GT(out_channels, 0);
+  FC_CHECK_GT(kernel, 0);
+}
+
+Tensor Conv2d::Forward(const Tensor& input, bool train) {
+  (void)train;
+  FC_CHECK_EQ(input.ndim(), 4);
+  FC_CHECK_EQ(input.dim(1), in_channels_);
+  int batch = input.dim(0);
+  int height = input.dim(2);
+  int width = input.dim(3);
+  int out_h = ops::ConvOutSize(height, kernel_, stride_, pad_);
+  int out_w = ops::ConvOutSize(width, kernel_, stride_, pad_);
+  int out_area = out_h * out_w;
+  int patch = in_channels_ * kernel_ * kernel_;
+
+  cached_height_ = height;
+  cached_width_ = width;
+  cached_columns_.assign(batch, Tensor());
+
+  Tensor output({batch, out_channels_, out_h, out_w});
+  std::int64_t in_stride = static_cast<std::int64_t>(in_channels_) * height * width;
+  std::int64_t out_stride = static_cast<std::int64_t>(out_channels_) * out_area;
+  for (int b = 0; b < batch; ++b) {
+    Tensor columns({patch, out_area});
+    ops::Im2Col(input.data() + b * in_stride, in_channels_, height, width,
+                kernel_, kernel_, stride_, pad_, columns.data());
+    // output_b = W(out_channels, patch) * columns(patch, out_area)
+    ops::Gemm(false, false, out_channels_, out_area, patch, 1.0f,
+              weight_.value.data(), patch, columns.data(), out_area, 0.0f,
+              output.data() + b * out_stride, out_area);
+    cached_columns_[b] = std::move(columns);
+  }
+  const float* bias = bias_.value.data();
+  float* out = output.data();
+  for (int b = 0; b < batch; ++b) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      float* plane = out + b * out_stride + static_cast<std::int64_t>(oc) * out_area;
+      for (int i = 0; i < out_area; ++i) plane[i] += bias[oc];
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  FC_CHECK_EQ(grad_output.ndim(), 4);
+  int batch = grad_output.dim(0);
+  FC_CHECK_EQ(batch, static_cast<int>(cached_columns_.size()));
+  FC_CHECK_EQ(grad_output.dim(1), out_channels_);
+  int out_h = grad_output.dim(2);
+  int out_w = grad_output.dim(3);
+  int out_area = out_h * out_w;
+  int patch = in_channels_ * kernel_ * kernel_;
+
+  Tensor grad_input({batch, in_channels_, cached_height_, cached_width_});
+  Tensor grad_columns({patch, out_area});
+  std::int64_t in_stride =
+      static_cast<std::int64_t>(in_channels_) * cached_height_ * cached_width_;
+  std::int64_t out_stride = static_cast<std::int64_t>(out_channels_) * out_area;
+
+  float* bias_grad = bias_.grad.data();
+  for (int b = 0; b < batch; ++b) {
+    const float* grad_b = grad_output.data() + b * out_stride;
+    // dW += dY_b(out_channels, out_area) * columns_b^T(out_area, patch)
+    ops::Gemm(false, true, out_channels_, patch, out_area, 1.0f, grad_b,
+              out_area, cached_columns_[b].data(), out_area, 1.0f,
+              weight_.grad.data(), patch);
+    // db += spatial sums of dY_b
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* plane = grad_b + static_cast<std::int64_t>(oc) * out_area;
+      double acc = 0.0;
+      for (int i = 0; i < out_area; ++i) acc += plane[i];
+      bias_grad[oc] += static_cast<float>(acc);
+    }
+    // dColumns = W^T(patch, out_channels) * dY_b(out_channels, out_area)
+    ops::Gemm(true, false, patch, out_area, out_channels_, 1.0f,
+              weight_.value.data(), patch, grad_b, out_area, 0.0f,
+              grad_columns.data(), out_area);
+    ops::Col2Im(grad_columns.data(), in_channels_, cached_height_,
+                cached_width_, kernel_, kernel_, stride_, pad_,
+                grad_input.data() + b * in_stride);
+  }
+  return grad_input;
+}
+
+void Conv2d::CollectParams(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+}  // namespace fedcross::nn

@@ -1,0 +1,46 @@
+#ifndef FEDCROSS_NN_CONV2D_H_
+#define FEDCROSS_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace fedcross::nn {
+
+// 2-d convolution via im2col + GEMM.
+// input:  [batch, in_channels, height, width]
+// weight: [out_channels, in_channels * kernel * kernel]
+// bias:   [out_channels]
+// output: [batch, out_channels, out_h, out_w]
+class Conv2d : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
+         util::Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParams(std::vector<Param*>& out) override;
+  std::string Name() const override { return "Conv2d"; }
+
+  int out_channels() const { return out_channels_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  Param weight_;
+  Param bias_;
+  // Cached per-image im2col matrices from the last Forward (one per batch
+  // element), plus the input spatial geometry.
+  std::vector<Tensor> cached_columns_;
+  int cached_height_ = 0;
+  int cached_width_ = 0;
+};
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_CONV2D_H_

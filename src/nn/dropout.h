@@ -1,0 +1,31 @@
+#ifndef FEDCROSS_NN_DROPOUT_H_
+#define FEDCROSS_NN_DROPOUT_H_
+
+#include <string>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace fedcross::nn {
+
+// Inverted dropout: during training each element is zeroed with probability
+// `rate` and survivors are scaled by 1/(1-rate); evaluation is identity.
+class Dropout : public Layer {
+ public:
+  // `seed` makes the mask stream reproducible per layer instance.
+  Dropout(float rate, std::uint64_t seed);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Dropout"; }
+
+ private:
+  float rate_;
+  util::Rng rng_;
+  Tensor cached_mask_;  // scaled keep-mask from the last training Forward
+  bool last_was_train_ = false;
+};
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_DROPOUT_H_

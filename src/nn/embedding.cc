@@ -1,0 +1,62 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace fedcross::nn {
+
+Embedding::Embedding(int vocab_size, int embed_dim, util::Rng& rng)
+    : vocab_size_(vocab_size),
+      embed_dim_(embed_dim),
+      table_(Tensor::RandomNormal({vocab_size, embed_dim}, rng, 0.0f,
+                                  1.0f / std::sqrt(static_cast<float>(embed_dim)))) {
+  FC_CHECK_GT(vocab_size, 0);
+  FC_CHECK_GT(embed_dim, 0);
+}
+
+Tensor Embedding::Forward(const Tensor& input, bool train) {
+  (void)train;
+  FC_CHECK_EQ(input.ndim(), 2);
+  cached_batch_ = input.dim(0);
+  cached_time_ = input.dim(1);
+  std::int64_t tokens = input.numel();
+  cached_ids_.resize(tokens);
+
+  Tensor output({cached_batch_, cached_time_, embed_dim_});
+  const float* ids = input.data();
+  const float* table = table_.value.data();
+  float* out = output.data();
+  for (std::int64_t i = 0; i < tokens; ++i) {
+    int id = static_cast<int>(ids[i]);
+    FC_CHECK_GE(id, 0);
+    FC_CHECK_LT(id, vocab_size_);
+    cached_ids_[i] = id;
+    std::memcpy(out + i * embed_dim_,
+                table + static_cast<std::int64_t>(id) * embed_dim_,
+                embed_dim_ * sizeof(float));
+  }
+  return output;
+}
+
+Tensor Embedding::Backward(const Tensor& grad_output) {
+  FC_CHECK_EQ(grad_output.ndim(), 3);
+  FC_CHECK_EQ(grad_output.dim(0), cached_batch_);
+  FC_CHECK_EQ(grad_output.dim(1), cached_time_);
+  FC_CHECK_EQ(grad_output.dim(2), embed_dim_);
+
+  float* table_grad = table_.grad.data();
+  const float* grad = grad_output.data();
+  for (std::size_t i = 0; i < cached_ids_.size(); ++i) {
+    float* row = table_grad +
+                 static_cast<std::int64_t>(cached_ids_[i]) * embed_dim_;
+    const float* src = grad + static_cast<std::int64_t>(i) * embed_dim_;
+    for (int d = 0; d < embed_dim_; ++d) row[d] += src[d];
+  }
+  return Tensor();  // no gradient for discrete token ids
+}
+
+void Embedding::CollectParams(std::vector<Param*>& out) {
+  out.push_back(&table_);
+}
+
+}  // namespace fedcross::nn

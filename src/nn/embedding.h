@@ -1,0 +1,42 @@
+#ifndef FEDCROSS_NN_EMBEDDING_H_
+#define FEDCROSS_NN_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace fedcross::nn {
+
+// Token embedding lookup.
+// input:  [batch, time] of integer token ids stored as floats
+// output: [batch, time, embed_dim]
+//
+// Backward accumulates into the embedding rows and returns an empty tensor
+// (token ids are discrete, there is no input gradient); Sequential stops
+// backpropagation when it sees the empty gradient.
+class Embedding : public Layer {
+ public:
+  Embedding(int vocab_size, int embed_dim, util::Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParams(std::vector<Param*>& out) override;
+  std::string Name() const override { return "Embedding"; }
+
+  int vocab_size() const { return vocab_size_; }
+  int embed_dim() const { return embed_dim_; }
+
+ private:
+  int vocab_size_;
+  int embed_dim_;
+  Param table_;
+  std::vector<int> cached_ids_;  // batch-major token ids from last Forward
+  int cached_batch_ = 0;
+  int cached_time_ = 0;
+};
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_EMBEDDING_H_

@@ -1,0 +1,22 @@
+#include "nn/flatten.h"
+
+namespace fedcross::nn {
+
+Tensor Flatten::Forward(const Tensor& input, bool train) {
+  (void)train;
+  FC_CHECK_GE(input.ndim(), 2);
+  cached_input_shape_ = input.shape();
+  int batch = input.dim(0);
+  int features = static_cast<int>(input.numel() / batch);
+  Tensor output = input;
+  output.Reshape({batch, features});
+  return output;
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  Tensor grad_input = grad_output;
+  grad_input.Reshape(cached_input_shape_);
+  return grad_input;
+}
+
+}  // namespace fedcross::nn

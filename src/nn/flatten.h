@@ -1,0 +1,24 @@
+#ifndef FEDCROSS_NN_FLATTEN_H_
+#define FEDCROSS_NN_FLATTEN_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace fedcross::nn {
+
+// Reshapes [batch, d1, d2, ...] to [batch, d1*d2*...]; backward restores the
+// original shape. Metadata-only on contiguous tensors.
+class Flatten : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Flatten"; }
+
+ private:
+  Tensor::Shape cached_input_shape_;
+};
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_FLATTEN_H_

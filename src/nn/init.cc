@@ -1,0 +1,20 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace fedcross::nn {
+
+Tensor KaimingNormal(Tensor::Shape shape, int fan_in, util::Rng& rng) {
+  FC_CHECK_GT(fan_in, 0);
+  float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::RandomNormal(std::move(shape), rng, 0.0f, stddev);
+}
+
+Tensor XavierUniform(Tensor::Shape shape, int fan_in, int fan_out,
+                     util::Rng& rng) {
+  FC_CHECK_GT(fan_in + fan_out, 0);
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandomUniform(std::move(shape), rng, -bound, bound);
+}
+
+}  // namespace fedcross::nn

@@ -1,0 +1,22 @@
+#ifndef FEDCROSS_NN_INIT_H_
+#define FEDCROSS_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fedcross::nn {
+
+// Weight initialisers. fan_in is the number of inputs feeding one output
+// unit (for conv: in_channels * kernel_h * kernel_w).
+
+// Kaiming-He normal: N(0, sqrt(2 / fan_in)); suited to ReLU networks.
+Tensor KaimingNormal(Tensor::Shape shape, int fan_in, util::Rng& rng);
+
+// Xavier-Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out));
+// suited to tanh/sigmoid (LSTM) networks.
+Tensor XavierUniform(Tensor::Shape shape, int fan_in, int fan_out,
+                     util::Rng& rng);
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_INIT_H_

@@ -1,0 +1,61 @@
+#ifndef FEDCROSS_NN_LAYER_H_
+#define FEDCROSS_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedcross::nn {
+
+// A model parameter: value and accumulated gradient, always the same
+// shape. Layers own their Params; optimizers and the FL aggregation code
+// access them through Layer::CollectParams pointers.
+//
+// `trainable == false` marks state that is part of the model but not
+// touched by optimizers (e.g. BatchNorm running statistics). Such state
+// still participates in the flat parameter vector, so FL aggregation
+// transfers and averages it — the standard (if imperfect) treatment of
+// BatchNorm statistics in federated learning.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  bool trainable = true;
+
+  explicit Param(Tensor initial, bool is_trainable = true)
+      : value(std::move(initial)),
+        grad(Tensor::Zeros(value.shape())),
+        trainable(is_trainable) {}
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+// Base class for differentiable layers using module-style manual backprop.
+//
+// Contract:
+//  - Forward(input, train) caches whatever Backward needs and returns the
+//    layer output. `train` toggles training-only behaviour (dropout).
+//  - Backward(grad_output) consumes the cached state from the most recent
+//    Forward, accumulates parameter gradients (+=), and returns the
+//    gradient w.r.t. the layer input. Calling Backward twice without an
+//    intervening Forward is undefined.
+//  - Layers process one mini-batch at a time and are not thread-safe; each
+//    simulated client owns its own model instance.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor Forward(const Tensor& input, bool train) = 0;
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  // Appends pointers to this layer's parameters (stable for the layer's
+  // lifetime). Default: no parameters.
+  virtual void CollectParams(std::vector<Param*>& out) { (void)out; }
+
+  // Human-readable layer type for debugging / summaries.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_LAYER_H_

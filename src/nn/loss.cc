@@ -1,0 +1,83 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace fedcross::nn {
+
+LossResult CrossEntropyLoss::Compute(const Tensor& logits,
+                                     const std::vector<int>& labels,
+                                     bool compute_grad) const {
+  FC_CHECK_EQ(logits.ndim(), 2);
+  int batch = logits.dim(0);
+  int classes = logits.dim(1);
+  FC_CHECK_EQ(batch, static_cast<int>(labels.size()));
+
+  Tensor probs = logits;
+  ops::SoftmaxRows(probs);
+
+  LossResult result;
+  double total_loss = 0.0;
+  const float* p = probs.data();
+  for (int b = 0; b < batch; ++b) {
+    int label = labels[b];
+    FC_CHECK_GE(label, 0);
+    FC_CHECK_LT(label, classes);
+    const float* row = p + static_cast<std::int64_t>(b) * classes;
+    total_loss -= std::log(std::max(row[label], 1e-12f));
+    if (ops::ArgMaxRow(probs, b) == label) ++result.correct;
+  }
+  result.loss = static_cast<float>(total_loss / batch);
+
+  if (compute_grad) {
+    result.grad_logits = std::move(probs);
+    float* grad = result.grad_logits.data();
+    float inv_batch = 1.0f / static_cast<float>(batch);
+    for (int b = 0; b < batch; ++b) {
+      float* row = grad + static_cast<std::int64_t>(b) * classes;
+      row[labels[b]] -= 1.0f;
+      for (int c = 0; c < classes; ++c) row[c] *= inv_batch;
+    }
+  }
+  return result;
+}
+
+LossResult SoftCrossEntropyLoss::Compute(const Tensor& logits,
+                                         const Tensor& targets,
+                                         bool compute_grad) const {
+  FC_CHECK_EQ(logits.ndim(), 2);
+  FC_CHECK(logits.SameShape(targets));
+  int batch = logits.dim(0);
+  int classes = logits.dim(1);
+
+  Tensor probs = logits;
+  ops::SoftmaxRows(probs);
+
+  LossResult result;
+  double total_loss = 0.0;
+  const float* p = probs.data();
+  const float* t = targets.data();
+  for (int b = 0; b < batch; ++b) {
+    const float* prob_row = p + static_cast<std::int64_t>(b) * classes;
+    const float* target_row = t + static_cast<std::int64_t>(b) * classes;
+    int target_argmax = 0;
+    for (int c = 0; c < classes; ++c) {
+      total_loss -=
+          target_row[c] * std::log(std::max(prob_row[c], 1e-12f));
+      if (target_row[c] > target_row[target_argmax]) target_argmax = c;
+    }
+    if (ops::ArgMaxRow(probs, b) == target_argmax) ++result.correct;
+  }
+  result.loss = static_cast<float>(total_loss / batch);
+
+  if (compute_grad) {
+    result.grad_logits = std::move(probs);
+    result.grad_logits.SubInPlace(targets);
+    result.grad_logits.Scale(1.0f / static_cast<float>(batch));
+  }
+  return result;
+}
+
+}  // namespace fedcross::nn

@@ -1,0 +1,38 @@
+#ifndef FEDCROSS_NN_LOSS_H_
+#define FEDCROSS_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedcross::nn {
+
+// Result of a loss evaluation on one mini-batch.
+struct LossResult {
+  float loss = 0.0f;       // mean loss over the batch
+  int correct = 0;         // argmax matches label
+  Tensor grad_logits;      // dLoss/dlogits (mean-reduced), same shape as logits
+};
+
+// Softmax cross-entropy over logits [batch, classes] with integer labels.
+// The returned gradient is (softmax - onehot) / batch, ready to feed into
+// Sequential::Backward.
+class CrossEntropyLoss {
+ public:
+  // `compute_grad=false` skips the gradient (evaluation-only passes).
+  LossResult Compute(const Tensor& logits, const std::vector<int>& labels,
+                     bool compute_grad = true) const;
+};
+
+// Cross-entropy against an arbitrary target distribution (soft labels);
+// used by knowledge-distillation baselines (FedGen). targets must be a
+// probability distribution per row.
+class SoftCrossEntropyLoss {
+ public:
+  LossResult Compute(const Tensor& logits, const Tensor& targets,
+                     bool compute_grad = true) const;
+};
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_LOSS_H_

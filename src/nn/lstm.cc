@@ -1,0 +1,199 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace fedcross::nn {
+namespace {
+
+float SigmoidScalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Lstm::Lstm(int input_dim, int hidden_dim, util::Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      weight_x_(XavierUniform({input_dim, 4 * hidden_dim}, input_dim,
+                              hidden_dim, rng)),
+      weight_h_(XavierUniform({hidden_dim, 4 * hidden_dim}, hidden_dim,
+                              hidden_dim, rng)),
+      bias_(Tensor::Zeros({4 * hidden_dim})) {
+  FC_CHECK_GT(input_dim, 0);
+  FC_CHECK_GT(hidden_dim, 0);
+  // Forget-gate bias = 1 so early training does not wipe cell state.
+  float* bias = bias_.value.data();
+  for (int j = hidden_dim_; j < 2 * hidden_dim_; ++j) bias[j] = 1.0f;
+}
+
+Tensor Lstm::Forward(const Tensor& input, bool train) {
+  (void)train;
+  FC_CHECK_EQ(input.ndim(), 3);
+  FC_CHECK_EQ(input.dim(2), input_dim_);
+  int batch = input.dim(0);
+  int time = input.dim(1);
+  int h4 = 4 * hidden_dim_;
+
+  cached_input_ = input;
+  gates_.assign(time, Tensor());
+  cells_.assign(time, Tensor());
+  hiddens_.assign(time + 1, Tensor());
+  hiddens_[0] = Tensor::Zeros({batch, hidden_dim_});
+
+  Tensor cell_prev = Tensor::Zeros({batch, hidden_dim_});
+  // x_t is strided inside [batch, time, input]; gather per timestep.
+  Tensor x_t({batch, input_dim_});
+  for (int t = 0; t < time; ++t) {
+    const float* in = input.data();
+    float* xt = x_t.data();
+    for (int b = 0; b < batch; ++b) {
+      const float* src =
+          in + (static_cast<std::int64_t>(b) * time + t) * input_dim_;
+      float* dst = xt + static_cast<std::int64_t>(b) * input_dim_;
+      for (int d = 0; d < input_dim_; ++d) dst[d] = src[d];
+    }
+
+    // Pre-activations z = x_t Wx + h_{t-1} Wh + b.
+    Tensor z({batch, h4});
+    ops::Gemm(false, false, batch, h4, input_dim_, 1.0f, x_t.data(),
+              input_dim_, weight_x_.value.data(), h4, 0.0f, z.data(), h4);
+    ops::Gemm(false, false, batch, h4, hidden_dim_, 1.0f,
+              hiddens_[t].data(), hidden_dim_, weight_h_.value.data(), h4,
+              1.0f, z.data(), h4);
+    const float* bias = bias_.value.data();
+    float* zd = z.data();
+    for (int b = 0; b < batch; ++b) {
+      float* row = zd + static_cast<std::int64_t>(b) * h4;
+      for (int j = 0; j < h4; ++j) row[j] += bias[j];
+    }
+
+    // Activations and state update.
+    Tensor cell({batch, hidden_dim_});
+    Tensor hidden({batch, hidden_dim_});
+    const float* c_prev = cell_prev.data();
+    float* c = cell.data();
+    float* h = hidden.data();
+    for (int b = 0; b < batch; ++b) {
+      float* row = zd + static_cast<std::int64_t>(b) * h4;
+      std::int64_t base = static_cast<std::int64_t>(b) * hidden_dim_;
+      for (int j = 0; j < hidden_dim_; ++j) {
+        float i_gate = SigmoidScalar(row[j]);
+        float f_gate = SigmoidScalar(row[hidden_dim_ + j]);
+        float g_gate = std::tanh(row[2 * hidden_dim_ + j]);
+        float o_gate = SigmoidScalar(row[3 * hidden_dim_ + j]);
+        row[j] = i_gate;
+        row[hidden_dim_ + j] = f_gate;
+        row[2 * hidden_dim_ + j] = g_gate;
+        row[3 * hidden_dim_ + j] = o_gate;
+        float c_new = f_gate * c_prev[base + j] + i_gate * g_gate;
+        c[base + j] = c_new;
+        h[base + j] = o_gate * std::tanh(c_new);
+      }
+    }
+    gates_[t] = std::move(z);
+    cells_[t] = cell;
+    hiddens_[t + 1] = hidden;
+    cell_prev = std::move(cell);
+  }
+  return hiddens_[time];
+}
+
+Tensor Lstm::Backward(const Tensor& grad_output) {
+  int batch = cached_input_.dim(0);
+  int time = cached_input_.dim(1);
+  int h4 = 4 * hidden_dim_;
+  FC_CHECK_EQ(grad_output.ndim(), 2);
+  FC_CHECK_EQ(grad_output.dim(0), batch);
+  FC_CHECK_EQ(grad_output.dim(1), hidden_dim_);
+
+  Tensor grad_input({batch, time, input_dim_});
+  Tensor dh = grad_output;                       // dL/dh_t
+  Tensor dc = Tensor::Zeros({batch, hidden_dim_});  // dL/dc_t
+  Tensor dz({batch, h4});
+  Tensor x_t({batch, input_dim_});
+  Tensor dx_t({batch, input_dim_});
+
+  for (int t = time - 1; t >= 0; --t) {
+    const float* gates = gates_[t].data();
+    const float* cell = cells_[t].data();
+    const float* cell_prev_data =
+        t > 0 ? cells_[t - 1].data() : nullptr;  // c_{-1} = 0
+    float* dzd = dz.data();
+    float* dcd = dc.data();
+    const float* dhd = dh.data();
+
+    for (int b = 0; b < batch; ++b) {
+      std::int64_t base = static_cast<std::int64_t>(b) * hidden_dim_;
+      const float* grow = gates + static_cast<std::int64_t>(b) * h4;
+      float* dzrow = dzd + static_cast<std::int64_t>(b) * h4;
+      for (int j = 0; j < hidden_dim_; ++j) {
+        float i_gate = grow[j];
+        float f_gate = grow[hidden_dim_ + j];
+        float g_gate = grow[2 * hidden_dim_ + j];
+        float o_gate = grow[3 * hidden_dim_ + j];
+        float tanh_c = std::tanh(cell[base + j]);
+        float dh_val = dhd[base + j];
+
+        float dc_val = dcd[base + j] + dh_val * o_gate * (1.0f - tanh_c * tanh_c);
+        float c_prev = cell_prev_data ? cell_prev_data[base + j] : 0.0f;
+
+        // Pre-activation gate gradients.
+        dzrow[j] = dc_val * g_gate * i_gate * (1.0f - i_gate);
+        dzrow[hidden_dim_ + j] = dc_val * c_prev * f_gate * (1.0f - f_gate);
+        dzrow[2 * hidden_dim_ + j] = dc_val * i_gate * (1.0f - g_gate * g_gate);
+        dzrow[3 * hidden_dim_ + j] =
+            dh_val * tanh_c * o_gate * (1.0f - o_gate);
+
+        dcd[base + j] = dc_val * f_gate;  // becomes dc_{t-1}
+      }
+    }
+
+    // Gather x_t for the weight gradient.
+    const float* in = cached_input_.data();
+    float* xt = x_t.data();
+    for (int b = 0; b < batch; ++b) {
+      const float* src =
+          in + (static_cast<std::int64_t>(b) * time + t) * input_dim_;
+      float* dst = xt + static_cast<std::int64_t>(b) * input_dim_;
+      for (int d = 0; d < input_dim_; ++d) dst[d] = src[d];
+    }
+
+    // dWx += x_t^T dz ; dWh += h_{t-1}^T dz ; db += colsum dz.
+    ops::Gemm(true, false, input_dim_, h4, batch, 1.0f, x_t.data(), input_dim_,
+              dz.data(), h4, 1.0f, weight_x_.grad.data(), h4);
+    ops::Gemm(true, false, hidden_dim_, h4, batch, 1.0f, hiddens_[t].data(),
+              hidden_dim_, dz.data(), h4, 1.0f, weight_h_.grad.data(), h4);
+    float* bias_grad = bias_.grad.data();
+    for (int b = 0; b < batch; ++b) {
+      const float* row = dz.data() + static_cast<std::int64_t>(b) * h4;
+      for (int j = 0; j < h4; ++j) bias_grad[j] += row[j];
+    }
+
+    // dx_t = dz Wx^T ; dh_{t-1} = dz Wh^T.
+    ops::Gemm(false, true, batch, input_dim_, h4, 1.0f, dz.data(), h4,
+              weight_x_.value.data(), h4, 0.0f, dx_t.data(), input_dim_);
+    Tensor dh_prev({batch, hidden_dim_});
+    ops::Gemm(false, true, batch, hidden_dim_, h4, 1.0f, dz.data(), h4,
+              weight_h_.value.data(), h4, 0.0f, dh_prev.data(), hidden_dim_);
+    dh = std::move(dh_prev);
+
+    // Scatter dx_t back into [batch, time, input].
+    float* gin = grad_input.data();
+    const float* dxt = dx_t.data();
+    for (int b = 0; b < batch; ++b) {
+      float* dst = gin + (static_cast<std::int64_t>(b) * time + t) * input_dim_;
+      const float* src = dxt + static_cast<std::int64_t>(b) * input_dim_;
+      for (int d = 0; d < input_dim_; ++d) dst[d] = src[d];
+    }
+  }
+  return grad_input;
+}
+
+void Lstm::CollectParams(std::vector<Param*>& out) {
+  out.push_back(&weight_x_);
+  out.push_back(&weight_h_);
+  out.push_back(&bias_);
+}
+
+}  // namespace fedcross::nn

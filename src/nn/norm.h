@@ -1,0 +1,70 @@
+#ifndef FEDCROSS_NN_NORM_H_
+#define FEDCROSS_NN_NORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedcross::nn {
+
+// Group normalisation (Wu & He, 2018) over [batch, channels, H, W].
+// Channels are split into `groups`; each (sample, group) slice is
+// normalised to zero mean / unit variance, then scaled and shifted by the
+// learned per-channel gamma/beta.
+//
+// GroupNorm is chosen over BatchNorm for the ResNet/VGG substrates because
+// it has no batch-statistics state, which keeps FL model aggregation a pure
+// parameter-vector operation (no running-stat averaging subtleties).
+class GroupNorm : public Layer {
+ public:
+  GroupNorm(int channels, int groups, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParams(std::vector<Param*>& out) override;
+  std::string Name() const override { return "GroupNorm"; }
+
+ private:
+  int channels_;
+  int groups_;
+  float eps_;
+  Param gamma_;
+  Param beta_;
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;  // per (batch, group)
+};
+
+// Batch normalisation over [batch, channels, H, W] with per-channel
+// statistics. Training normalises by the mini-batch mean/variance and
+// updates exponential running statistics; evaluation uses the running
+// statistics. The running stats are registered as non-trainable Params so
+// they ride along in the flat parameter vector: FL aggregation averages
+// them across clients (the standard, known-imperfect treatment — the
+// GroupNorm models avoid the issue entirely; BatchNorm is provided for
+// ablations).
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(int channels, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParams(std::vector<Param*>& out) override;
+  std::string Name() const override { return "BatchNorm2d"; }
+
+ private:
+  int channels_;
+  float momentum_;
+  float eps_;
+  Param gamma_;
+  Param beta_;
+  Param running_mean_;  // non-trainable
+  Param running_var_;   // non-trainable
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;  // per channel (training forward only)
+  bool last_was_train_ = false;
+};
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_NORM_H_

@@ -1,0 +1,123 @@
+#include "nn/pooling.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace fedcross::nn {
+
+MaxPool2d::MaxPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) {
+  FC_CHECK_GT(kernel, 0);
+  FC_CHECK_GT(stride, 0);
+}
+
+Tensor MaxPool2d::Forward(const Tensor& input, bool train) {
+  (void)train;
+  FC_CHECK_EQ(input.ndim(), 4);
+  int batch = input.dim(0);
+  int channels = input.dim(1);
+  int height = input.dim(2);
+  int width = input.dim(3);
+  int out_h = ops::ConvOutSize(height, kernel_, stride_, /*pad=*/0);
+  int out_w = ops::ConvOutSize(width, kernel_, stride_, /*pad=*/0);
+
+  cached_input_shape_ = input.shape();
+  Tensor output({batch, channels, out_h, out_w});
+  argmax_.assign(output.numel(), 0);
+
+  const float* in = input.data();
+  float* out = output.data();
+  std::int64_t out_index = 0;
+  for (int b = 0; b < batch; ++b) {
+    for (int c = 0; c < channels; ++c) {
+      const float* plane =
+          in + (static_cast<std::int64_t>(b) * channels + c) * height * width;
+      std::int64_t plane_offset =
+          (static_cast<std::int64_t>(b) * channels + c) * height * width;
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          int h0 = oh * stride_;
+          int w0 = ow * stride_;
+          float best = plane[h0 * width + w0];
+          int best_h = h0;
+          int best_w = w0;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            int ih = h0 + kh;
+            if (ih >= height) break;
+            for (int kw = 0; kw < kernel_; ++kw) {
+              int iw = w0 + kw;
+              if (iw >= width) break;
+              float value = plane[ih * width + iw];
+              if (value > best) {
+                best = value;
+                best_h = ih;
+                best_w = iw;
+              }
+            }
+          }
+          out[out_index] = best;
+          argmax_[out_index] = plane_offset + best_h * width + best_w;
+          ++out_index;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_output) {
+  FC_CHECK_EQ(grad_output.numel(), static_cast<std::int64_t>(argmax_.size()));
+  Tensor grad_input(cached_input_shape_);
+  float* grad_in = grad_input.data();
+  const float* grad_out = grad_output.data();
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_in[argmax_[i]] += grad_out[i];
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::Forward(const Tensor& input, bool train) {
+  (void)train;
+  FC_CHECK_EQ(input.ndim(), 4);
+  int batch = input.dim(0);
+  int channels = input.dim(1);
+  int area = input.dim(2) * input.dim(3);
+  cached_input_shape_ = input.shape();
+
+  Tensor output({batch, channels});
+  const float* in = input.data();
+  float* out = output.data();
+  for (int b = 0; b < batch; ++b) {
+    for (int c = 0; c < channels; ++c) {
+      const float* plane = in + (static_cast<std::int64_t>(b) * channels + c) * area;
+      double acc = 0.0;
+      for (int i = 0; i < area; ++i) acc += plane[i];
+      out[static_cast<std::int64_t>(b) * channels + c] =
+          static_cast<float>(acc / area);
+    }
+  }
+  return output;
+}
+
+Tensor GlobalAvgPool::Backward(const Tensor& grad_output) {
+  FC_CHECK_EQ(grad_output.ndim(), 2);
+  int batch = cached_input_shape_[0];
+  int channels = cached_input_shape_[1];
+  int area = cached_input_shape_[2] * cached_input_shape_[3];
+  FC_CHECK_EQ(grad_output.dim(0), batch);
+  FC_CHECK_EQ(grad_output.dim(1), channels);
+
+  Tensor grad_input(cached_input_shape_);
+  float* grad_in = grad_input.data();
+  const float* grad_out = grad_output.data();
+  float inv_area = 1.0f / static_cast<float>(area);
+  for (int b = 0; b < batch; ++b) {
+    for (int c = 0; c < channels; ++c) {
+      float g = grad_out[static_cast<std::int64_t>(b) * channels + c] * inv_area;
+      float* plane =
+          grad_in + (static_cast<std::int64_t>(b) * channels + c) * area;
+      for (int i = 0; i < area; ++i) plane[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace fedcross::nn

@@ -1,0 +1,70 @@
+#include "nn/residual.h"
+
+namespace fedcross::nn {
+
+ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride,
+                             int gn_groups, util::Rng& rng)
+    : has_projection_(stride != 1 || in_channels != out_channels),
+      conv1_(in_channels, out_channels, /*kernel=*/3, stride, /*pad=*/1, rng),
+      norm1_(out_channels, gn_groups),
+      conv2_(out_channels, out_channels, /*kernel=*/3, /*stride=*/1,
+             /*pad=*/1, rng),
+      norm2_(out_channels, gn_groups) {
+  if (has_projection_) {
+    proj_conv_ = std::make_unique<Conv2d>(in_channels, out_channels,
+                                          /*kernel=*/1, stride, /*pad=*/0, rng);
+    proj_norm_ = std::make_unique<GroupNorm>(out_channels, gn_groups);
+  }
+}
+
+Tensor ResidualBlock::Forward(const Tensor& input, bool train) {
+  Tensor main = conv1_.Forward(input, train);
+  main = norm1_.Forward(main, train);
+  main = relu1_.Forward(main, train);
+  main = conv2_.Forward(main, train);
+  main = norm2_.Forward(main, train);
+
+  Tensor skip;
+  if (has_projection_) {
+    skip = proj_conv_->Forward(input, train);
+    skip = proj_norm_->Forward(skip, train);
+  } else {
+    skip = input;
+  }
+  main.AddInPlace(skip);
+  return relu_out_.Forward(main, train);
+}
+
+Tensor ResidualBlock::Backward(const Tensor& grad_output) {
+  Tensor grad_sum = relu_out_.Backward(grad_output);
+
+  // Main path.
+  Tensor grad_main = norm2_.Backward(grad_sum);
+  grad_main = conv2_.Backward(grad_main);
+  grad_main = relu1_.Backward(grad_main);
+  grad_main = norm1_.Backward(grad_main);
+  grad_main = conv1_.Backward(grad_main);
+
+  // Skip path.
+  if (has_projection_) {
+    Tensor grad_skip = proj_norm_->Backward(grad_sum);
+    grad_skip = proj_conv_->Backward(grad_skip);
+    grad_main.AddInPlace(grad_skip);
+  } else {
+    grad_main.AddInPlace(grad_sum);
+  }
+  return grad_main;
+}
+
+void ResidualBlock::CollectParams(std::vector<Param*>& out) {
+  conv1_.CollectParams(out);
+  norm1_.CollectParams(out);
+  conv2_.CollectParams(out);
+  norm2_.CollectParams(out);
+  if (has_projection_) {
+    proj_conv_->CollectParams(out);
+    proj_norm_->CollectParams(out);
+  }
+}
+
+}  // namespace fedcross::nn

@@ -1,0 +1,42 @@
+#ifndef FEDCROSS_NN_RESIDUAL_H_
+#define FEDCROSS_NN_RESIDUAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/norm.h"
+
+namespace fedcross::nn {
+
+// Basic ResNet block (He et al., 2016):
+//   main: conv3x3(stride) -> GN -> ReLU -> conv3x3(1) -> GN
+//   skip: identity, or conv1x1(stride) -> GN when channels/stride change
+//   out:  ReLU(main + skip)
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(int in_channels, int out_channels, int stride, int gn_groups,
+                util::Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParams(std::vector<Param*>& out) override;
+  std::string Name() const override { return "ResidualBlock"; }
+
+ private:
+  bool has_projection_;
+  Conv2d conv1_;
+  GroupNorm norm1_;
+  Relu relu1_;
+  Conv2d conv2_;
+  GroupNorm norm2_;
+  std::unique_ptr<Conv2d> proj_conv_;
+  std::unique_ptr<GroupNorm> proj_norm_;
+  Relu relu_out_;
+};
+
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_RESIDUAL_H_

@@ -1,0 +1,41 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace fedcross::optim {
+
+Adam::Adam(std::vector<nn::Param*> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (nn::Param* param : params_) {
+    first_moment_.push_back(Tensor::Zeros(param->value.shape()));
+    second_moment_.push_back(Tensor::Zeros(param->value.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  float correction1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  float correction2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Param* param = params_[i];
+    if (!param->trainable) continue;
+    float* value = param->value.data();
+    const float* grad = param->grad.data();
+    float* m = first_moment_[i].data();
+    float* v = second_moment_[i].data();
+    for (std::int64_t j = 0; j < param->value.numel(); ++j) {
+      float g = grad[j] + options_.weight_decay * value[j];
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
+      float m_hat = m[j] / correction1;
+      float v_hat = v[j] / correction2;
+      value[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+}  // namespace fedcross::optim

@@ -1,0 +1,42 @@
+#ifndef FEDCROSS_OPTIM_ADAM_H_
+#define FEDCROSS_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedcross::optim {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+// Adam (Kingma & Ba, 2015) with bias correction. Provided as an
+// alternative client optimiser; the paper's experiments use SGD+momentum,
+// but Adam is useful for the synthetic text workloads and for ablations.
+class Adam {
+ public:
+  Adam(std::vector<nn::Param*> params, AdamOptions options);
+
+  // Applies one update using the gradients currently stored in the params.
+  void Step();
+
+  float lr() const { return options_.lr; }
+  void set_lr(float lr) { options_.lr = lr; }
+  std::int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<nn::Param*> params_;
+  AdamOptions options_;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+  std::int64_t step_ = 0;
+};
+
+}  // namespace fedcross::optim
+
+#endif  // FEDCROSS_OPTIM_ADAM_H_

@@ -1,0 +1,24 @@
+#include "optim/schedule.h"
+
+#include "util/check.h"
+
+namespace fedcross::optim {
+
+ConstantLr::ConstantLr(float lr0) : lr0_(lr0) { FC_CHECK_GT(lr0, 0.0f); }
+
+float ConstantLr::LrAt(std::int64_t step) const {
+  (void)step;
+  return lr0_;
+}
+
+InverseTimeLr::InverseTimeLr(float c, float lambda) : c_(c), lambda_(lambda) {
+  FC_CHECK_GT(c, 0.0f);
+  FC_CHECK_GE(lambda, 0.0f);
+}
+
+float InverseTimeLr::LrAt(std::int64_t step) const {
+  FC_CHECK_GE(step, 0);
+  return c_ / (static_cast<float>(step) + lambda_ + 1.0f);
+}
+
+}  // namespace fedcross::optim

@@ -1,0 +1,40 @@
+#ifndef FEDCROSS_OPTIM_SCHEDULE_H_
+#define FEDCROSS_OPTIM_SCHEDULE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace fedcross::optim {
+
+// Learning-rate schedule over global SGD iterations.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float LrAt(std::int64_t step) const = 0;
+};
+
+// lr(t) = lr0.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr0);
+  float LrAt(std::int64_t step) const override;
+
+ private:
+  float lr0_;
+};
+
+// lr(t) = c / (t + lambda) — the Theorem-1 schedule (eta_t = 2/(mu(t+lambda))
+// corresponds to c = 2/mu). Used by the convergence-theory experiments.
+class InverseTimeLr : public LrSchedule {
+ public:
+  InverseTimeLr(float c, float lambda);
+  float LrAt(std::int64_t step) const override;
+
+ private:
+  float c_;
+  float lambda_;
+};
+
+}  // namespace fedcross::optim
+
+#endif  // FEDCROSS_OPTIM_SCHEDULE_H_

@@ -1,0 +1,38 @@
+#ifndef FEDCROSS_OPTIM_SGD_H_
+#define FEDCROSS_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedcross::optim {
+
+struct SgdOptions {
+  float lr = 0.01f;
+  float momentum = 0.0f;       // classical momentum buffer
+  float weight_decay = 0.0f;   // L2 coefficient added to the gradient
+  float grad_clip_norm = 0.0f; // global-norm clipping; 0 disables
+};
+
+// Stochastic gradient descent with momentum, matching the paper's client
+// optimiser (lr=0.01, momentum=0.5 in the experiments). Operates on the
+// Param pointers of one model; callers zero gradients between steps.
+class Sgd {
+ public:
+  Sgd(std::vector<nn::Param*> params, SgdOptions options);
+
+  // Applies one update using the gradients currently stored in the params.
+  void Step();
+
+  float lr() const { return options_.lr; }
+  void set_lr(float lr) { options_.lr = lr; }
+
+ private:
+  std::vector<nn::Param*> params_;
+  SgdOptions options_;
+  std::vector<Tensor> velocity_;  // lazily sized to match params
+};
+
+}  // namespace fedcross::optim
+
+#endif  // FEDCROSS_OPTIM_SGD_H_

@@ -1,0 +1,229 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+
+namespace fedcross {
+namespace {
+
+std::int64_t ShapeNumel(const Tensor::Shape& shape) {
+  std::int64_t numel = 1;
+  for (int dim : shape) {
+    FC_CHECK_GT(dim, 0) << "tensor dims must be positive";
+    numel *= dim;
+  }
+  return shape.empty() ? 0 : numel;
+}
+
+}  // namespace
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(ShapeNumel(shape_), 0.0f);
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  Tensor t;
+  FC_CHECK_EQ(ShapeNumel(shape), static_cast<std::int64_t>(values.size()));
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(Shape shape, util::Rng& rng, float mean,
+                            float stddev) {
+  Tensor t(std::move(shape));
+  for (float& value : t.data_) {
+    value = static_cast<float>(rng.Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& value : t.data_) {
+    value = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+int Tensor::dim(int axis) const {
+  FC_CHECK_GE(axis, 0);
+  FC_CHECK_LT(axis, ndim());
+  return shape_[axis];
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < ndim(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor& Tensor::Reshape(Shape shape) {
+  FC_CHECK_EQ(ShapeNumel(shape), numel())
+      << "reshape " << ShapeString() << " incompatible";
+  shape_ = std::move(shape);
+  return *this;
+}
+
+float& Tensor::at(std::int64_t flat_index) {
+  FC_CHECK_GE(flat_index, 0);
+  FC_CHECK_LT(flat_index, numel());
+  return data_[flat_index];
+}
+
+float Tensor::at(std::int64_t flat_index) const {
+  FC_CHECK_GE(flat_index, 0);
+  FC_CHECK_LT(flat_index, numel());
+  return data_[flat_index];
+}
+
+float& Tensor::at(int row, int col) {
+  FC_CHECK_EQ(ndim(), 2);
+  FC_CHECK_GE(row, 0);
+  FC_CHECK_LT(row, shape_[0]);
+  FC_CHECK_GE(col, 0);
+  FC_CHECK_LT(col, shape_[1]);
+  return data_[static_cast<std::int64_t>(row) * shape_[1] + col];
+}
+
+float Tensor::at(int row, int col) const {
+  return const_cast<Tensor*>(this)->at(row, col);
+}
+
+Tensor& Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+  return *this;
+}
+
+Tensor& Tensor::AddInPlace(const Tensor& other) {
+  FC_CHECK(SameShape(other)) << ShapeString() << " vs " << other.ShapeString();
+  const float* src = other.data();
+  float* dst = data();
+  for (std::int64_t i = 0; i < numel(); ++i) dst[i] += src[i];
+  return *this;
+}
+
+Tensor& Tensor::SubInPlace(const Tensor& other) {
+  FC_CHECK(SameShape(other)) << ShapeString() << " vs " << other.ShapeString();
+  const float* src = other.data();
+  float* dst = data();
+  for (std::int64_t i = 0; i < numel(); ++i) dst[i] -= src[i];
+  return *this;
+}
+
+Tensor& Tensor::MulInPlace(const Tensor& other) {
+  FC_CHECK(SameShape(other)) << ShapeString() << " vs " << other.ShapeString();
+  const float* src = other.data();
+  float* dst = data();
+  for (std::int64_t i = 0; i < numel(); ++i) dst[i] *= src[i];
+  return *this;
+}
+
+Tensor& Tensor::Scale(float factor) {
+  for (float& value : data_) value *= factor;
+  return *this;
+}
+
+Tensor& Tensor::Axpy(float alpha, const Tensor& other) {
+  FC_CHECK(SameShape(other)) << ShapeString() << " vs " << other.ShapeString();
+  const float* src = other.data();
+  float* dst = data();
+  for (std::int64_t i = 0; i < numel(); ++i) dst[i] += alpha * src[i];
+  return *this;
+}
+
+float Tensor::Sum() const {
+  double total = 0.0;
+  for (float value : data_) total += value;
+  return static_cast<float>(total);
+}
+
+float Tensor::Mean() const {
+  FC_CHECK_GT(numel(), 0);
+  return Sum() / static_cast<float>(numel());
+}
+
+float Tensor::Max() const {
+  FC_CHECK_GT(numel(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::SquaredL2Norm() const {
+  double total = 0.0;
+  for (float value : data_) total += static_cast<double>(value) * value;
+  return static_cast<float>(total);
+}
+
+float Tensor::L2Norm() const { return std::sqrt(SquaredL2Norm()); }
+
+void Tensor::SerializeTo(std::vector<std::uint8_t>& out) const {
+  auto append = [&out](const void* src, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(src);
+    out.insert(out.end(), bytes, bytes + size);
+  };
+  std::int32_t ndims = ndim();
+  append(&ndims, sizeof(ndims));
+  for (int dim : shape_) {
+    std::int32_t d = dim;
+    append(&d, sizeof(d));
+  }
+  append(data_.data(), data_.size() * sizeof(float));
+}
+
+bool Tensor::DeserializeFrom(const std::vector<std::uint8_t>& in,
+                             std::size_t& offset, Tensor& result) {
+  auto read = [&](void* dst, std::size_t size) {
+    if (offset + size > in.size()) return false;
+    std::memcpy(dst, in.data() + offset, size);
+    offset += size;
+    return true;
+  };
+  std::int32_t ndims = 0;
+  if (!read(&ndims, sizeof(ndims)) || ndims < 0 || ndims > 8) return false;
+  Shape shape(ndims);
+  std::int64_t numel = ndims == 0 ? 0 : 1;
+  for (std::int32_t i = 0; i < ndims; ++i) {
+    std::int32_t d = 0;
+    if (!read(&d, sizeof(d)) || d <= 0) return false;
+    shape[i] = d;
+    numel *= d;
+  }
+  std::vector<float> values(numel);
+  if (!read(values.data(), numel * sizeof(float))) return false;
+  result = Tensor::FromVector(std::move(shape), std::move(values));
+  return true;
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor result = a;
+  result.AddInPlace(b);
+  return result;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor result = a;
+  result.SubInPlace(b);
+  return result;
+}
+
+Tensor operator*(float scalar, const Tensor& t) {
+  Tensor result = t;
+  result.Scale(scalar);
+  return result;
+}
+
+}  // namespace fedcross

@@ -1,0 +1,104 @@
+#ifndef FEDCROSS_TENSOR_TENSOR_H_
+#define FEDCROSS_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fedcross {
+
+// Dense float32 tensor with row-major contiguous storage. This is the
+// numeric workhorse of the DL substrate: activations, weights, and
+// gradients are all Tensors.
+//
+// Design notes:
+//  - Always contiguous; views are not supported. Reshape is metadata-only.
+//  - Copyable (deep copy) and movable. FL aggregation relies on cheap moves.
+//  - Indexing helpers are bounds-checked via FC_CHECK in all builds; the
+//    hot loops in tensor_ops.cc and the layers use raw data() pointers.
+class Tensor {
+ public:
+  using Shape = std::vector<int>;
+
+  // Empty 0-d tensor (numel() == 0). Assign before use.
+  Tensor() = default;
+
+  // Zero-initialised tensor of the given shape. All dims must be positive.
+  explicit Tensor(Shape shape);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  // ---- Factories ----------------------------------------------------------
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  // Takes ownership of `values`; its size must equal the shape's numel.
+  static Tensor FromVector(Shape shape, std::vector<float> values);
+  // I.i.d. N(mean, stddev^2) entries.
+  static Tensor RandomNormal(Shape shape, util::Rng& rng, float mean = 0.0f,
+                             float stddev = 1.0f);
+  // I.i.d. U[lo, hi) entries.
+  static Tensor RandomUniform(Shape shape, util::Rng& rng, float lo,
+                              float hi);
+
+  // ---- Metadata -----------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int axis) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string ShapeString() const;
+
+  // Metadata-only reshape; the new shape must preserve numel.
+  Tensor& Reshape(Shape shape);
+
+  // ---- Element access -----------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(std::int64_t flat_index);
+  float at(std::int64_t flat_index) const;
+  // 2-d convenience accessors (rows x cols).
+  float& at(int row, int col);
+  float at(int row, int col) const;
+
+  // ---- Whole-tensor operations (in-place, return *this) -------------------
+  Tensor& Fill(float value);
+  Tensor& AddInPlace(const Tensor& other);           // this += other
+  Tensor& SubInPlace(const Tensor& other);           // this -= other
+  Tensor& MulInPlace(const Tensor& other);           // elementwise
+  Tensor& Scale(float factor);                       // this *= factor
+  Tensor& Axpy(float alpha, const Tensor& other);    // this += alpha * other
+
+  // ---- Reductions ---------------------------------------------------------
+  float Sum() const;
+  float Mean() const;
+  float Max() const;
+  float SquaredL2Norm() const;
+  float L2Norm() const;
+
+  // ---- Serialization ------------------------------------------------------
+  // Appends shape (ndim, dims) and raw float data to `out`.
+  void SerializeTo(std::vector<std::uint8_t>& out) const;
+  // Reads a tensor back; advances `offset`. Returns false on malformed input.
+  static bool DeserializeFrom(const std::vector<std::uint8_t>& in,
+                              std::size_t& offset, Tensor& result);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Elementwise out-of-place helpers.
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(float scalar, const Tensor& t);
+
+}  // namespace fedcross
+
+#endif  // FEDCROSS_TENSOR_TENSOR_H_

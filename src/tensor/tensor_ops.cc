@@ -1,0 +1,184 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+namespace fedcross::ops {
+
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta,
+          float* c, int ldc) {
+  FC_CHECK_GE(m, 0);
+  FC_CHECK_GE(n, 0);
+  FC_CHECK_GE(k, 0);
+  for (int i = 0; i < m; ++i) {
+    float* c_row = c + static_cast<std::int64_t>(i) * ldc;
+    if (beta == 0.0f) {
+      for (int j = 0; j < n; ++j) c_row[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (int j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+  }
+  if (!trans_b) {
+    // Inner loop walks contiguous rows of B: cache-friendly i-p-j order.
+    for (int i = 0; i < m; ++i) {
+      float* c_row = c + static_cast<std::int64_t>(i) * ldc;
+      for (int p = 0; p < k; ++p) {
+        float a_ip = trans_a ? a[static_cast<std::int64_t>(p) * lda + i]
+                             : a[static_cast<std::int64_t>(i) * lda + p];
+        if (a_ip == 0.0f) continue;
+        float scaled = alpha * a_ip;
+        const float* b_row = b + static_cast<std::int64_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) c_row[j] += scaled * b_row[j];
+      }
+    }
+  } else {
+    // B is transposed: dot products over contiguous rows of B.
+    for (int i = 0; i < m; ++i) {
+      float* c_row = c + static_cast<std::int64_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* b_row = b + static_cast<std::int64_t>(j) * ldb;
+        double acc = 0.0;
+        if (!trans_a) {
+          const float* a_row = a + static_cast<std::int64_t>(i) * lda;
+          for (int p = 0; p < k; ++p) acc += static_cast<double>(a_row[p]) * b_row[p];
+        } else {
+          for (int p = 0; p < k; ++p) {
+            acc += static_cast<double>(a[static_cast<std::int64_t>(p) * lda + i]) *
+                   b_row[p];
+          }
+        }
+        c_row[j] += alpha * static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  FC_CHECK_EQ(a.ndim(), 2);
+  FC_CHECK_EQ(b.ndim(), 2);
+  FC_CHECK_EQ(a.dim(1), b.dim(0));
+  int m = a.dim(0);
+  int k = a.dim(1);
+  int n = b.dim(1);
+  Tensor c({m, n});
+  Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(),
+       n);
+  return c;
+}
+
+int ConvOutSize(int in_size, int kernel, int stride, int pad) {
+  FC_CHECK_GT(stride, 0);
+  int out = (in_size + 2 * pad - kernel) / stride + 1;
+  FC_CHECK_GT(out, 0) << "conv output collapsed: in=" << in_size
+                      << " kernel=" << kernel << " stride=" << stride
+                      << " pad=" << pad;
+  return out;
+}
+
+void Im2Col(const float* image, int channels, int height, int width,
+            int kernel_h, int kernel_w, int stride, int pad, float* columns) {
+  int out_h = ConvOutSize(height, kernel_h, stride, pad);
+  int out_w = ConvOutSize(width, kernel_w, stride, pad);
+  int out_area = out_h * out_w;
+  // Row r = (c, kh, kw) of the patch; column = output pixel.
+  for (int c = 0; c < channels; ++c) {
+    const float* channel = image + static_cast<std::int64_t>(c) * height * width;
+    for (int kh = 0; kh < kernel_h; ++kh) {
+      for (int kw = 0; kw < kernel_w; ++kw) {
+        float* out_row =
+            columns + (static_cast<std::int64_t>(c) * kernel_h * kernel_w +
+                       kh * kernel_w + kw) *
+                          out_area;
+        for (int oh = 0; oh < out_h; ++oh) {
+          int ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) {
+            for (int ow = 0; ow < out_w; ++ow) out_row[oh * out_w + ow] = 0.0f;
+            continue;
+          }
+          const float* in_row = channel + static_cast<std::int64_t>(ih) * width;
+          for (int ow = 0; ow < out_w; ++ow) {
+            int iw = ow * stride - pad + kw;
+            out_row[oh * out_w + ow] =
+                (iw >= 0 && iw < width) ? in_row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* columns, int channels, int height, int width,
+            int kernel_h, int kernel_w, int stride, int pad, float* image) {
+  int out_h = ConvOutSize(height, kernel_h, stride, pad);
+  int out_w = ConvOutSize(width, kernel_w, stride, pad);
+  int out_area = out_h * out_w;
+  for (int c = 0; c < channels; ++c) {
+    float* channel = image + static_cast<std::int64_t>(c) * height * width;
+    for (int kh = 0; kh < kernel_h; ++kh) {
+      for (int kw = 0; kw < kernel_w; ++kw) {
+        const float* in_row =
+            columns + (static_cast<std::int64_t>(c) * kernel_h * kernel_w +
+                       kh * kernel_w + kw) *
+                          out_area;
+        for (int oh = 0; oh < out_h; ++oh) {
+          int ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) continue;
+          float* out_row = channel + static_cast<std::int64_t>(ih) * width;
+          for (int ow = 0; ow < out_w; ++ow) {
+            int iw = ow * stride - pad + kw;
+            if (iw >= 0 && iw < width) out_row[iw] += in_row[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+void SoftmaxRows(Tensor& logits) {
+  FC_CHECK_EQ(logits.ndim(), 2);
+  int rows = logits.dim(0);
+  int cols = logits.dim(1);
+  float* data = logits.data();
+  for (int r = 0; r < rows; ++r) {
+    float* row = data + static_cast<std::int64_t>(r) * cols;
+    float max_value = row[0];
+    for (int c = 1; c < cols; ++c) max_value = std::max(max_value, row[c]);
+    double total = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - max_value);
+      total += row[c];
+    }
+    float inv = static_cast<float>(1.0 / total);
+    for (int c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+int ArgMaxRow(const Tensor& t, int row) {
+  FC_CHECK_EQ(t.ndim(), 2);
+  FC_CHECK_GE(row, 0);
+  FC_CHECK_LT(row, t.dim(0));
+  int cols = t.dim(1);
+  const float* data = t.data() + static_cast<std::int64_t>(row) * cols;
+  int best = 0;
+  for (int c = 1; c < cols; ++c) {
+    if (data[c] > data[best]) best = c;
+  }
+  return best;
+}
+
+double CosineSimilarity(const std::vector<float>& x,
+                        const std::vector<float>& y) {
+  FC_CHECK_EQ(x.size(), y.size());
+  double dot = 0.0;
+  double norm_x = 0.0;
+  double norm_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    dot += static_cast<double>(x[i]) * y[i];
+    norm_x += static_cast<double>(x[i]) * x[i];
+    norm_y += static_cast<double>(y[i]) * y[i];
+  }
+  if (norm_x <= 0.0 || norm_y <= 0.0) return 0.0;
+  return dot / (std::sqrt(norm_x) * std::sqrt(norm_y));
+}
+
+}  // namespace fedcross::ops

@@ -1,0 +1,48 @@
+#ifndef FEDCROSS_TENSOR_TENSOR_OPS_H_
+#define FEDCROSS_TENSOR_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace fedcross::ops {
+
+// General matrix multiply on raw row-major buffers:
+//   C(m,n) = alpha * op(A)(m,k) * op(B)(k,n) + beta * C(m,n)
+// where op(X) is X or X^T as selected by trans_a / trans_b. Leading
+// dimensions are those of the *stored* (untransposed) matrices.
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta,
+          float* c, int ldc);
+
+// 2-d tensor product: result(m,n) = a(m,k) * b(k,n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// Unrolls conv patches of a single image (channels x height x width) into a
+// column matrix of shape (channels*kh*kw) x (out_h*out_w), zero-padding the
+// borders. out_h/out_w follow the usual conv arithmetic.
+void Im2Col(const float* image, int channels, int height, int width,
+            int kernel_h, int kernel_w, int stride, int pad, float* columns);
+
+// Adjoint of Im2Col: accumulates columns back into the (pre-zeroed) image
+// gradient buffer.
+void Col2Im(const float* columns, int channels, int height, int width,
+            int kernel_h, int kernel_w, int stride, int pad, float* image);
+
+// Output spatial size for a conv/pool dimension.
+int ConvOutSize(int in_size, int kernel, int stride, int pad);
+
+// Numerically-stable in-place softmax over the last dimension of a 2-d
+// tensor (each row becomes a probability distribution).
+void SoftmaxRows(Tensor& logits);
+
+// Index of the maximum element in `row` of a 2-d tensor.
+int ArgMaxRow(const Tensor& t, int row);
+
+// Cosine similarity between two equally-sized flat vectors; 0 if either has
+// zero norm. This is the Similarity(.) measure of the paper (Section
+// III-B1) used by the highest/lowest-similarity CoModelSel strategies.
+double CosineSimilarity(const std::vector<float>& x,
+                        const std::vector<float>& y);
+
+}  // namespace fedcross::ops
+
+#endif  // FEDCROSS_TENSOR_TENSOR_OPS_H_

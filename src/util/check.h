@@ -1,0 +1,63 @@
+#ifndef FEDCROSS_UTIL_CHECK_H_
+#define FEDCROSS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Fatal-check macros for programming errors. The library is exception-free
+// (Google style); invariant violations abort with a source location and a
+// streamed message:
+//
+//   FC_CHECK(cond) << "details " << value;
+//   FC_CHECK_EQ(a, b);
+//
+// The message stream is only evaluated on failure.
+
+namespace fedcross::util::internal {
+
+// Accumulates a failure message and aborts the process in its destructor.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* condition) {
+    stream_ << "FC_CHECK failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::string message = stream_.str();
+    std::fprintf(stderr, "%s\n", message.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace fedcross::util::internal
+
+#define FC_CHECK(condition)                                            \
+  if (condition) {                                                     \
+  } else /* NOLINT */                                                  \
+    ::fedcross::util::internal::CheckFailureStream(__FILE__, __LINE__, \
+                                                   #condition)
+
+#define FC_CHECK_EQ(a, b) FC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FC_CHECK_NE(a, b) FC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FC_CHECK_LT(a, b) FC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FC_CHECK_LE(a, b) FC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FC_CHECK_GT(a, b) FC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FC_CHECK_GE(a, b) FC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#endif  // FEDCROSS_UTIL_CHECK_H_

@@ -1,0 +1,42 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+
+namespace fedcross::util {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string Quote(const std::string& field) {
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (NeedsQuoting(fields[i]) ? Quote(fields[i]) : fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::Field(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+std::string CsvWriter::Field(int value) { return std::to_string(value); }
+
+}  // namespace fedcross::util

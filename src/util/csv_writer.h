@@ -1,0 +1,39 @@
+#ifndef FEDCROSS_UTIL_CSV_WRITER_H_
+#define FEDCROSS_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedcross::util {
+
+// Writes simple CSV files (benchmark outputs). Fields containing commas,
+// quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  // Opens `path` for writing (truncates). Check ok() before use.
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return out_.good(); }
+  const std::string& path() const { return path_; }
+
+  // Writes one row; values are emitted in order.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  // Convenience: formats doubles with 6 significant digits.
+  static std::string Field(double value);
+  static std::string Field(int value);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace fedcross::util
+
+#endif  // FEDCROSS_UTIL_CSV_WRITER_H_

@@ -1,0 +1,46 @@
+#ifndef FEDCROSS_UTIL_FLAGS_H_
+#define FEDCROSS_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedcross::util {
+
+// Minimal command-line flag parser for example and bench binaries.
+// Accepts "--name=value" and "--name value"; "--help" support is the
+// caller's job via Usage().
+//
+//   FlagParser flags(argc, argv);
+//   int rounds = flags.GetInt("rounds", 40);
+//   if (!flags.ok()) { fputs(flags.error().c_str(), stderr); return 1; }
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  // Typed getters with defaults. Unknown names return the default; malformed
+  // values set the error state.
+  int GetInt(const std::string& name, int default_value);
+  double GetDouble(const std::string& name, double default_value);
+  std::string GetString(const std::string& name, std::string default_value);
+  bool GetBool(const std::string& name, bool default_value);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  // Parse errors (bad syntax or bad typed value).
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // Flags that were provided but never requested by a getter; useful for
+  // catching typos in experiment scripts.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> used_;
+  std::string error_;
+};
+
+}  // namespace fedcross::util
+
+#endif  // FEDCROSS_UTIL_FLAGS_H_

@@ -1,0 +1,45 @@
+#ifndef FEDCROSS_UTIL_LOGGING_H_
+#define FEDCROSS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fedcross::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level that reaches stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// One log line; flushed to stderr (with timestamp and level tag) on
+// destruction if `level` passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fedcross::util
+
+#define FC_LOG(severity)                                      \
+  ::fedcross::util::internal::LogMessage(                     \
+      ::fedcross::util::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // FEDCROSS_UTIL_LOGGING_H_

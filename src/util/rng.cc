@@ -1,0 +1,147 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace fedcross::util {
+namespace {
+
+// SplitMix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+}
+
+Rng Rng::Fork(std::uint64_t salt) {
+  return Rng(NextUint64() ^ (salt * 0x9e3779b97f4a7c15ULL));
+}
+
+std::uint64_t Rng::NextUint64() {
+  // xoshiro256** step.
+  std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  FC_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::Uniform(double lo, double hi) {
+  FC_CHECK_LT(lo, hi);
+  // 53-bit mantissa resolution in [0, 1).
+  double unit = static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Box-Muller; u1 in (0, 1] to keep the log finite.
+  double u1 = 1.0 - Uniform();
+  double u2 = Uniform();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+double Rng::Gamma(double shape) {
+  FC_CHECK_GT(shape, 0.0);
+  if (shape < 1.0) {
+    // Boost via Gamma(shape + 1) * U^(1/shape).
+    double u = Uniform(1e-12, 1.0);
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang squeeze method.
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = Uniform(1e-300, 1.0);
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::vector<double> Rng::Dirichlet(double alpha, int dim) {
+  FC_CHECK_GT(alpha, 0.0);
+  FC_CHECK_GT(dim, 0);
+  std::vector<double> sample(dim);
+  double total = 0.0;
+  for (double& value : sample) {
+    value = Gamma(alpha);
+    total += value;
+  }
+  if (total <= 0.0) {
+    // Degenerate draw (all zeros under extreme alpha): fall back to uniform.
+    for (double& value : sample) value = 1.0 / dim;
+    return sample;
+  }
+  for (double& value : sample) value /= total;
+  return sample;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    FC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FC_CHECK_GT(total, 0.0) << "Categorical needs a positive weight";
+  double target = Uniform(0.0, total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  FC_CHECK_GE(n, k);
+  FC_CHECK_GE(k, 0);
+  std::vector<int> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher-Yates: first k positions become the sample.
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(UniformInt(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace fedcross::util

@@ -1,0 +1,67 @@
+#ifndef FEDCROSS_UTIL_RNG_H_
+#define FEDCROSS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fedcross::util {
+
+// Deterministic, seedable pseudo-random generator (xoshiro256**) with the
+// distribution helpers this library needs. Every stochastic component of
+// the simulator takes an explicit Rng (or seed) so runs are reproducible.
+//
+// Not thread-safe; use one Rng per thread (Fork() derives independent
+// streams).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derives an independent generator; deterministic in (current state, salt).
+  Rng Fork(std::uint64_t salt);
+
+  // Uniform on [0, 2^64).
+  std::uint64_t NextUint64();
+
+  // Uniform on [0, bound). Requires bound > 0.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  // Uniform on [lo, hi). Requires lo < hi.
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  // Standard normal via Box-Muller, scaled to N(mean, stddev^2).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Gamma(shape, 1.0) via Marsaglia-Tsang; shape > 0.
+  double Gamma(double shape);
+
+  // Samples a probability vector from Dirichlet(alpha, ..., alpha) of the
+  // given dimension. Requires alpha > 0 and dim > 0.
+  std::vector<double> Dirichlet(double alpha, int dim);
+
+  // Samples an index from an (unnormalised) non-negative weight vector.
+  // Requires at least one strictly positive weight.
+  int Categorical(const std::vector<double>& weights);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = UniformInt(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) uniformly (partial Fisher-Yates).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fedcross::util
+
+#endif  // FEDCROSS_UTIL_RNG_H_

@@ -1,0 +1,117 @@
+#ifndef FEDCROSS_UTIL_STATUS_H_
+#define FEDCROSS_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fedcross::util {
+
+// Error categories for recoverable failures. Mirrors the common subset of
+// absl::StatusCode that this library needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+// Human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight success-or-error result. The library is exception-free;
+// functions that can fail on user input return Status (or StatusOr<T>).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Value-or-error wrapper. Access to value() on an error status aborts, so
+// callers must test ok() first (or use value_or()).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    FC_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FC_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    FC_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    FC_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace fedcross::util
+
+// Propagates a non-OK Status to the caller.
+#define FC_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::fedcross::util::Status fc_status_ = (expr); \
+    if (!fc_status_.ok()) return fc_status_;      \
+  } while (false)
+
+#endif  // FEDCROSS_UTIL_STATUS_H_

@@ -1,0 +1,71 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace fedcross::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FC_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  FC_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string separator = "+";
+  for (std::size_t width : widths) {
+    separator.append(width + 2, '-');
+    separator += '+';
+  }
+  separator += '\n';
+
+  std::string out = separator + render_row(header_) + separator;
+  for (const auto& row : rows_) out += render_row(row);
+  out += separator;
+  return out;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+  std::fflush(out);
+}
+
+std::string TablePrinter::MeanStd(double mean, double stddev) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f +- %.2f", mean, stddev);
+  return buffer;
+}
+
+std::string TablePrinter::Fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace fedcross::util

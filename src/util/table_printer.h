@@ -1,0 +1,39 @@
+#ifndef FEDCROSS_UTIL_TABLE_PRINTER_H_
+#define FEDCROSS_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace fedcross::util {
+
+// Renders fixed-width ASCII tables for benchmark stdout output, matching
+// the row/column structure of the paper's tables.
+//
+//   TablePrinter table({"Method", "Accuracy"});
+//   table.AddRow({"FedAvg", "46.12"});
+//   table.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders header, separator, and rows with per-column padding.
+  std::string ToString() const;
+  void Print(std::FILE* out) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  // Formats "mean +- std" with two decimals, like the paper's accuracy cells.
+  static std::string MeanStd(double mean, double stddev);
+  // Fixed-precision helper.
+  static std::string Fixed(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedcross::util
+
+#endif  // FEDCROSS_UTIL_TABLE_PRINTER_H_

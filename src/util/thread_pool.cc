@@ -1,0 +1,73 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace fedcross::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  FC_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FC_CHECK(!shutting_down_) << "Schedule after shutdown";
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  for (int i = 0; i < count; ++i) {
+    Schedule([&fn, i] { fn(i); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    work_done_.notify_all();
+  }
+}
+
+}  // namespace fedcross::util

@@ -1,0 +1,170 @@
+// End-to-end pipelines on the real model zoo and synthetic corpora —
+// scaled-down versions of the paper's experimental setups.
+#include <gtest/gtest.h>
+
+#include "core/fedcross.h"
+#include "data/partition.h"
+#include "data/synthetic_image.h"
+#include "data/synthetic_text.h"
+#include "fl/fedavg.h"
+#include "fl/scaffold.h"
+#include "models/model_zoo.h"
+
+namespace fedcross {
+namespace {
+
+// Small CIFAR-like corpus partitioned over clients.
+data::FederatedDataset MakeImageFederated(int num_clients, double beta,
+                                          std::uint64_t seed) {
+  data::SyntheticImageOptions image_options;
+  image_options.num_classes = 4;
+  image_options.height = image_options.width = 8;
+  image_options.train_per_class = 30;
+  image_options.test_per_class = 15;
+  image_options.noise_stddev = 0.6f;
+  image_options.seed = seed;
+  data::ImageCorpus corpus = data::MakeSyntheticImageCorpus(image_options);
+
+  util::Rng rng(seed + 1);
+  data::Partition partition =
+      beta > 0 ? data::DirichletPartition(*corpus.train, num_clients, beta,
+                                          rng)
+               : data::IidPartition(*corpus.train, num_clients, rng);
+
+  data::FederatedDataset federated;
+  federated.num_classes = 4;
+  federated.client_train = data::MakeClientShards(corpus.train, partition);
+  federated.test = corpus.test;
+  return federated;
+}
+
+models::ModelFactory SmallCnnFactory() {
+  models::CnnConfig config;
+  config.height = config.width = 8;
+  config.num_classes = 4;
+  config.conv1_channels = 4;
+  config.conv2_channels = 8;
+  config.fc_dim = 16;
+  return models::MakeCnn(config);
+}
+
+fl::AlgorithmConfig SmallConfig(int k) {
+  fl::AlgorithmConfig config;
+  config.clients_per_round = k;
+  config.train.local_epochs = 2;
+  config.train.batch_size = 20;
+  config.train.lr = 0.05f;
+  config.train.momentum = 0.5f;
+  config.seed = 5;
+  return config;
+}
+
+TEST(IntegrationTest, FedAvgCnnOnImagesLearns) {
+  fl::FedAvg fedavg(SmallConfig(3), MakeImageFederated(6, 0.0, 1),
+                    SmallCnnFactory());
+  const fl::MetricsHistory& history = fedavg.Run(6, /*eval_every=*/2);
+  EXPECT_GT(history.BestAccuracy(), 0.5f);  // chance = 0.25
+}
+
+TEST(IntegrationTest, FedCrossCnnOnImagesLearnsNonIid) {
+  core::FedCrossOptions options;
+  options.alpha = 0.8;  // scaled-down rounds favour faster mixing
+  options.strategy = core::SelectionStrategy::kLowestSimilarity;
+  core::FedCross fedcross(SmallConfig(3), MakeImageFederated(6, 0.5, 2),
+                          SmallCnnFactory(), options);
+  const fl::MetricsHistory& history = fedcross.Run(6, /*eval_every=*/2);
+  EXPECT_GT(history.BestAccuracy(), 0.45f);
+}
+
+TEST(IntegrationTest, FemnistPipelineRuns) {
+  data::SyntheticFemnistOptions femnist_options;
+  femnist_options.num_writers = 6;
+  femnist_options.num_classes = 10;
+  femnist_options.classes_per_writer = 4;
+  femnist_options.mean_samples_per_writer = 40.0;
+  femnist_options.height = femnist_options.width = 8;
+  femnist_options.test_per_class = 4;
+  data::FederatedDataset federated =
+      data::MakeSyntheticFemnist(femnist_options);
+
+  models::CnnConfig cnn_config;
+  cnn_config.in_channels = 1;
+  cnn_config.height = cnn_config.width = 8;
+  cnn_config.num_classes = 10;
+  cnn_config.conv1_channels = 4;
+  cnn_config.conv2_channels = 8;
+  cnn_config.fc_dim = 16;
+
+  core::FedCross fedcross(SmallConfig(3), std::move(federated),
+                          models::MakeCnn(cnn_config),
+                          core::FedCrossOptions());
+  const fl::MetricsHistory& history = fedcross.Run(3);
+  EXPECT_GT(history.BestAccuracy(), 0.0f);
+  EXPECT_EQ(history.records().size(), 3u);
+}
+
+TEST(IntegrationTest, CharLmLstmPipelineLearns) {
+  data::SyntheticCharLmOptions text_options;
+  text_options.num_clients = 6;
+  text_options.vocab_size = 12;
+  text_options.seq_len = 8;
+  text_options.mean_samples_per_client = 60;
+  text_options.test_samples = 120;
+  data::FederatedDataset federated = data::MakeSyntheticCharLm(text_options);
+
+  models::LstmConfig lstm_config;
+  lstm_config.vocab_size = 12;
+  lstm_config.embed_dim = 8;
+  lstm_config.hidden_dim = 12;
+  lstm_config.num_classes = 12;
+
+  fl::AlgorithmConfig config = SmallConfig(3);
+  config.train.lr = 0.2f;
+  core::FedCross fedcross(config, std::move(federated),
+                          models::MakeLstm(lstm_config),
+                          core::FedCrossOptions());
+  const fl::MetricsHistory& history = fedcross.Run(5);
+  // Better than uniform guessing over 12 classes.
+  EXPECT_GT(history.BestAccuracy(), 1.3f / 12);
+}
+
+TEST(IntegrationTest, SentimentLstmPipelineLearns) {
+  data::SyntheticSentimentOptions text_options;
+  text_options.num_clients = 6;
+  text_options.vocab_size = 60;
+  text_options.seq_len = 8;
+  text_options.mean_samples_per_client = 60;
+  text_options.test_samples = 120;
+  data::FederatedDataset federated =
+      data::MakeSyntheticSentiment(text_options);
+
+  models::LstmConfig lstm_config;
+  lstm_config.vocab_size = 60;
+  lstm_config.embed_dim = 8;
+  lstm_config.hidden_dim = 12;
+  lstm_config.num_classes = 2;
+
+  fl::AlgorithmConfig config = SmallConfig(3);
+  config.train.lr = 0.2f;
+  fl::FedAvg fedavg(config, std::move(federated),
+                    models::MakeLstm(lstm_config));
+  const fl::MetricsHistory& history = fedavg.Run(10);
+  EXPECT_GT(history.BestAccuracy(), 0.6f);
+}
+
+TEST(IntegrationTest, ScaffoldResNetRuns) {
+  models::ResNetConfig resnet_config;
+  resnet_config.height = resnet_config.width = 8;
+  resnet_config.num_classes = 4;
+  resnet_config.base_width = 4;
+  resnet_config.gn_groups = 2;
+
+  fl::Scaffold scaffold(SmallConfig(2), MakeImageFederated(4, 0.5, 3),
+                        models::MakeResNet(resnet_config));
+  const fl::MetricsHistory& history = scaffold.Run(2);
+  EXPECT_EQ(history.records().size(), 2u);
+  EXPECT_GT(history.records().back().test_accuracy, 0.0f);
+}
+
+}  // namespace
+}  // namespace fedcross

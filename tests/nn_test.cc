@@ -1,0 +1,478 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/norm.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace fedcross::nn {
+namespace {
+
+// ---------------------------------------------------------------- Linear
+
+TEST(LinearTest, OutputShapeAndBias) {
+  util::Rng rng(1);
+  Linear layer(3, 2, rng);
+  Tensor input = Tensor::Zeros({4, 3});
+  Tensor output = layer.Forward(input, false);
+  EXPECT_EQ(output.dim(0), 4);
+  EXPECT_EQ(output.dim(1), 2);
+  // Zero input -> outputs equal the (zero-initialised) bias.
+  for (std::int64_t i = 0; i < output.numel(); ++i) {
+    EXPECT_EQ(output.at(i), 0.0f);
+  }
+}
+
+TEST(LinearTest, KnownComputation) {
+  util::Rng rng(1);
+  Linear layer(2, 1, rng);
+  std::vector<Param*> params;
+  layer.CollectParams(params);
+  ASSERT_EQ(params.size(), 2u);
+  params[0]->value = Tensor::FromVector({2, 1}, {2.0f, 3.0f});  // W
+  params[1]->value = Tensor::FromVector({1}, {0.5f});           // b
+  Tensor input = Tensor::FromVector({1, 2}, {1.0f, -1.0f});
+  Tensor output = layer.Forward(input, false);
+  EXPECT_FLOAT_EQ(output.at(0), 2.0f - 3.0f + 0.5f);
+}
+
+TEST(LinearTest, GradAccumulatesAcrossBatches) {
+  util::Rng rng(2);
+  Linear layer(2, 2, rng);
+  Tensor input = Tensor::FromVector({1, 2}, {1.0f, 1.0f});
+  Tensor grad = Tensor::FromVector({1, 2}, {1.0f, 0.0f});
+  layer.Forward(input, true);
+  layer.Backward(grad);
+  layer.Forward(input, true);
+  layer.Backward(grad);
+  std::vector<Param*> params;
+  layer.CollectParams(params);
+  // dW accumulated twice.
+  EXPECT_FLOAT_EQ(params[0]->grad.at(0, 0), 2.0f);
+}
+
+// ----------------------------------------------------------- Activations
+
+TEST(ReluTest, ClampsNegatives) {
+  Relu relu;
+  Tensor input = Tensor::FromVector({4}, {-1, 0, 2, -3});
+  Tensor output = relu.Forward(input, false);
+  EXPECT_EQ(output.at(0), 0.0f);
+  EXPECT_EQ(output.at(1), 0.0f);
+  EXPECT_EQ(output.at(2), 2.0f);
+  EXPECT_EQ(output.at(3), 0.0f);
+}
+
+TEST(ReluTest, BackwardMasksByInputSign) {
+  Relu relu;
+  Tensor input = Tensor::FromVector({3}, {-1, 1, 2});
+  relu.Forward(input, true);
+  Tensor grad = Tensor::FromVector({3}, {5, 5, 5});
+  Tensor grad_input = relu.Backward(grad);
+  EXPECT_EQ(grad_input.at(0), 0.0f);
+  EXPECT_EQ(grad_input.at(1), 5.0f);
+  EXPECT_EQ(grad_input.at(2), 5.0f);
+}
+
+TEST(TanhTest, Saturation) {
+  Tanh tanh_layer;
+  Tensor input = Tensor::FromVector({2}, {100.0f, -100.0f});
+  Tensor output = tanh_layer.Forward(input, false);
+  EXPECT_NEAR(output.at(0), 1.0f, 1e-5f);
+  EXPECT_NEAR(output.at(1), -1.0f, 1e-5f);
+}
+
+TEST(SigmoidTest, Midpoint) {
+  Sigmoid sigmoid;
+  Tensor input = Tensor::Zeros({1});
+  EXPECT_FLOAT_EQ(sigmoid.Forward(input, false).at(0), 0.5f);
+}
+
+// --------------------------------------------------------------- Pooling
+
+TEST(MaxPoolTest, SelectsWindowMax) {
+  MaxPool2d pool(2, 2);
+  Tensor input = Tensor::FromVector({1, 1, 2, 2}, {1, 9, 3, 4});
+  Tensor output = pool.Forward(input, false);
+  EXPECT_EQ(output.numel(), 1);
+  EXPECT_FLOAT_EQ(output.at(0), 9.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor input = Tensor::FromVector({1, 1, 2, 2}, {1, 9, 3, 4});
+  pool.Forward(input, true);
+  Tensor grad = Tensor::FromVector({1, 1, 1, 1}, {7.0f});
+  Tensor grad_input = pool.Backward(grad);
+  EXPECT_FLOAT_EQ(grad_input.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(grad_input.at(1), 7.0f);
+  EXPECT_FLOAT_EQ(grad_input.at(2), 0.0f);
+}
+
+TEST(MaxPoolTest, HalvesSpatialDims) {
+  MaxPool2d pool(2, 2);
+  Tensor input = Tensor::Zeros({2, 3, 8, 6});
+  Tensor output = pool.Forward(input, false);
+  EXPECT_EQ(output.shape(), (Tensor::Shape{2, 3, 4, 3}));
+}
+
+TEST(GlobalAvgPoolTest, AveragesPlane) {
+  GlobalAvgPool pool;
+  Tensor input = Tensor::FromVector({1, 2, 1, 2}, {1, 3, 10, 20});
+  Tensor output = pool.Forward(input, false);
+  EXPECT_EQ(output.shape(), (Tensor::Shape{1, 2}));
+  EXPECT_FLOAT_EQ(output.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(output.at(1), 15.0f);
+}
+
+// -------------------------------------------------------------- GroupNorm
+
+TEST(GroupNormTest, NormalisesPerGroup) {
+  GroupNorm norm(4, 2);
+  util::Rng rng(3);
+  Tensor input = Tensor::RandomNormal({2, 4, 3, 3}, rng, 5.0f, 2.0f);
+  Tensor output = norm.Forward(input, true);
+  // Each (sample, group) slice should have ~zero mean and ~unit variance
+  // (gamma=1, beta=0 initially).
+  int area = 9;
+  int chans_per_group = 2;
+  for (int b = 0; b < 2; ++b) {
+    for (int g = 0; g < 2; ++g) {
+      double mean = 0.0, var = 0.0;
+      const float* base =
+          output.data() + ((b * 4) + g * chans_per_group) * area;
+      int count = chans_per_group * area;
+      for (int i = 0; i < count; ++i) mean += base[i];
+      mean /= count;
+      for (int i = 0; i < count; ++i) {
+        var += (base[i] - mean) * (base[i] - mean);
+      }
+      var /= count;
+      EXPECT_NEAR(mean, 0.0, 1e-4);
+      EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+  }
+}
+
+TEST(GroupNormTest, GammaBetaApplied) {
+  GroupNorm norm(2, 1);
+  std::vector<Param*> params;
+  norm.CollectParams(params);
+  params[0]->value.Fill(3.0f);   // gamma
+  params[1]->value.Fill(-1.0f);  // beta
+  util::Rng rng(4);
+  Tensor input = Tensor::RandomNormal({1, 2, 2, 2}, rng);
+  Tensor output = norm.Forward(input, true);
+  // Output mean should be beta (= -1) since normalised mean is 0.
+  EXPECT_NEAR(output.Mean(), -1.0f, 1e-4f);
+}
+
+// ---------------------------------------------------------------- Dropout
+
+TEST(DropoutTest, EvalIsIdentity) {
+  Dropout dropout(0.5f, 1);
+  Tensor input = Tensor::Full({100}, 2.0f);
+  Tensor output = dropout.Forward(input, /*train=*/false);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(output.at(i), 2.0f);
+}
+
+TEST(DropoutTest, TrainZeroesAndRescales) {
+  Dropout dropout(0.5f, 2);
+  Tensor input = Tensor::Full({2000}, 1.0f);
+  Tensor output = dropout.Forward(input, /*train=*/true);
+  int zeros = 0;
+  for (std::int64_t i = 0; i < 2000; ++i) {
+    if (output.at(i) == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(output.at(i), 2.0f);  // 1/(1-0.5)
+    }
+  }
+  EXPECT_NEAR(zeros, 1000, 100);
+  // Inverted dropout keeps the expectation.
+  EXPECT_NEAR(output.Mean(), 1.0f, 0.1f);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout dropout(0.5f, 3);
+  Tensor input = Tensor::Full({100}, 1.0f);
+  Tensor output = dropout.Forward(input, true);
+  Tensor grad = Tensor::Full({100}, 1.0f);
+  Tensor grad_input = dropout.Backward(grad);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(grad_input.at(i), output.at(i));
+  }
+}
+
+// ---------------------------------------------------------------- Flatten
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flatten;
+  Tensor input = Tensor::Zeros({2, 3, 4, 5});
+  Tensor output = flatten.Forward(input, false);
+  EXPECT_EQ(output.shape(), (Tensor::Shape{2, 60}));
+  Tensor grad = Tensor::Zeros({2, 60});
+  Tensor grad_input = flatten.Backward(grad);
+  EXPECT_EQ(grad_input.shape(), (Tensor::Shape{2, 3, 4, 5}));
+}
+
+// -------------------------------------------------------------- Embedding
+
+TEST(EmbeddingTest, LooksUpRows) {
+  util::Rng rng(5);
+  Embedding embedding(4, 3, rng);
+  std::vector<Param*> params;
+  embedding.CollectParams(params);
+  params[0]->value =
+      Tensor::FromVector({4, 3}, {0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3});
+  Tensor input = Tensor::FromVector({1, 2}, {2.0f, 0.0f});
+  Tensor output = embedding.Forward(input, false);
+  EXPECT_EQ(output.shape(), (Tensor::Shape{1, 2, 3}));
+  EXPECT_FLOAT_EQ(output.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(output.at(3), 0.0f);
+}
+
+TEST(EmbeddingTest, BackwardScattersIntoRows) {
+  util::Rng rng(6);
+  Embedding embedding(3, 2, rng);
+  Tensor input = Tensor::FromVector({1, 2}, {1.0f, 1.0f});
+  embedding.Forward(input, true);
+  Tensor grad = Tensor::Full({1, 2, 2}, 1.0f);
+  Tensor grad_input = embedding.Backward(grad);
+  EXPECT_EQ(grad_input.numel(), 0);  // discrete input: no gradient
+  std::vector<Param*> params;
+  embedding.CollectParams(params);
+  // Row 1 hit twice; rows 0 and 2 untouched.
+  EXPECT_FLOAT_EQ(params[0]->grad.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(params[0]->grad.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(params[0]->grad.at(2, 1), 0.0f);
+}
+
+// ------------------------------------------------------------------- LSTM
+
+TEST(LstmTest, OutputShape) {
+  util::Rng rng(7);
+  Lstm lstm(4, 6, rng);
+  Tensor input = Tensor::Zeros({3, 5, 4});
+  Tensor output = lstm.Forward(input, false);
+  EXPECT_EQ(output.shape(), (Tensor::Shape{3, 6}));
+}
+
+TEST(LstmTest, HiddenStateIsBounded) {
+  util::Rng rng(8);
+  Lstm lstm(4, 6, rng);
+  Tensor input = Tensor::RandomNormal({1, 10, 4}, rng, 0.0f, 3.0f);
+  Tensor output = lstm.Forward(input, false);
+  // h = o * tanh(c): |h| < 1 always.
+  for (std::int64_t i = 0; i < output.numel(); ++i) {
+    EXPECT_LT(std::abs(output.at(i)), 1.0f);
+  }
+}
+
+TEST(LstmTest, SequenceOrderMatters) {
+  util::Rng rng(9);
+  Lstm lstm(2, 4, rng);
+  Tensor forward_seq = Tensor::FromVector({1, 3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor reverse_seq = Tensor::FromVector({1, 3, 2}, {1, 1, 0, 1, 1, 0});
+  Tensor out1 = lstm.Forward(forward_seq, false);
+  Tensor out2 = lstm.Forward(reverse_seq, false);
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < out1.numel(); ++i) {
+    diff += std::abs(out1.at(i) - out2.at(i));
+  }
+  EXPECT_GT(diff, 1e-4);
+}
+
+// ------------------------------------------------------------- Sequential
+
+TEST(SequentialTest, ParamLayoutIsDeterministic) {
+  auto build = [] {
+    util::Rng rng(11);
+    Sequential model;
+    model.Add(std::make_unique<Linear>(4, 8, rng));
+    model.Add(std::make_unique<Relu>());
+    model.Add(std::make_unique<Linear>(8, 2, rng));
+    return model;
+  };
+  Sequential a = build();
+  Sequential b = build();
+  EXPECT_EQ(a.NumParams(), b.NumParams());
+  EXPECT_EQ(a.ParamsToFlat(), b.ParamsToFlat());
+}
+
+TEST(SequentialTest, FlatRoundTrip) {
+  util::Rng rng(12);
+  Sequential model;
+  model.Add(std::make_unique<Linear>(3, 3, rng));
+  std::vector<float> flat = model.ParamsToFlat();
+  for (float& value : flat) value += 1.0f;
+  model.ParamsFromFlat(flat);
+  EXPECT_EQ(model.ParamsToFlat(), flat);
+}
+
+TEST(SequentialTest, NumParamsMatchesLayerSum) {
+  util::Rng rng(13);
+  Sequential model;
+  model.Add(std::make_unique<Linear>(4, 8, rng));  // 4*8 + 8
+  model.Add(std::make_unique<Linear>(8, 2, rng));  // 8*2 + 2
+  EXPECT_EQ(model.NumParams(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(SequentialTest, ZeroGradClearsAll) {
+  util::Rng rng(14);
+  Sequential model;
+  model.Add(std::make_unique<Linear>(2, 2, rng));
+  Tensor input = Tensor::Full({1, 2}, 1.0f);
+  model.Forward(input, true);
+  model.Backward(Tensor::Full({1, 2}, 1.0f));
+  model.ZeroGrad();
+  std::vector<float> grads = model.GradsToFlat();
+  for (float g : grads) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(SequentialTest, SummaryListsLayers) {
+  util::Rng rng(15);
+  Sequential model;
+  model.Add(std::make_unique<Linear>(2, 2, rng));
+  model.Add(std::make_unique<Relu>());
+  std::string summary = model.Summary();
+  EXPECT_NE(summary.find("Linear->Relu"), std::string::npos);
+  EXPECT_NE(summary.find("params"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- Loss
+
+TEST(CrossEntropyTest, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {10.0f, -10.0f, -10.0f});
+  CrossEntropyLoss criterion;
+  LossResult result = criterion.Compute(logits, {0});
+  EXPECT_LT(result.loss, 1e-3f);
+  EXPECT_EQ(result.correct, 1);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogK) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  CrossEntropyLoss criterion;
+  LossResult result = criterion.Compute(logits, {1, 2});
+  EXPECT_NEAR(result.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOneHotOverBatch) {
+  Tensor logits = Tensor::Zeros({2, 2});
+  CrossEntropyLoss criterion;
+  LossResult result = criterion.Compute(logits, {0, 1});
+  // softmax = 0.5 each; grad = (0.5 - onehot)/2.
+  EXPECT_NEAR(result.grad_logits.at(0, 0), -0.25f, 1e-6f);
+  EXPECT_NEAR(result.grad_logits.at(0, 1), 0.25f, 1e-6f);
+  EXPECT_NEAR(result.grad_logits.at(1, 1), -0.25f, 1e-6f);
+}
+
+TEST(CrossEntropyTest, GradSumsToZeroPerRow) {
+  util::Rng rng(16);
+  Tensor logits = Tensor::RandomNormal({3, 5}, rng);
+  CrossEntropyLoss criterion;
+  LossResult result = criterion.Compute(logits, {0, 2, 4});
+  for (int r = 0; r < 3; ++r) {
+    float row_sum = 0.0f;
+    for (int c = 0; c < 5; ++c) row_sum += result.grad_logits.at(r, c);
+    EXPECT_NEAR(row_sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SoftCrossEntropyTest, MatchesHardWhenTargetsOneHot) {
+  util::Rng rng(17);
+  Tensor logits = Tensor::RandomNormal({2, 3}, rng);
+  CrossEntropyLoss hard;
+  SoftCrossEntropyLoss soft;
+  Tensor targets = Tensor::Zeros({2, 3});
+  targets.at(0, 1) = 1.0f;
+  targets.at(1, 2) = 1.0f;
+  LossResult hard_result = hard.Compute(logits, {1, 2});
+  LossResult soft_result = soft.Compute(logits, targets);
+  EXPECT_NEAR(hard_result.loss, soft_result.loss, 1e-5f);
+  for (std::int64_t i = 0; i < hard_result.grad_logits.numel(); ++i) {
+    EXPECT_NEAR(hard_result.grad_logits.at(i), soft_result.grad_logits.at(i),
+                1e-6f);
+  }
+}
+
+// --------------------------------------------------------------- Residual
+
+TEST(ResidualBlockTest, IdentitySkipPreservesShape) {
+  util::Rng rng(18);
+  ResidualBlock block(4, 4, 1, 2, rng);
+  Tensor input = Tensor::Zeros({2, 4, 8, 8});
+  Tensor output = block.Forward(input, false);
+  EXPECT_EQ(output.shape(), input.shape());
+}
+
+TEST(ResidualBlockTest, ProjectionChangesShape) {
+  util::Rng rng(19);
+  ResidualBlock block(4, 8, 2, 2, rng);
+  Tensor input = Tensor::Zeros({2, 4, 8, 8});
+  Tensor output = block.Forward(input, false);
+  EXPECT_EQ(output.shape(), (Tensor::Shape{2, 8, 4, 4}));
+}
+
+TEST(ResidualBlockTest, ParamCountIncludesProjection) {
+  util::Rng rng(20);
+  ResidualBlock identity_block(4, 4, 1, 2, rng);
+  ResidualBlock projection_block(4, 8, 2, 2, rng);
+  std::vector<Param*> identity_params, projection_params;
+  identity_block.CollectParams(identity_params);
+  projection_block.CollectParams(projection_params);
+  EXPECT_EQ(identity_params.size(), 8u);     // 2x(conv W,b) + 2x(gn g,b)
+  EXPECT_EQ(projection_params.size(), 12u);  // + proj conv + proj gn
+}
+
+// ----------------------------------------------------------------- Conv2d
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  util::Rng rng(21);
+  Conv2d conv(1, 1, 1, 1, 0, rng);
+  std::vector<Param*> params;
+  conv.CollectParams(params);
+  params[0]->value = Tensor::FromVector({1, 1}, {1.0f});
+  params[1]->value = Tensor::Zeros({1});
+  Tensor input = Tensor::FromVector({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor output = conv.Forward(input, false);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(output.at(i), input.at(i));
+  }
+}
+
+TEST(Conv2dTest, OutputGeometry) {
+  util::Rng rng(22);
+  Conv2d conv(3, 5, 3, 2, 1, rng);
+  Tensor input = Tensor::Zeros({2, 3, 9, 9});
+  Tensor output = conv.Forward(input, false);
+  EXPECT_EQ(output.shape(), (Tensor::Shape{2, 5, 5, 5}));
+}
+
+TEST(Conv2dTest, BiasBroadcastsOverPlane) {
+  util::Rng rng(23);
+  Conv2d conv(1, 2, 3, 1, 1, rng);
+  std::vector<Param*> params;
+  conv.CollectParams(params);
+  params[0]->value.Fill(0.0f);
+  params[1]->value = Tensor::FromVector({2}, {1.5f, -2.5f});
+  Tensor input = Tensor::Zeros({1, 1, 4, 4});
+  Tensor output = conv.Forward(input, false);
+  EXPECT_FLOAT_EQ(output.at(0), 1.5f);
+  EXPECT_FLOAT_EQ(output.at(16), -2.5f);  // second channel plane
+}
+
+}  // namespace
+}  // namespace fedcross::nn

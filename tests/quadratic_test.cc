@@ -1,0 +1,149 @@
+// Validates the paper's convergence analysis (Section III-C, Theorem 1) on
+// the synthetic strongly-convex problem that matches its assumptions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/quadratic.h"
+
+namespace fedcross::core {
+namespace {
+
+QuadraticProblem DefaultProblem(std::uint64_t seed = 1) {
+  return QuadraticProblem::Make(/*dim=*/8, /*num_clients=*/6, /*mu=*/0.5,
+                                /*l=*/2.0, /*heterogeneity=*/1.0, seed);
+}
+
+TEST(QuadraticProblemTest, OptimalPointHasZeroGradient) {
+  QuadraticProblem problem = DefaultProblem();
+  std::vector<double> w_star = problem.OptimalPoint();
+  // Exact (noiseless) average gradient at the optimum is zero.
+  util::Rng rng(1);
+  std::vector<double> mean_grad(problem.dim(), 0.0);
+  for (int i = 0; i < problem.num_clients(); ++i) {
+    std::vector<double> grad =
+        problem.ClientStochasticGrad(i, w_star, /*noise=*/0.0, rng);
+    for (int d = 0; d < problem.dim(); ++d) mean_grad[d] += grad[d];
+  }
+  for (double g : mean_grad) EXPECT_NEAR(g / problem.num_clients(), 0.0, 1e-9);
+}
+
+TEST(QuadraticProblemTest, OptimalLossIsMinimal) {
+  QuadraticProblem problem = DefaultProblem();
+  std::vector<double> w_star = problem.OptimalPoint();
+  double f_star = problem.OptimalLoss();
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> w = w_star;
+    for (double& value : w) value += rng.Normal(0.0, 0.5);
+    EXPECT_GE(problem.GlobalLoss(w), f_star - 1e-12);
+  }
+}
+
+TEST(QuadraticProblemTest, ClientLossesDisagree) {
+  // Heterogeneity: client optima differ, so per-client losses at the global
+  // optimum are positive (Gamma > 0 in the paper's notation).
+  QuadraticProblem problem = DefaultProblem();
+  std::vector<double> w_star = problem.OptimalPoint();
+  double max_loss = 0.0;
+  for (int i = 0; i < problem.num_clients(); ++i) {
+    max_loss = std::max(max_loss, problem.ClientLoss(i, w_star));
+  }
+  EXPECT_GT(max_loss, 0.01);
+}
+
+TEST(QuadraticSimTest, FedCrossConverges) {
+  QuadraticProblem problem = DefaultProblem();
+  QuadraticSimOptions options;
+  options.fedcross = true;
+  std::vector<double> gaps = RunQuadraticSimulation(problem, options, 200);
+  EXPECT_LT(gaps.back(), gaps.front() * 0.05);
+  EXPECT_LT(gaps.back(), 0.1);
+}
+
+TEST(QuadraticSimTest, FedAvgConverges) {
+  QuadraticProblem problem = DefaultProblem();
+  QuadraticSimOptions options;
+  options.fedcross = false;
+  std::vector<double> gaps = RunQuadraticSimulation(problem, options, 200);
+  EXPECT_LT(gaps.back(), 0.1);
+}
+
+// Theorem 1: E[F(w_bar_t)] - F* = O(1/t). Check that gap(t) * t stays
+// bounded over the tail of the run (ratio of late to mid values is O(1)).
+TEST(QuadraticSimTest, TheoremOneRate) {
+  QuadraticProblem problem = DefaultProblem(3);
+  QuadraticSimOptions options;
+  options.grad_noise = 0.05;
+  std::vector<double> gaps = RunQuadraticSimulation(problem, options, 400);
+  double mid = gaps[99] * 100;    // t ~ 100 rounds
+  double late = gaps[399] * 400;  // t ~ 400 rounds
+  // If convergence were slower than O(1/t), late/mid would blow up; if the
+  // rate holds, the normalised gap stays within a small constant factor.
+  EXPECT_LT(late, mid * 5.0 + 1.0);
+}
+
+TEST(QuadraticSimTest, GapDecreasesMonotonicallyInTrend) {
+  QuadraticProblem problem = DefaultProblem(4);
+  QuadraticSimOptions options;
+  std::vector<double> gaps = RunQuadraticSimulation(problem, options, 300);
+  // Compare block averages to smooth out SGD noise.
+  auto block_mean = [&](int begin, int end) {
+    double total = 0.0;
+    for (int i = begin; i < end; ++i) total += gaps[i];
+    return total / (end - begin);
+  };
+  EXPECT_GT(block_mean(0, 50), block_mean(100, 150));
+  EXPECT_GT(block_mean(100, 150), block_mean(250, 300));
+}
+
+class AlphaConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaConvergence, FedCrossConvergesForAllAlpha) {
+  QuadraticProblem problem = DefaultProblem(5);
+  QuadraticSimOptions options;
+  options.alpha = GetParam();
+  std::vector<double> gaps = RunQuadraticSimulation(problem, options, 250);
+  EXPECT_LT(gaps.back(), 0.2) << "alpha " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaConvergence,
+                         ::testing::Values(0.5, 0.7, 0.9, 0.99));
+
+TEST(QuadraticSimTest, NoiselessFedCrossReachesOptimum) {
+  QuadraticProblem problem = DefaultProblem(6);
+  QuadraticSimOptions options;
+  options.grad_noise = 0.0;
+  std::vector<double> gaps = RunQuadraticSimulation(problem, options, 400);
+  EXPECT_LT(gaps.back(), 1e-3);
+}
+
+TEST(QuadraticSimTest, DeterministicForSeed) {
+  QuadraticProblem problem = DefaultProblem(7);
+  QuadraticSimOptions options;
+  std::vector<double> a = RunQuadraticSimulation(problem, options, 50);
+  std::vector<double> b = RunQuadraticSimulation(problem, options, 50);
+  EXPECT_EQ(a, b);
+}
+
+// The motivating claim of Fig. 1: with heterogeneous clients, FedCross's
+// averaged model ends at least as close to the global optimum as FedAvg's
+// under the same step budget and noise (cross-aggregation does not hurt).
+TEST(QuadraticSimTest, FedCrossCompetitiveWithFedAvg) {
+  double fedcross_total = 0.0;
+  double fedavg_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    QuadraticProblem problem = QuadraticProblem::Make(8, 6, 0.5, 2.0, 2.0,
+                                                      seed);
+    QuadraticSimOptions options;
+    options.grad_noise = 0.1;
+    options.fedcross = true;
+    fedcross_total += RunQuadraticSimulation(problem, options, 200).back();
+    options.fedcross = false;
+    fedavg_total += RunQuadraticSimulation(problem, options, 200).back();
+  }
+  EXPECT_LT(fedcross_total, fedavg_total * 2.0 + 0.05);
+}
+
+}  // namespace
+}  // namespace fedcross::core

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace fedcross {
+namespace {
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.ndim(), 0);
+}
+
+TEST(TensorTest, FullFactory) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ShapeString(), "[2, 3, 4]");
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.Reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_EQ(t.dim(0), 3);
+}
+
+TEST(TensorTest, DeepCopyOnAssignment) {
+  Tensor a = Tensor::Full({2}, 1.0f);
+  Tensor b = a;
+  b.at(0) = 9.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+TEST(TensorTest, ElementwiseInPlace) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  a.AddInPlace(b);
+  EXPECT_EQ(a.at(1), 7.0f);
+  a.SubInPlace(b);
+  EXPECT_EQ(a.at(1), 2.0f);
+  a.MulInPlace(b);
+  EXPECT_EQ(a.at(2), 18.0f);
+  a.Scale(0.5f);
+  EXPECT_EQ(a.at(0), 2.0f);
+}
+
+TEST(TensorTest, Axpy) {
+  Tensor a = Tensor::FromVector({2}, {1, 1});
+  Tensor b = Tensor::FromVector({2}, {2, 4});
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a.at(0), 2.0f);
+  EXPECT_EQ(a.at(1), 3.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::FromVector({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.Sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), -0.5f);
+  EXPECT_FLOAT_EQ(t.Max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.SquaredL2Norm(), 30.0f);
+  EXPECT_FLOAT_EQ(t.L2Norm(), std::sqrt(30.0f));
+}
+
+TEST(TensorTest, OutOfPlaceOperators) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  Tensor sum = a + b;
+  Tensor diff = a - b;
+  Tensor scaled = 2.0f * a;
+  EXPECT_EQ(sum.at(0), 4.0f);
+  EXPECT_EQ(diff.at(1), -2.0f);
+  EXPECT_EQ(scaled.at(1), 4.0f);
+  // Operands untouched.
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+TEST(TensorTest, RandomNormalStatistics) {
+  util::Rng rng(1);
+  Tensor t = Tensor::RandomNormal({10000}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.Mean(), 1.0f, 0.1f);
+  float var = t.SquaredL2Norm() / t.numel() - t.Mean() * t.Mean();
+  EXPECT_NEAR(var, 4.0f, 0.3f);
+}
+
+TEST(TensorTest, RandomUniformBounds) {
+  util::Rng rng(2);
+  Tensor t = Tensor::RandomUniform({1000}, rng, -0.5f, 0.5f);
+  EXPECT_LE(t.Max(), 0.5f);
+  EXPECT_GE(-t.Max() - 1.0f, -1.5f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_GE(t.at(i), -0.5f);
+}
+
+TEST(TensorTest, SerializeRoundTrip) {
+  Tensor original = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<std::uint8_t> bytes;
+  original.SerializeTo(bytes);
+
+  std::size_t offset = 0;
+  Tensor restored;
+  ASSERT_TRUE(Tensor::DeserializeFrom(bytes, offset, restored));
+  EXPECT_EQ(offset, bytes.size());
+  ASSERT_TRUE(restored.SameShape(original));
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    EXPECT_EQ(restored.at(i), original.at(i));
+  }
+}
+
+TEST(TensorTest, SerializeMultipleTensors) {
+  Tensor a = Tensor::Full({2}, 1.0f);
+  Tensor b = Tensor::Full({3}, 2.0f);
+  std::vector<std::uint8_t> bytes;
+  a.SerializeTo(bytes);
+  b.SerializeTo(bytes);
+  std::size_t offset = 0;
+  Tensor ra, rb;
+  ASSERT_TRUE(Tensor::DeserializeFrom(bytes, offset, ra));
+  ASSERT_TRUE(Tensor::DeserializeFrom(bytes, offset, rb));
+  EXPECT_EQ(ra.numel(), 2);
+  EXPECT_EQ(rb.numel(), 3);
+  EXPECT_EQ(rb.at(0), 2.0f);
+}
+
+TEST(TensorTest, DeserializeRejectsTruncated) {
+  Tensor t = Tensor::Full({4}, 1.0f);
+  std::vector<std::uint8_t> bytes;
+  t.SerializeTo(bytes);
+  bytes.resize(bytes.size() - 3);
+  std::size_t offset = 0;
+  Tensor restored;
+  EXPECT_FALSE(Tensor::DeserializeFrom(bytes, offset, restored));
+}
+
+// -------------------------------------------------------------- ops::Gemm
+
+TEST(GemmTest, PlainMatMul) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(GemmTest, RectangularShapes) {
+  Tensor a = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 5.0f);
+}
+
+// Reference GEMM for randomized comparison.
+void NaiveGemm(bool trans_a, bool trans_b, int m, int n, int k,
+               const std::vector<float>& a, const std::vector<float>& b,
+               std::vector<float>& c) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        float av = trans_a ? a[p * m + i] : a[i * k + p];
+        float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+struct GemmCase {
+  bool trans_a;
+  bool trans_b;
+};
+
+class GemmTransposeTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTransposeTest, MatchesNaive) {
+  GemmCase config = GetParam();
+  util::Rng rng(99);
+  int m = 5, n = 7, k = 4;
+  std::vector<float> a(m * k), b(k * n), expected(m * n), actual(m * n, 0.0f);
+  for (float& value : a) value = static_cast<float>(rng.Normal());
+  for (float& value : b) value = static_cast<float>(rng.Normal());
+
+  NaiveGemm(config.trans_a, config.trans_b, m, n, k, a, b, expected);
+  int lda = config.trans_a ? m : k;
+  int ldb = config.trans_b ? k : n;
+  ops::Gemm(config.trans_a, config.trans_b, m, n, k, 1.0f, a.data(), lda,
+            b.data(), ldb, 0.0f, actual.data(), n);
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(actual[i], expected[i], 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTransposeTest,
+                         ::testing::Values(GemmCase{false, false},
+                                           GemmCase{true, false},
+                                           GemmCase{false, true},
+                                           GemmCase{true, true}));
+
+TEST(GemmTest, AlphaBetaAccumulate) {
+  int m = 2, n = 2, k = 2;
+  std::vector<float> a = {1, 0, 0, 1};
+  std::vector<float> b = {1, 2, 3, 4};
+  std::vector<float> c = {10, 10, 10, 10};
+  ops::Gemm(false, false, m, n, k, 2.0f, a.data(), k, b.data(), n, 1.0f,
+            c.data(), n);
+  EXPECT_FLOAT_EQ(c[0], 12.0f);
+  EXPECT_FLOAT_EQ(c[3], 18.0f);
+}
+
+// ----------------------------------------------------------- Im2Col etc.
+
+TEST(ConvOutSizeTest, StandardArithmetic) {
+  EXPECT_EQ(ops::ConvOutSize(16, 3, 1, 1), 16);
+  EXPECT_EQ(ops::ConvOutSize(16, 2, 2, 0), 8);
+  EXPECT_EQ(ops::ConvOutSize(16, 5, 1, 2), 16);
+  EXPECT_EQ(ops::ConvOutSize(16, 3, 2, 1), 8);
+}
+
+TEST(Im2ColTest, IdentityKernel) {
+  // 1x1 kernel, stride 1, no pad: columns == image.
+  std::vector<float> image = {1, 2, 3, 4};
+  std::vector<float> columns(4);
+  ops::Im2Col(image.data(), 1, 2, 2, 1, 1, 1, 0, columns.data());
+  EXPECT_EQ(columns, image);
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  std::vector<float> image = {1.0f};
+  // 1x1 image, 3x3 kernel, pad 1 => 1 output pixel, 9 patch rows.
+  std::vector<float> columns(9, -1.0f);
+  ops::Im2Col(image.data(), 1, 1, 1, 3, 3, 1, 1, columns.data());
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(columns[i], i == 4 ? 1.0f : 0.0f);
+  }
+}
+
+TEST(Col2ImTest, AdjointOfIm2Col) {
+  // <Im2Col(x), y> == <x, Col2Im(y)> (adjoint property).
+  util::Rng rng(5);
+  int c = 2, h = 4, w = 4, kernel = 3, stride = 1, pad = 1;
+  int out_h = ops::ConvOutSize(h, kernel, stride, pad);
+  int out_w = ops::ConvOutSize(w, kernel, stride, pad);
+  int cols_size = c * kernel * kernel * out_h * out_w;
+
+  std::vector<float> x(c * h * w), y(cols_size);
+  for (float& value : x) value = static_cast<float>(rng.Normal());
+  for (float& value : y) value = static_cast<float>(rng.Normal());
+
+  std::vector<float> cols(cols_size);
+  ops::Im2Col(x.data(), c, h, w, kernel, kernel, stride, pad, cols.data());
+  double lhs = 0.0;
+  for (int i = 0; i < cols_size; ++i) lhs += static_cast<double>(cols[i]) * y[i];
+
+  std::vector<float> back(c * h * w, 0.0f);
+  ops::Col2Im(y.data(), c, h, w, kernel, kernel, stride, pad, back.data());
+  double rhs = 0.0;
+  for (int i = 0; i < c * h * w; ++i) rhs += static_cast<double>(x[i]) * back[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor logits = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0, 1});
+  ops::SoftmaxRows(logits);
+  for (int r = 0; r < 2; ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < 3; ++c) total += logits.at(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableWithLargeLogits) {
+  Tensor logits = Tensor::FromVector({1, 3}, {1000.0f, 1000.0f, 999.0f});
+  ops::SoftmaxRows(logits);
+  EXPECT_FALSE(std::isnan(logits.at(0, 0)));
+  EXPECT_GT(logits.at(0, 0), logits.at(0, 2));
+}
+
+TEST(ArgMaxRowTest, FindsMax) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 5, 2, 9, 0, 3});
+  EXPECT_EQ(ops::ArgMaxRow(t, 0), 1);
+  EXPECT_EQ(ops::ArgMaxRow(t, 1), 0);
+}
+
+TEST(CosineSimilarityTest, KnownValues) {
+  EXPECT_NEAR(ops::CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-9);
+  EXPECT_NEAR(ops::CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-9);
+  EXPECT_NEAR(ops::CosineSimilarity({1, 1}, {-1, -1}), -1.0, 1e-9);
+}
+
+TEST(CosineSimilarityTest, ZeroVectorYieldsZero) {
+  EXPECT_EQ(ops::CosineSimilarity({0, 0}, {1, 2}), 0.0);
+}
+
+TEST(CosineSimilarityTest, ScaleInvariant) {
+  std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {4, -1, 2};
+  std::vector<float> y2 = {8, -2, 4};
+  EXPECT_NEAR(ops::CosineSimilarity(x, y), ops::CosineSimilarity(x, y2),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace fedcross
