@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/fedcross_bench_common.dir/bench_common.cc.o.d"
+  "libfedcross_bench_common.a"
+  "libfedcross_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_motivating_toy.dir/fig1_motivating_toy.cc.o"
+  "CMakeFiles/fig1_motivating_toy.dir/fig1_motivating_toy.cc.o.d"
+  "fig1_motivating_toy"
+  "fig1_motivating_toy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_motivating_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

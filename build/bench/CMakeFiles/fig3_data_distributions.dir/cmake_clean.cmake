@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_data_distributions.dir/fig3_data_distributions.cc.o"
+  "CMakeFiles/fig3_data_distributions.dir/fig3_data_distributions.cc.o.d"
+  "fig3_data_distributions"
+  "fig3_data_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_data_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_loss_landscape.dir/fig4_loss_landscape.cc.o"
+  "CMakeFiles/fig4_loss_landscape.dir/fig4_loss_landscape.cc.o.d"
+  "fig4_loss_landscape"
+  "fig4_loss_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_loss_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

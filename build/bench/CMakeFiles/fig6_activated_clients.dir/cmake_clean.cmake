@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_activated_clients.dir/fig6_activated_clients.cc.o"
+  "CMakeFiles/fig6_activated_clients.dir/fig6_activated_clients.cc.o.d"
+  "fig6_activated_clients"
+  "fig6_activated_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_activated_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_total_clients.dir/fig7_total_clients.cc.o"
+  "CMakeFiles/fig7_total_clients.dir/fig7_total_clients.cc.o.d"
+  "fig7_total_clients"
+  "fig7_total_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_total_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_alpha_curves.dir/fig8_alpha_curves.cc.o"
+  "CMakeFiles/fig8_alpha_curves.dir/fig8_alpha_curves.cc.o.d"
+  "fig8_alpha_curves"
+  "fig8_alpha_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_alpha_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_acceleration.dir/fig9_acceleration.cc.o"
+  "CMakeFiles/fig9_acceleration.dir/fig9_acceleration.cc.o.d"
+  "fig9_acceleration"
+  "fig9_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_comm_overhead.dir/table1_comm_overhead.cc.o"
+  "CMakeFiles/table1_comm_overhead.dir/table1_comm_overhead.cc.o.d"
+  "table1_comm_overhead"
+  "table1_comm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_comm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_alpha_selection.dir/table3_alpha_selection.cc.o"
+  "CMakeFiles/table3_alpha_selection.dir/table3_alpha_selection.cc.o.d"
+  "table3_alpha_selection"
+  "table3_alpha_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_alpha_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

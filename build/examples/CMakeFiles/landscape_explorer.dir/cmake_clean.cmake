@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landscape_explorer.dir/landscape_explorer.cc.o"
+  "CMakeFiles/landscape_explorer.dir/landscape_explorer.cc.o.d"
+  "landscape_explorer"
+  "landscape_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landscape_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for landscape_explorer.
+# This may be replaced when dependencies are built.

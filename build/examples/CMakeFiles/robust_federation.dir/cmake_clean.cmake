@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_federation.dir/robust_federation.cc.o"
+  "CMakeFiles/robust_federation.dir/robust_federation.cc.o.d"
+  "robust_federation"
+  "robust_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

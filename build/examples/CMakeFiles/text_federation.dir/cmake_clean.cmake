@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_federation.dir/text_federation.cc.o"
+  "CMakeFiles/text_federation.dir/text_federation.cc.o.d"
+  "text_federation"
+  "text_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

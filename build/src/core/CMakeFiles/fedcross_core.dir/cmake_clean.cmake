@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_core.dir/fedcross.cc.o"
+  "CMakeFiles/fedcross_core.dir/fedcross.cc.o.d"
+  "CMakeFiles/fedcross_core.dir/landscape.cc.o"
+  "CMakeFiles/fedcross_core.dir/landscape.cc.o.d"
+  "CMakeFiles/fedcross_core.dir/quadratic.cc.o"
+  "CMakeFiles/fedcross_core.dir/quadratic.cc.o.d"
+  "libfedcross_core.a"
+  "libfedcross_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_data.dir/dataloader.cc.o"
+  "CMakeFiles/fedcross_data.dir/dataloader.cc.o.d"
+  "CMakeFiles/fedcross_data.dir/dataset.cc.o"
+  "CMakeFiles/fedcross_data.dir/dataset.cc.o.d"
+  "CMakeFiles/fedcross_data.dir/partition.cc.o"
+  "CMakeFiles/fedcross_data.dir/partition.cc.o.d"
+  "CMakeFiles/fedcross_data.dir/synthetic_image.cc.o"
+  "CMakeFiles/fedcross_data.dir/synthetic_image.cc.o.d"
+  "CMakeFiles/fedcross_data.dir/synthetic_text.cc.o"
+  "CMakeFiles/fedcross_data.dir/synthetic_text.cc.o.d"
+  "libfedcross_data.a"
+  "libfedcross_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

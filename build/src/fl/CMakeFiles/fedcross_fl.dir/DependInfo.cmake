@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/algorithm.cc" "src/fl/CMakeFiles/fedcross_fl.dir/algorithm.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/algorithm.cc.o.d"
+  "/root/repo/src/fl/client.cc" "src/fl/CMakeFiles/fedcross_fl.dir/client.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/client.cc.o.d"
+  "/root/repo/src/fl/clusamp.cc" "src/fl/CMakeFiles/fedcross_fl.dir/clusamp.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/clusamp.cc.o.d"
+  "/root/repo/src/fl/evaluator.cc" "src/fl/CMakeFiles/fedcross_fl.dir/evaluator.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/evaluator.cc.o.d"
+  "/root/repo/src/fl/fedavg.cc" "src/fl/CMakeFiles/fedcross_fl.dir/fedavg.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/fedavg.cc.o.d"
+  "/root/repo/src/fl/fedcluster.cc" "src/fl/CMakeFiles/fedcross_fl.dir/fedcluster.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/fedcluster.cc.o.d"
+  "/root/repo/src/fl/fedgen.cc" "src/fl/CMakeFiles/fedcross_fl.dir/fedgen.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/fedgen.cc.o.d"
+  "/root/repo/src/fl/history.cc" "src/fl/CMakeFiles/fedcross_fl.dir/history.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/history.cc.o.d"
+  "/root/repo/src/fl/privacy.cc" "src/fl/CMakeFiles/fedcross_fl.dir/privacy.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/privacy.cc.o.d"
+  "/root/repo/src/fl/scaffold.cc" "src/fl/CMakeFiles/fedcross_fl.dir/scaffold.cc.o" "gcc" "src/fl/CMakeFiles/fedcross_fl.dir/scaffold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fedcross_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fedcross_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedcross_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/fedcross_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedcross_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedcross_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_fl.dir/algorithm.cc.o"
+  "CMakeFiles/fedcross_fl.dir/algorithm.cc.o.d"
+  "CMakeFiles/fedcross_fl.dir/client.cc.o"
+  "CMakeFiles/fedcross_fl.dir/client.cc.o.d"
+  "CMakeFiles/fedcross_fl.dir/clusamp.cc.o"
+  "CMakeFiles/fedcross_fl.dir/clusamp.cc.o.d"
+  "CMakeFiles/fedcross_fl.dir/evaluator.cc.o"
+  "CMakeFiles/fedcross_fl.dir/evaluator.cc.o.d"
+  "CMakeFiles/fedcross_fl.dir/fedavg.cc.o"
+  "CMakeFiles/fedcross_fl.dir/fedavg.cc.o.d"
+  "CMakeFiles/fedcross_fl.dir/fedcluster.cc.o"
+  "CMakeFiles/fedcross_fl.dir/fedcluster.cc.o.d"
+  "CMakeFiles/fedcross_fl.dir/fedgen.cc.o"
+  "CMakeFiles/fedcross_fl.dir/fedgen.cc.o.d"
+  "CMakeFiles/fedcross_fl.dir/history.cc.o"
+  "CMakeFiles/fedcross_fl.dir/history.cc.o.d"
+  "CMakeFiles/fedcross_fl.dir/privacy.cc.o"
+  "CMakeFiles/fedcross_fl.dir/privacy.cc.o.d"
+  "CMakeFiles/fedcross_fl.dir/scaffold.cc.o"
+  "CMakeFiles/fedcross_fl.dir/scaffold.cc.o.d"
+  "libfedcross_fl.a"
+  "libfedcross_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedcross_fl.a"
+)

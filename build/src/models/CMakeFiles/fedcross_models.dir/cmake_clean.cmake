@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_models.dir/model_zoo.cc.o"
+  "CMakeFiles/fedcross_models.dir/model_zoo.cc.o.d"
+  "libfedcross_models.a"
+  "libfedcross_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

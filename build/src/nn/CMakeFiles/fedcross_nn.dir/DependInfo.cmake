@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/fedcross_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/fedcross_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/fedcross_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/fedcross_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/fedcross_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/flatten.cc" "src/nn/CMakeFiles/fedcross_nn.dir/flatten.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/flatten.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/fedcross_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/fedcross_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/fedcross_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/fedcross_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/nn/CMakeFiles/fedcross_nn.dir/norm.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/norm.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/nn/CMakeFiles/fedcross_nn.dir/pooling.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/pooling.cc.o.d"
+  "/root/repo/src/nn/residual.cc" "src/nn/CMakeFiles/fedcross_nn.dir/residual.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/residual.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/fedcross_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/fedcross_nn.dir/sequential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedcross_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedcross_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_nn.dir/activations.cc.o"
+  "CMakeFiles/fedcross_nn.dir/activations.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/fedcross_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/conv2d.cc.o"
+  "CMakeFiles/fedcross_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/dropout.cc.o"
+  "CMakeFiles/fedcross_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/embedding.cc.o"
+  "CMakeFiles/fedcross_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/flatten.cc.o"
+  "CMakeFiles/fedcross_nn.dir/flatten.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/init.cc.o"
+  "CMakeFiles/fedcross_nn.dir/init.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/linear.cc.o"
+  "CMakeFiles/fedcross_nn.dir/linear.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/loss.cc.o"
+  "CMakeFiles/fedcross_nn.dir/loss.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/lstm.cc.o"
+  "CMakeFiles/fedcross_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/norm.cc.o"
+  "CMakeFiles/fedcross_nn.dir/norm.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/pooling.cc.o"
+  "CMakeFiles/fedcross_nn.dir/pooling.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/residual.cc.o"
+  "CMakeFiles/fedcross_nn.dir/residual.cc.o.d"
+  "CMakeFiles/fedcross_nn.dir/sequential.cc.o"
+  "CMakeFiles/fedcross_nn.dir/sequential.cc.o.d"
+  "libfedcross_nn.a"
+  "libfedcross_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_optim.dir/adam.cc.o"
+  "CMakeFiles/fedcross_optim.dir/adam.cc.o.d"
+  "CMakeFiles/fedcross_optim.dir/schedule.cc.o"
+  "CMakeFiles/fedcross_optim.dir/schedule.cc.o.d"
+  "CMakeFiles/fedcross_optim.dir/sgd.cc.o"
+  "CMakeFiles/fedcross_optim.dir/sgd.cc.o.d"
+  "libfedcross_optim.a"
+  "libfedcross_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fedcross_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/fedcross_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/fedcross_tensor.dir/tensor_ops.cc.o.d"
+  "libfedcross_tensor.a"
+  "libfedcross_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

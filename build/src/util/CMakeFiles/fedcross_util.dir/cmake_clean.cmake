@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_util.dir/csv_writer.cc.o"
+  "CMakeFiles/fedcross_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/fedcross_util.dir/flags.cc.o"
+  "CMakeFiles/fedcross_util.dir/flags.cc.o.d"
+  "CMakeFiles/fedcross_util.dir/logging.cc.o"
+  "CMakeFiles/fedcross_util.dir/logging.cc.o.d"
+  "CMakeFiles/fedcross_util.dir/rng.cc.o"
+  "CMakeFiles/fedcross_util.dir/rng.cc.o.d"
+  "CMakeFiles/fedcross_util.dir/status.cc.o"
+  "CMakeFiles/fedcross_util.dir/status.cc.o.d"
+  "CMakeFiles/fedcross_util.dir/table_printer.cc.o"
+  "CMakeFiles/fedcross_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/fedcross_util.dir/thread_pool.cc.o"
+  "CMakeFiles/fedcross_util.dir/thread_pool.cc.o.d"
+  "libfedcross_util.a"
+  "libfedcross_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcross_test.dir/fedcross_test.cc.o"
+  "CMakeFiles/fedcross_test.dir/fedcross_test.cc.o.d"
+  "fedcross_test"
+  "fedcross_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcross_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

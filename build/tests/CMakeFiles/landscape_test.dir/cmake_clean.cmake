@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landscape_test.dir/landscape_test.cc.o"
+  "CMakeFiles/landscape_test.dir/landscape_test.cc.o.d"
+  "landscape_test"
+  "landscape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landscape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

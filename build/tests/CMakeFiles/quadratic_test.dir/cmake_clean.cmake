@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadratic_test.dir/quadratic_test.cc.o"
+  "CMakeFiles/quadratic_test.dir/quadratic_test.cc.o.d"
+  "quadratic_test"
+  "quadratic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadratic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

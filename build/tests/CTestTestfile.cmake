@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tensor_test "/root/repo/build/tests/tensor_test")
+set_tests_properties(tensor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gradcheck_test "/root/repo/build/tests/gradcheck_test")
+set_tests_properties(gradcheck_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build/tests/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(optim_test "/root/repo/build/tests/optim_test")
+set_tests_properties(optim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(data_test "/root/repo/build/tests/data_test")
+set_tests_properties(data_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(models_test "/root/repo/build/tests/models_test")
+set_tests_properties(models_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fl_test "/root/repo/build/tests/fl_test")
+set_tests_properties(fl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fedcross_test "/root/repo/build/tests/fedcross_test")
+set_tests_properties(fedcross_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(landscape_test "/root/repo/build/tests/landscape_test")
+set_tests_properties(landscape_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(quadratic_test "/root/repo/build/tests/quadratic_test")
+set_tests_properties(quadratic_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build/tests/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;fedcross_test;/root/repo/tests/CMakeLists.txt;0;")
