@@ -17,6 +17,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int num_clients = flags.GetInt("clients", 100);
   int show_clients = flags.GetInt("show", 10);
   std::string csv_path = flags.GetString("csv", "fig3_distributions.csv");

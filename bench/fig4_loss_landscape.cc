@@ -18,6 +18,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 60);
   int grid = flags.GetInt("grid", 9);
   double radius = flags.GetDouble("radius", 0.8);

@@ -15,6 +15,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 100);
   int num_clients = flags.GetInt("clients", 50);
   int k = flags.GetInt("k", 5);

@@ -17,6 +17,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 60);
   int num_clients = flags.GetInt("clients", 40);
   bool all_methods = flags.GetBool("all", false);

@@ -17,6 +17,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 60);
   int total_per_class = flags.GetInt("total-per-class", 80);
   bool all_methods = flags.GetBool("all", false);

@@ -26,6 +26,7 @@ struct Variant {
 
 int Main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 60);
   int window = flags.GetInt("accel-window", 16);
   int num_clients = flags.GetInt("clients", 50);

@@ -6,10 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/fedcross.h"
+#include "fl/fedavg.h"
 #include "models/model_zoo.h"
+#include "nn/activations.h"
 #include "nn/conv2d.h"
+#include "nn/linear.h"
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
@@ -30,7 +34,7 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_ConvForward(benchmark::State& state) {
   int channels = static_cast<int>(state.range(0));
@@ -102,6 +106,69 @@ void BM_CosineSimilarity(benchmark::State& state) {
                           static_cast<std::int64_t>(sizeof(float)) * 2);
 }
 BENCHMARK(BM_CosineSimilarity)->Arg(1)->Arg(2)->Arg(4);
+
+// One K=8-client FedAvg round vs --fl_threads (the benchmark arg). The
+// per-(round, slot) seeded client Rngs make every thread count produce the
+// same model, so this measures pure scheduling speedup: on an N-core
+// machine, throughput should scale until Arg reaches N.
+constexpr int kFedRoundDim = 64;
+
+void BM_FedRound(benchmark::State& state) {
+  constexpr int kClients = 8;
+  constexpr int kDim = kFedRoundDim;
+  util::Rng rng(7);
+  data::FederatedDataset federated;
+  federated.num_classes = 2;
+  auto fill = [&](int n, std::vector<float>& features,
+                  std::vector<int>& labels) {
+    for (int i = 0; i < n; ++i) {
+      int k = static_cast<int>(rng.UniformInt(2));
+      float mean = k == 0 ? -1.0f : 1.0f;
+      for (int d = 0; d < kDim; ++d) {
+        features.push_back(mean + static_cast<float>(rng.Normal(0.0, 1.0)));
+      }
+      labels.push_back(k);
+    }
+  };
+  for (int c = 0; c < kClients; ++c) {
+    std::vector<float> features;
+    std::vector<int> labels;
+    fill(200, features, labels);
+    federated.client_train.push_back(std::make_shared<data::InMemoryDataset>(
+        Tensor::Shape{kDim}, std::move(features), std::move(labels), 2));
+  }
+  {
+    std::vector<float> features;
+    std::vector<int> labels;
+    fill(50, features, labels);
+    federated.test = std::make_shared<data::InMemoryDataset>(
+        Tensor::Shape{kDim}, std::move(features), std::move(labels), 2);
+  }
+  models::ModelFactory factory = [] {
+    util::Rng model_rng(1);
+    nn::Sequential model;
+    model.Add(std::make_unique<nn::Linear>(kFedRoundDim, 128, model_rng));
+    model.Add(std::make_unique<nn::Relu>());
+    model.Add(std::make_unique<nn::Linear>(128, 2, model_rng));
+    return model;
+  };
+  fl::AlgorithmConfig config;
+  config.clients_per_round = kClients;
+  config.train.local_epochs = 2;
+  config.train.batch_size = 20;
+  config.seed = 42;
+
+  fl::SetFlThreads(static_cast<int>(state.range(0)));
+  fl::FedAvg fedavg(config, std::move(federated), std::move(factory));
+  int round = 0;
+  for (auto _ : state) {
+    fedavg.RunRound(round++);
+    benchmark::DoNotOptimize(round);
+  }
+  state.SetItemsProcessed(state.iterations() * kClients);
+  fl::SetFlThreads(1);
+}
+BENCHMARK(BM_FedRound)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_LossForwardBackward(benchmark::State& state) {
   util::Rng rng(4);

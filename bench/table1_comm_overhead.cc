@@ -26,6 +26,7 @@ const char* Category(const std::string& method) {
 
 int Main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int num_clients = flags.GetInt("clients", 20);
   std::string csv_path = flags.GetString("csv", "table1_comm.csv");
   if (!flags.ok()) {

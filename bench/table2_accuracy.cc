@@ -19,6 +19,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 120);
   int repeats = flags.GetInt("repeats", 1);
   int num_clients = flags.GetInt("clients", 50);

@@ -45,6 +45,7 @@ data::FederatedDataset MakeData(double beta, int num_clients,
 
 int Run(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 60);
   int num_clients = flags.GetInt("clients", 30);
   int k = flags.GetInt("k", 3);

@@ -45,6 +45,7 @@ void PrintAscii(const core::LandscapeResult& landscape) {
 
 int Run(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 40);
   int grid = flags.GetInt("grid", 9);
   double radius = flags.GetDouble("radius", 0.8);

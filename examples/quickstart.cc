@@ -3,6 +3,7 @@
 //
 //   ./quickstart [--rounds 40] [--clients 20] [--k 4] [--beta 0.5]
 //                [--alpha 0.9] [--strategy lowest-similarity]
+//                [--fl_threads 0]   (0 = all cores, 1 = sequential)
 //
 // This is the minimal end-to-end use of the public API:
 //   1. build a dataset and partition it across clients,
@@ -22,6 +23,7 @@ int Run(int argc, char** argv) {
   using namespace fedcross;
 
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 40);
   int num_clients = flags.GetInt("clients", 20);
   int k = flags.GetInt("k", 4);

@@ -39,6 +39,7 @@ data::FederatedDataset MakeData(int num_clients, std::uint64_t seed) {
 
 int Run(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 40);
   int num_clients = flags.GetInt("clients", 20);
   int k = flags.GetInt("k", 4);

@@ -23,6 +23,7 @@ using namespace fedcross;
 
 int Run(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int rounds = flags.GetInt("rounds", 30);
   int num_clients = flags.GetInt("clients", 12);
   int k = flags.GetInt("k", 3);

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the micro benchmarks and writes the results as JSON so the perf
+# trajectory can be tracked across PRs:
+#
+#   BENCH_gemm.json   BM_Gemm/{32..512}  (blocked GEMM kernel)
+#   BENCH_round.json  BM_FedRound/{1,2,4} (parallel client training)
+#
+# Usage: scripts/bench_to_json.sh [build_dir] [output_dir]
+# Defaults: build_dir=build, output_dir=. — run from the repo root.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-.}"
+bench_bin="${build_dir}/bench/micro_ops"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} not found; build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+
+min_time="${BENCH_MIN_TIME:-0.2}"
+
+run_filter() {
+  # google-benchmark's JSON goes to the --benchmark_out file; console output
+  # stays on stderr for progress.
+  local filter="$1" out_file="$2"
+  "${bench_bin}" \
+    --benchmark_filter="${filter}" \
+    --benchmark_min_time="${min_time}" \
+    --benchmark_out="${out_file}" \
+    --benchmark_out_format=json 1>&2
+  echo "wrote ${out_file}" >&2
+}
+
+run_filter '^BM_Gemm/' "${out_dir}/BENCH_gemm.json"
+run_filter '^BM_FedRound/' "${out_dir}/BENCH_round.json"

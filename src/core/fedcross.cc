@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fl/flat_ops.h"
 #include "tensor/tensor_ops.h"
 
 namespace fedcross::core {
@@ -133,13 +134,29 @@ fl::FlatParams FedCross::CrossAggregate(const fl::FlatParams& model,
                                         const fl::FlatParams& collaborator,
                                         double alpha) {
   FC_CHECK_EQ(model.size(), collaborator.size());
-  fl::FlatParams fused(model.size());
+  fl::FlatParams fused;
   float a = static_cast<float>(alpha);
-  float b = 1.0f - a;
-  for (std::size_t i = 0; i < fused.size(); ++i) {
-    fused[i] = a * model[i] + b * collaborator[i];
-  }
+  fl::flat_ops::LinearCombine(a, model, 1.0f - a, collaborator, fused);
   return fused;
+}
+
+std::vector<int> FedCross::SelectPropellerIndices(int model_index, int round,
+                                                  int k, int count) {
+  FC_CHECK_GT(k, 1);
+  FC_CHECK_GE(model_index, 0);
+  FC_CHECK_LT(model_index, k);
+  count = std::min(count, k - 1);
+  // Walk forward from the in-order collaborator, skipping the model itself;
+  // each other index is visited at most once per lap, so the selection is
+  // duplicate-free by construction.
+  std::vector<int> indices;
+  indices.reserve(count);
+  int j = (model_index + (round % (k - 1) + 1)) % k;
+  while (static_cast<int>(indices.size()) < count) {
+    if (j != model_index) indices.push_back(j);
+    j = (j + 1) % k;
+  }
+  return indices;
 }
 
 void FedCross::RunRound(int round) {
@@ -150,17 +167,20 @@ void FedCross::RunRound(int round) {
   std::vector<int> selected = SampleClients();
   rng().Shuffle(selected);
 
-  // Lines 7-10: local training of every middleware model. A dropped client
-  // simply never uploads, so the server keeps its dispatched copy of that
-  // middleware model (result.params echoes the dispatch in that case).
-  std::vector<fl::FlatParams> uploaded(k);
+  // Lines 7-10: local training of every middleware model — the K clients
+  // are independent, so they fan out across the client-training pool. A
+  // dropped client simply never uploads, so the server keeps its dispatched
+  // copy of that middleware model (result.params echoes the dispatch).
   fl::ClientTrainSpec spec;
   spec.options = config().train;
+  std::vector<ClientJob> jobs(k);
   for (int i = 0; i < k; ++i) {
-    fl::LocalTrainResult result =
-        TrainClient(selected[i], middleware_[i], spec);
-    uploaded[i] = std::move(result.params);
+    jobs[i] = {selected[i], &middleware_[i], &spec};
   }
+  std::vector<fl::LocalTrainResult> results =
+      TrainClients(round, /*salt=*/0, jobs);
+  std::vector<fl::FlatParams> uploaded(k);
+  for (int i = 0; i < k; ++i) uploaded[i] = std::move(results[i].params);
 
   // Lines 11-15: CoModelSel + CrossAggr.
   double alpha = AlphaAt(round);
@@ -169,20 +189,16 @@ void FedCross::RunRound(int round) {
   std::vector<fl::FlatParams> next(k);
   for (int i = 0; i < k; ++i) {
     if (use_propellers) {
-      // Propeller acceleration: average propeller_count in-order-selected
-      // models to share the (1 - alpha) mass.
-      int count = std::min(options_.propeller_count, k - 1);
+      // Propeller acceleration: average propeller_count distinct in-order-
+      // selected models to share the (1 - alpha) mass.
+      std::vector<int> propellers =
+          SelectPropellerIndices(i, round, k, options_.propeller_count);
       fl::FlatParams propeller_mean(uploaded[i].size(), 0.0f);
-      for (int p = 0; p < count; ++p) {
-        int j = (i + (round % (k - 1) + 1) + p) % k;
-        if (j == i) j = (j + 1) % k;
-        const fl::FlatParams& source = uploaded[j];
-        for (std::size_t x = 0; x < propeller_mean.size(); ++x) {
-          propeller_mean[x] += source[x];
-        }
+      for (int j : propellers) {
+        fl::flat_ops::AddInto(propeller_mean, uploaded[j]);
       }
-      float inv = 1.0f / static_cast<float>(count);
-      for (float& x : propeller_mean) x *= inv;
+      fl::flat_ops::Scale(propeller_mean,
+                          1.0f / static_cast<float>(propellers.size()));
       next[i] = CrossAggregate(uploaded[i], propeller_mean, alpha);
     } else {
       int co = SelectCollaborator(i, round, uploaded);

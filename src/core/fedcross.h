@@ -95,6 +95,12 @@ class FedCross : public fl::FlAlgorithm {
                                        const fl::FlatParams& collaborator,
                                        double alpha);
 
+  // Propeller selection: the `count` distinct in-order propeller indices
+  // for `model_index` in `round` (never includes model_index itself; capped
+  // at k-1). Exposed for the dedup regression test.
+  static std::vector<int> SelectPropellerIndices(int model_index, int round,
+                                                 int k, int count);
+
  private:
   FedCrossOptions options_;
   std::vector<fl::FlatParams> middleware_;  // the dispatched model list W

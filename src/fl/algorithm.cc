@@ -1,8 +1,72 @@
 #include "fl/algorithm.h"
 
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "fl/flat_ops.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace fedcross::fl {
+namespace {
+
+// Process-wide client-training pool, built lazily at the requested size.
+std::mutex g_pool_mutex;
+int g_requested_threads = 0;  // <= 0: hardware_concurrency
+std::unique_ptr<util::ThreadPool> g_pool;
+
+int ResolveThreads(int requested) {
+  int threads = requested;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return threads < 1 ? 1 : threads;
+}
+
+// Returns the shared pool, or nullptr when training should stay on the
+// calling thread (the legacy single-threaded path).
+util::ThreadPool* AcquireClientPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  int want = ResolveThreads(g_requested_threads);
+  if (want == 1) return nullptr;
+  if (g_pool == nullptr || g_pool->num_threads() != want) {
+    g_pool = std::make_unique<util::ThreadPool>(want);
+  }
+  return g_pool.get();
+}
+
+// SplitMix64 finalizer: bijective avalanche mix.
+std::uint64_t MixSeed(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Deterministic per-(run, round, batch, slot) seed for one client job. This
+// derivation — not the shared run Rng — is what makes the parallel schedule
+// bit-identical to the sequential one.
+std::uint64_t ClientJobSeed(std::uint64_t seed, int round, int salt,
+                            int slot) {
+  std::uint64_t h = MixSeed(seed ^ 0x636c69656e74ULL);  // "client"
+  h = MixSeed(h + static_cast<std::uint64_t>(round));
+  h = MixSeed(h + static_cast<std::uint64_t>(salt));
+  return MixSeed(h + static_cast<std::uint64_t>(slot));
+}
+
+}  // namespace
+
+void SetFlThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_requested_threads = n;
+  g_pool.reset();  // rebuilt lazily at the new size
+}
+
+int FlThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return ResolveThreads(g_requested_threads);
+}
 
 FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
                          data::FederatedDataset data,
@@ -61,31 +125,54 @@ std::vector<int> FlAlgorithm::SampleClients() {
                                        config_.clients_per_round);
 }
 
-LocalTrainResult FlAlgorithm::TrainClient(int client_id,
-                                          const FlatParams& init_params,
-                                          const ClientTrainSpec& spec) {
-  FC_CHECK_GE(client_id, 0);
-  FC_CHECK_LT(client_id, num_clients());
-  comm_.AddDownload(CommTracker::FloatBytes(model_size_));
+std::vector<LocalTrainResult> FlAlgorithm::TrainClients(
+    int round, int salt, const std::vector<ClientJob>& jobs) {
+  int count = static_cast<int>(jobs.size());
+  std::vector<LocalTrainResult> results(count);
+  auto train_slot = [&](int slot) {
+    util::Rng job_rng(ClientJobSeed(config_.seed, round, salt, slot));
+    results[slot] = TrainClientJob(jobs[slot], job_rng);
+  };
+  util::ThreadPool* pool = AcquireClientPool();
+  if (pool != nullptr && count > 1) {
+    pool->ParallelFor(count, train_slot);
+  } else {
+    for (int slot = 0; slot < count; ++slot) train_slot(slot);
+  }
+  // Bookkeeping on the calling thread, in job order, so accounting is
+  // race-free and independent of the parallel schedule.
+  for (const LocalTrainResult& result : results) {
+    comm_.AddDownload(CommTracker::FloatBytes(model_size_));
+    if (result.dropped) continue;  // the device never uploads
+    comm_.AddUpload(CommTracker::FloatBytes(model_size_));
+    round_loss_sum_ += result.mean_loss;
+    ++round_loss_count_;
+  }
+  return results;
+}
+
+LocalTrainResult FlAlgorithm::TrainClientJob(const ClientJob& job,
+                                             util::Rng& rng) const {
+  FC_CHECK_GE(job.client_id, 0);
+  FC_CHECK_LT(job.client_id, num_clients());
+  FC_CHECK(job.init_params != nullptr);
+  FC_CHECK(job.spec != nullptr);
 
   // Fault injection: the device received the model but never uploads.
-  if (config_.dropout_prob > 0.0 && rng_.Uniform() < config_.dropout_prob) {
+  if (config_.dropout_prob > 0.0 && rng.Uniform() < config_.dropout_prob) {
     LocalTrainResult dropped;
-    dropped.params = init_params;
-    dropped.num_samples = clients_[client_id].num_samples();
+    dropped.params = *job.init_params;
+    dropped.num_samples = clients_[job.client_id].num_samples();
     dropped.dropped = true;
     return dropped;
   }
 
   LocalTrainResult result =
-      clients_[client_id].Train(factory_, init_params, spec, rng_);
+      clients_[job.client_id].Train(factory_, *job.init_params, *job.spec, rng);
   if (config_.dp.clip_norm > 0.0f) {
-    result.params = SanitizeUpdate(init_params, result.params, config_.dp,
-                                   rng_);
+    result.params =
+        SanitizeUpdate(*job.init_params, result.params, config_.dp, rng);
   }
-  comm_.AddUpload(CommTracker::FloatBytes(model_size_));
-  round_loss_sum_ += result.mean_loss;
-  ++round_loss_count_;
   return result;
 }
 
@@ -102,18 +189,15 @@ FlatParams FlAlgorithm::WeightedAverage(const std::vector<FlatParams>& models,
 
   FlatParams result(models[0].size(), 0.0f);
   for (std::size_t m = 0; m < models.size(); ++m) {
-    FC_CHECK_EQ(models[m].size(), result.size());
     float factor = static_cast<float>(weights[m] / total_weight);
-    const float* src = models[m].data();
-    for (std::size_t i = 0; i < result.size(); ++i) {
-      result[i] += factor * src[i];
-    }
+    flat_ops::Axpy(result, factor, models[m]);
   }
   return result;
 }
 
 FlatParams FlAlgorithm::Average(const std::vector<FlatParams>& models) {
-  return WeightedAverage(models, std::vector<double>(models.size(), 1.0));
+  FC_CHECK(!models.empty());
+  return flat_ops::Mean(models);
 }
 
 double FlAlgorithm::TakeRoundClientLoss() {

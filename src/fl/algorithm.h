@@ -17,6 +17,17 @@
 
 namespace fedcross::fl {
 
+// Number of threads used to train the clients of a round in parallel
+// (process-wide; shared thread pool). n <= 0 selects
+// std::thread::hardware_concurrency(); 1 runs the legacy in-line sequential
+// path with no pool involvement. Because every client job draws from its own
+// per-(round, client-slot) seeded Rng, results are bit-identical for every
+// thread count.
+void SetFlThreads(int n);
+
+// The resolved thread count SetFlThreads selected (never < 1).
+int FlThreads();
+
 // Shared configuration for all FL algorithms.
 struct AlgorithmConfig {
   int clients_per_round = 10;  // K; the paper activates 10% of N clients
@@ -80,10 +91,25 @@ class FlAlgorithm {
   // Samples K distinct client ids uniformly (the paper's random selection).
   std::vector<int> SampleClients();
 
-  // Runs local training on one client, logging model down/up traffic and
-  // accumulating the round's mean client loss.
-  LocalTrainResult TrainClient(int client_id, const FlatParams& init_params,
-                               const ClientTrainSpec& spec);
+  // One client-training job of a round: which client, which dispatched
+  // model, and the algorithm-specific training ingredients. The pointed-to
+  // data must stay valid (and unmodified) until TrainClients returns.
+  struct ClientJob {
+    int client_id = -1;
+    const FlatParams* init_params = nullptr;
+    const ClientTrainSpec* spec = nullptr;
+  };
+
+  // Runs every job's local training — in parallel across the shared pool
+  // when SetFlThreads allows — and returns the results in job order. Each
+  // job trains under an independent Rng seeded deterministically from
+  // (config.seed, round, salt, slot), so the outcome is bit-identical
+  // regardless of thread count or schedule. `salt` distinguishes multiple
+  // batches issued within one round (e.g. FedCluster's per-cluster steps).
+  // Model down/up traffic and the round's mean client loss are accounted on
+  // the calling thread, in job order.
+  std::vector<LocalTrainResult> TrainClients(int round, int salt,
+                                             const std::vector<ClientJob>& jobs);
 
   // Sample-count-weighted average of client models (FedAvg aggregation).
   static FlatParams WeightedAverage(const std::vector<FlatParams>& models,
@@ -94,6 +120,10 @@ class FlAlgorithm {
   double TakeRoundClientLoss();  // mean loss over the round's clients
 
  private:
+  // Body of one ClientJob: dropout draw, local SGD, DP sanitisation — all
+  // driven by the job's own rng so jobs are order- and thread-independent.
+  LocalTrainResult TrainClientJob(const ClientJob& job, util::Rng& rng) const;
+
   std::string name_;
   AlgorithmConfig config_;
   models::ModelFactory factory_;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "tensor/tensor_ops.h"
+#include "fl/flat_ops.h"
 
 namespace fedcross::fl {
 namespace {
@@ -57,7 +57,7 @@ void CluSamp::UpdateClusters() {
         double best = -2.0;
         int best_cluster = 0;
         for (int c = 0; c < k; ++c) {
-          double sim = ops::CosineSimilarity(client_updates_[i], centroids[c]);
+          double sim = flat_ops::CosineSimilarity(client_updates_[i], centroids[c]);
           if (sim > best) {
             best = sim;
             best_cluster = c;
@@ -104,31 +104,34 @@ void CluSamp::UpdateClusters() {
 }
 
 void CluSamp::RunRound(int round) {
-  (void)round;
   UpdateClusters();
   int k = config().clients_per_round;
 
-  // One uniformly sampled client per cluster.
+  // One uniformly sampled client per cluster (sampled on the run rng, on
+  // the calling thread, before the parallel fan-out).
   std::vector<std::vector<int>> members(k);
   for (int i = 0; i < num_clients(); ++i) members[assignment_[i]].push_back(i);
 
-  std::vector<FlatParams> local_models;
-  std::vector<double> weights;
   ClientTrainSpec spec;
   spec.options = config().train;
-
+  std::vector<ClientJob> jobs(k);
   for (int c = 0; c < k; ++c) {
     FC_CHECK(!members[c].empty());
-    int client_id = members[c][rng().UniformInt(members[c].size())];
-    LocalTrainResult result = TrainClient(client_id, global_, spec);
+    jobs[c] = {members[c][rng().UniformInt(members[c].size())], &global_,
+               &spec};
+  }
+  std::vector<LocalTrainResult> results = TrainClients(round, /*salt=*/0, jobs);
+
+  std::vector<FlatParams> local_models;
+  std::vector<double> weights;
+  for (int c = 0; c < k; ++c) {
+    LocalTrainResult& result = results[c];
     if (result.dropped) continue;  // device failed before uploading
 
     // Store the (normalised) update direction for the next clustering.
-    FlatParams update(global_.size());
-    for (std::size_t j = 0; j < update.size(); ++j) {
-      update[j] = result.params[j] - global_[j];
-    }
-    if (Normalize(update)) client_updates_[client_id] = std::move(update);
+    FlatParams update;
+    flat_ops::Subtract(result.params, global_, update);
+    if (Normalize(update)) client_updates_[jobs[c].client_id] = std::move(update);
 
     weights.push_back(result.num_samples);
     local_models.push_back(std::move(result.params));

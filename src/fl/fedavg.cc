@@ -17,16 +17,19 @@ ClientTrainSpec FedAvg::MakeClientSpec() const {
 }
 
 void FedAvg::RunRound(int round) {
-  (void)round;
   std::vector<int> selected = SampleClients();
+  ClientTrainSpec spec = MakeClientSpec();
+  std::vector<ClientJob> jobs(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    jobs[i] = {selected[i], &global_, &spec};
+  }
+  std::vector<LocalTrainResult> results = TrainClients(round, /*salt=*/0, jobs);
+
   std::vector<FlatParams> local_models;
   std::vector<double> weights;
-  local_models.reserve(selected.size());
-  weights.reserve(selected.size());
-
-  ClientTrainSpec spec = MakeClientSpec();
-  for (int client_id : selected) {
-    LocalTrainResult result = TrainClient(client_id, global_, spec);
+  local_models.reserve(results.size());
+  weights.reserve(results.size());
+  for (LocalTrainResult& result : results) {
     if (result.dropped) continue;  // device failed before uploading
     weights.push_back(result.num_samples);
     local_models.push_back(std::move(result.params));

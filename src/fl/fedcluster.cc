@@ -33,7 +33,9 @@ void FedCluster::RunRound(int round) {
   spec.options = config().train;
 
   // Cycle through clusters, rotating the starting cluster each round so no
-  // cluster permanently gets the "last word" within the cycle.
+  // cluster permanently gets the "last word" within the cycle. Each step's
+  // clients train in parallel; the steps themselves stay sequential because
+  // every step aggregates into the model the next one dispatches.
   for (int step = 0; step < num_clusters_; ++step) {
     const std::vector<int>& cluster =
         clusters_[(round + step) % num_clusters_];
@@ -42,10 +44,16 @@ void FedCluster::RunRound(int round) {
 
     std::vector<int> picks = rng().SampleWithoutReplacement(
         static_cast<int>(cluster.size()), take);
+    std::vector<ClientJob> jobs(picks.size());
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+      jobs[i] = {cluster[picks[i]], &global_, &spec};
+    }
+    std::vector<LocalTrainResult> results =
+        TrainClients(round, /*salt=*/step, jobs);
+
     std::vector<FlatParams> local_models;
     std::vector<double> weights;
-    for (int pick : picks) {
-      LocalTrainResult result = TrainClient(cluster[pick], global_, spec);
+    for (LocalTrainResult& result : results) {
       if (result.dropped) continue;
       weights.push_back(result.num_samples);
       local_models.push_back(std::move(result.params));

@@ -114,10 +114,7 @@ void FedGen::RegenerateSyntheticSet() {
 }
 
 void FedGen::RunRound(int round) {
-  (void)round;
   std::vector<int> selected = SampleClients();
-  std::vector<FlatParams> local_models;
-  std::vector<double> weights;
   std::vector<double> new_label_weights(num_classes_, 1e-3);
 
   ClientTrainSpec spec;
@@ -126,17 +123,25 @@ void FedGen::RunRound(int round) {
   spec.augment_weight = options_.augment_weight;
   spec.augment_batches_per_epoch = options_.augment_batches_per_epoch;
 
-  for (int client_id : selected) {
+  std::vector<ClientJob> jobs(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    jobs[i] = {selected[i], &global_, &spec};
+  }
+  std::vector<LocalTrainResult> results = TrainClients(round, /*salt=*/0, jobs);
+
+  std::vector<FlatParams> local_models;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < results.size(); ++i) {
     // Generator payload rides along with the model dispatch.
     if (synthetic_ != nullptr) {
       comm().AddDownload(CommTracker::FloatBytes(generator_size_));
     }
-    LocalTrainResult result = TrainClient(client_id, global_, spec);
+    LocalTrainResult& result = results[i];
     if (result.dropped) continue;  // device failed before uploading
     weights.push_back(result.num_samples);
     local_models.push_back(std::move(result.params));
 
-    std::vector<int> counts = client(client_id).dataset().LabelCounts();
+    std::vector<int> counts = client(selected[i]).dataset().LabelCounts();
     for (int k = 0; k < num_classes_; ++k) new_label_weights[k] += counts[k];
   }
 

@@ -1,5 +1,7 @@
 #include "fl/scaffold.h"
 
+#include "fl/flat_ops.h"
+
 namespace fedcross::fl {
 
 Scaffold::Scaffold(AlgorithmConfig config, data::FederatedDataset data,
@@ -12,32 +14,37 @@ Scaffold::Scaffold(AlgorithmConfig config, data::FederatedDataset data,
 }
 
 void Scaffold::RunRound(int round) {
-  (void)round;
   std::vector<int> selected = SampleClients();
+  int count = static_cast<int>(selected.size());
+
+  // Materialise every client's per-step correction c - c_i before the
+  // (possibly parallel) training fan-out; the buffers must stay stable for
+  // its whole duration.
+  std::vector<FlatParams> corrections(count);
+  std::vector<ClientTrainSpec> specs(count);
+  std::vector<ClientJob> jobs(count);
+  for (int i = 0; i < count; ++i) {
+    FlatParams& c_i = client_c_[selected[i]];
+    if (c_i.empty()) c_i.assign(global_.size(), 0.0f);
+    flat_ops::Subtract(server_c_, c_i, corrections[i]);
+    specs[i].options = config().train;
+    specs[i].scaffold_correction = &corrections[i];
+    jobs[i] = {selected[i], &global_, &specs[i]};
+  }
+  std::vector<LocalTrainResult> results = TrainClients(round, /*salt=*/0, jobs);
+
   std::vector<FlatParams> local_models;
   std::vector<double> weights;
   FlatParams c_delta_sum(global_.size(), 0.0f);
-
-  for (int client_id : selected) {
-    FlatParams& c_i = client_c_[client_id];
-    if (c_i.empty()) c_i.assign(global_.size(), 0.0f);
-
-    // Per-step correction c - c_i.
-    FlatParams correction(global_.size());
-    for (std::size_t j = 0; j < correction.size(); ++j) {
-      correction[j] = server_c_[j] - c_i[j];
-    }
-
-    ClientTrainSpec spec;
-    spec.options = config().train;
-    spec.scaffold_correction = &correction;
-    LocalTrainResult result = TrainClient(client_id, global_, spec);
+  for (int i = 0; i < count; ++i) {
+    LocalTrainResult& result = results[i];
     if (result.dropped) continue;  // no upload, no variate update
     // Variate traffic: one variate down (c), one up (c_i+).
     comm().AddDownload(CommTracker::FloatBytes(model_size()));
     comm().AddUpload(CommTracker::FloatBytes(model_size()));
 
     // Option II variate update.
+    FlatParams& c_i = client_c_[selected[i]];
     float inv_step =
         result.num_steps > 0 ? 1.0f / (result.num_steps * result.lr) : 0.0f;
     for (std::size_t j = 0; j < c_i.size(); ++j) {
@@ -54,10 +61,8 @@ void Scaffold::RunRound(int round) {
   if (local_models.empty()) return;  // every client dropped
   global_ = WeightedAverage(local_models, weights);
   // c += (|S| / N) * mean_i(c_i+ - c_i), over the clients that uploaded.
-  float scale = 1.0f / static_cast<float>(num_clients());
-  for (std::size_t j = 0; j < server_c_.size(); ++j) {
-    server_c_[j] += scale * c_delta_sum[j];
-  }
+  flat_ops::Axpy(server_c_, 1.0f / static_cast<float>(num_clients()),
+                 c_delta_sum);
 }
 
 }  // namespace fedcross::fl

@@ -34,20 +34,28 @@ Tensor Conv2d::Forward(const Tensor& input, bool train) {
 
   cached_height_ = height;
   cached_width_ = width;
-  cached_columns_.assign(batch, Tensor());
+  // Reuse the im2col scratch across Forward calls: every element is
+  // overwritten by Im2Col, so stale contents are harmless, and steady-state
+  // training (fixed batch geometry) never reallocates.
+  if (static_cast<int>(cached_columns_.size()) != batch) {
+    cached_columns_.resize(batch);
+  }
 
   Tensor output({batch, out_channels_, out_h, out_w});
   std::int64_t in_stride = static_cast<std::int64_t>(in_channels_) * height * width;
   std::int64_t out_stride = static_cast<std::int64_t>(out_channels_) * out_area;
   for (int b = 0; b < batch; ++b) {
-    Tensor columns({patch, out_area});
+    Tensor& columns = cached_columns_[b];
+    if (columns.ndim() != 2 || columns.dim(0) != patch ||
+        columns.dim(1) != out_area) {
+      columns = Tensor({patch, out_area});
+    }
     ops::Im2Col(input.data() + b * in_stride, in_channels_, height, width,
                 kernel_, kernel_, stride_, pad_, columns.data());
     // output_b = W(out_channels, patch) * columns(patch, out_area)
     ops::Gemm(false, false, out_channels_, out_area, patch, 1.0f,
               weight_.value.data(), patch, columns.data(), out_area, 0.0f,
               output.data() + b * out_stride, out_area);
-    cached_columns_[b] = std::move(columns);
   }
   const float* bias = bias_.value.data();
   float* out = output.data();
@@ -71,7 +79,13 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   int patch = in_channels_ * kernel_ * kernel_;
 
   Tensor grad_input({batch, in_channels_, cached_height_, cached_width_});
-  Tensor grad_columns({patch, out_area});
+  // Same scratch-reuse as Forward: the dColumns GEMM runs with beta = 0, so
+  // the buffer is fully overwritten each iteration.
+  if (grad_columns_.ndim() != 2 || grad_columns_.dim(0) != patch ||
+      grad_columns_.dim(1) != out_area) {
+    grad_columns_ = Tensor({patch, out_area});
+  }
+  Tensor& grad_columns = grad_columns_;
   std::int64_t in_stride =
       static_cast<std::int64_t>(in_channels_) * cached_height_ * cached_width_;
   std::int64_t out_stride = static_cast<std::int64_t>(out_channels_) * out_area;

@@ -35,8 +35,10 @@ class Conv2d : public Layer {
   Param weight_;
   Param bias_;
   // Cached per-image im2col matrices from the last Forward (one per batch
-  // element), plus the input spatial geometry.
+  // element), plus the input spatial geometry. Both this and the backward
+  // dColumns scratch are reused across steps instead of reallocated.
   std::vector<Tensor> cached_columns_;
+  Tensor grad_columns_;
   int cached_height_ = 0;
   int cached_width_ = 0;
 };

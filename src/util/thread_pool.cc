@@ -1,5 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 #include "util/check.h"
@@ -43,10 +46,38 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
-  for (int i = 0; i < count; ++i) {
-    Schedule([&fn, i] { fn(i); });
-  }
-  Wait();
+  if (count <= 0) return;
+  // Work-sharing loop: indices are claimed from a shared atomic counter by
+  // up to num_threads() helper tasks plus the calling thread itself. Caller
+  // participation makes nested ParallelFor safe — an inner loop invoked from
+  // a worker finishes all its indices inline even if no helper ever runs.
+  struct State {
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<State>();
+  auto run = [state, &fn, count] {
+    for (;;) {
+      int i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+  // A helper scheduled after all indices are claimed exits via the counter
+  // check without touching `fn`, so the captured reference cannot dangle.
+  int helpers = std::min(count - 1, num_threads());
+  for (int h = 0; h < helpers; ++h) Schedule(run);
+  run();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= count;
+  });
 }
 
 void ThreadPool::WorkerLoop() {

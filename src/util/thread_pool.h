@@ -28,7 +28,11 @@ class ThreadPool {
   // Blocks until every scheduled task has finished.
   void Wait();
 
-  // Runs fn(i) for i in [0, count), distributing across the pool, and waits.
+  // Runs fn(i) for i in [0, count), distributing across the pool, and
+  // returns once every index has finished. The calling thread participates
+  // in the loop, so ParallelFor may be called from inside a pool task
+  // (nested parallelism) without deadlocking: the nested call drains its own
+  // indices even when every other worker is busy.
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }

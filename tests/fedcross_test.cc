@@ -400,6 +400,54 @@ TEST(FedCrossTest, PropellerRoundsRun) {
   EXPECT_GT(history.BestAccuracy(), 0.8f);
 }
 
+TEST(FedCrossTest, PropellerIndicesAreDistinctAndExcludeSelf) {
+  // Regression: the old fix-up (`if (j == i) j = (j + 1) % k;` per pick)
+  // double-counted a propeller whenever the skip landed on an index already
+  // taken. Concretely, k=4, count=3, round=2 for model 0 selected
+  // {3, 1, 1} — model 2 never contributed. The walk-based selection must
+  // return every other model exactly once.
+  std::vector<int> indices =
+      FedCross::SelectPropellerIndices(/*model_index=*/0, /*round=*/2,
+                                       /*k=*/4, /*count=*/3);
+  EXPECT_EQ(indices, (std::vector<int>{3, 1, 2}));
+
+  for (int k : {3, 4, 5, 8}) {
+    for (int round = 0; round < 2 * k; ++round) {
+      for (int count = 1; count <= k; ++count) {
+        for (int i = 0; i < k; ++i) {
+          std::vector<int> picks =
+              FedCross::SelectPropellerIndices(i, round, k, count);
+          EXPECT_EQ(static_cast<int>(picks.size()), std::min(count, k - 1));
+          std::set<int> unique(picks.begin(), picks.end());
+          EXPECT_EQ(unique.size(), picks.size())
+              << "duplicate propeller: k=" << k << " round=" << round
+              << " count=" << count << " i=" << i;
+          EXPECT_EQ(unique.count(i), 0u) << "model aggregated with itself";
+          for (int p : picks) {
+            EXPECT_GE(p, 0);
+            EXPECT_LT(p, k);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FedCrossTest, PropellerFirstPickIsInOrderCollaborator) {
+  // The walk starts at the in-order collaborator, preserving the paper's
+  // single-propeller behaviour when propeller_count == 1.
+  for (int k : {3, 4, 6}) {
+    for (int round = 0; round < k; ++round) {
+      for (int i = 0; i < k; ++i) {
+        std::vector<int> picks =
+            FedCross::SelectPropellerIndices(i, round, k, /*count=*/1);
+        ASSERT_EQ(picks.size(), 1u);
+        EXPECT_EQ(picks[0], (i + (round % (k - 1) + 1)) % k);
+      }
+    }
+  }
+}
+
 TEST(FedCrossTest, AllStrategiesLearn) {
   for (auto strategy :
        {SelectionStrategy::kInOrder, SelectionStrategy::kHighestSimilarity,

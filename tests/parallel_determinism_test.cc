@@ -1,0 +1,140 @@
+// Parallel client training must be bit-identical to the sequential legacy
+// path: every client job trains under an Rng seeded from
+// (config.seed, round, salt, slot), so neither the thread count nor the
+// execution schedule can leak into the results. These tests run the same
+// federation under --fl_threads=1 and --fl_threads=4 and require exactly
+// equal GlobalParams() after 5 rounds.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/fedcross.h"
+#include "fl/algorithm.h"
+#include "fl/fedavg.h"
+#include "nn/linear.h"
+
+namespace fedcross::fl {
+namespace {
+
+models::ModelFactory LinearFactory(int dim, std::uint64_t seed = 1) {
+  return [dim, seed]() {
+    util::Rng rng(seed);
+    nn::Sequential model;
+    model.Add(std::make_unique<nn::Linear>(dim, 2, rng));
+    return model;
+  };
+}
+
+data::FederatedDataset MakeToyFederated(int num_clients, int per_client,
+                                        int dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::FederatedDataset federated;
+  federated.num_classes = 2;
+  auto gen_example = [&](int k, std::vector<float>& features) {
+    float mean = k == 0 ? -1.0f : 1.0f;
+    for (int d = 0; d < dim; ++d) {
+      features.push_back(mean + static_cast<float>(rng.Normal(0.0, 0.6)));
+    }
+  };
+  for (int c = 0; c < num_clients; ++c) {
+    std::vector<float> features;
+    std::vector<int> labels;
+    for (int i = 0; i < per_client; ++i) {
+      int k = rng.Uniform() < 0.9 ? c % 2 : 1 - c % 2;
+      gen_example(k, features);
+      labels.push_back(k);
+    }
+    federated.client_train.push_back(std::make_shared<data::InMemoryDataset>(
+        Tensor::Shape{dim}, std::move(features), std::move(labels), 2));
+  }
+  std::vector<float> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    gen_example(i % 2, features);
+    labels.push_back(i % 2);
+  }
+  federated.test = std::make_shared<data::InMemoryDataset>(
+      Tensor::Shape{dim}, std::move(features), std::move(labels), 2);
+  return federated;
+}
+
+AlgorithmConfig ToyConfig() {
+  AlgorithmConfig config;
+  config.clients_per_round = 4;
+  config.train.local_epochs = 2;
+  config.train.batch_size = 10;
+  config.train.lr = 0.05f;
+  config.seed = 17;
+  // Nonzero dropout so the per-job dropout draw is exercised too: a
+  // schedule-dependent draw would desynchronise the two runs immediately.
+  config.dropout_prob = 0.2;
+  return config;
+}
+
+// Restores the sequential default even if an assertion aborts the test body.
+struct FlThreadsGuard {
+  ~FlThreadsGuard() { SetFlThreads(1); }
+};
+
+void ExpectBitIdentical(const FlatParams& a, const FlatParams& b) {
+  ASSERT_EQ(a.size(), b.size());
+  if (a.empty()) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+}
+
+FlatParams RunFedAvg(int threads, int rounds) {
+  SetFlThreads(threads);
+  FedAvg fedavg(ToyConfig(), MakeToyFederated(8, 40, 4, 41),
+                LinearFactory(4));
+  for (int r = 0; r < rounds; ++r) fedavg.RunRound(r);
+  return fedavg.GlobalParams();
+}
+
+FlatParams RunFedCross(int threads, int rounds) {
+  SetFlThreads(threads);
+  core::FedCrossOptions options;
+  options.alpha = 0.9;
+  options.strategy = core::SelectionStrategy::kLowestSimilarity;
+  core::FedCross fedcross(ToyConfig(), MakeToyFederated(8, 40, 4, 41),
+                          LinearFactory(4), options);
+  for (int r = 0; r < rounds; ++r) fedcross.RunRound(r);
+  return fedcross.GlobalParams();
+}
+
+TEST(ParallelDeterminismTest, FlThreadsResolvesRequests) {
+  FlThreadsGuard guard;
+  SetFlThreads(1);
+  EXPECT_EQ(FlThreads(), 1);
+  SetFlThreads(4);
+  EXPECT_EQ(FlThreads(), 4);
+  SetFlThreads(0);  // auto: hardware_concurrency, never < 1
+  EXPECT_GE(FlThreads(), 1);
+}
+
+TEST(ParallelDeterminismTest, FedAvgIsThreadCountInvariant) {
+  FlThreadsGuard guard;
+  FlatParams sequential = RunFedAvg(/*threads=*/1, /*rounds=*/5);
+  FlatParams parallel = RunFedAvg(/*threads=*/4, /*rounds=*/5);
+  ExpectBitIdentical(sequential, parallel);
+}
+
+TEST(ParallelDeterminismTest, FedCrossIsThreadCountInvariant) {
+  FlThreadsGuard guard;
+  FlatParams sequential = RunFedCross(/*threads=*/1, /*rounds=*/5);
+  FlatParams parallel = RunFedCross(/*threads=*/4, /*rounds=*/5);
+  ExpectBitIdentical(sequential, parallel);
+}
+
+TEST(ParallelDeterminismTest, OddThreadCountMatchesToo) {
+  // The schedule changes completely between 3 and 4 threads; the params
+  // must not.
+  FlThreadsGuard guard;
+  FlatParams three = RunFedCross(/*threads=*/3, /*rounds=*/3);
+  FlatParams four = RunFedCross(/*threads=*/4, /*rounds=*/3);
+  ExpectBitIdentical(three, four);
+}
+
+}  // namespace
+}  // namespace fedcross::fl

@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace fedcross::util {
+namespace {
+
+TEST(ThreadPoolTest, ResolvesHardwareConcurrency) {
+  ThreadPool pool;  // 0 = hardware_concurrency
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ScheduleRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithEmptyQueueReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing scheduled: must not block
+  pool.Schedule([] {});
+  pool.Wait();
+  pool.Wait();  // drained queue: still must not block
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    // One worker so tasks pile up in the queue, then destroy the pool while
+    // most are still queued: the destructor must run them all, not drop them.
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Schedule([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&hits](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNonPositiveCountIsNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&count](int) { count.fetch_add(1); });
+  pool.ParallelFor(-5, [&count](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleIndexRunsOnCaller) {
+  ThreadPool pool(2);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.ParallelFor(1, [&ran_on](int) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);  // no helpers are scheduled for count == 1
+}
+
+TEST(ThreadPoolTest, ParallelForNestsWithoutDeadlock) {
+  // Regression: an inner ParallelFor issued from inside a pool task must
+  // complete even when every worker is occupied by the outer loop. The
+  // caller-participation design drains the inner indices inline.
+  ThreadPool pool(2);  // fewer workers than outer iterations
+  constexpr int kOuter = 6;
+  constexpr int kInner = 16;
+  std::atomic<int> total{0};
+  pool.ParallelFor(kOuter, [&](int) {
+    pool.ParallelFor(kInner, [&total](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolTest, ParallelForUsesMultipleThreadsForSlowWork) {
+  ThreadPool pool(4);
+  if (pool.num_threads() < 2) GTEST_SKIP() << "single-threaded pool";
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  pool.ParallelFor(64, [&](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPoolTest, ParallelForBackToBackReusesPool) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int pass = 0; pass < 20; ++pass) {
+    pool.ParallelFor(17, [&total](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 20 * 17);
+}
+
+}  // namespace
+}  // namespace fedcross::util
