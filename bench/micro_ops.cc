@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "core/fedcross.h"
+#include "fl/evaluator.h"
 #include "fl/fedavg.h"
+#include "fl/model_pool.h"
 #include "models/model_zoo.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
@@ -169,6 +171,47 @@ void BM_FedRound(benchmark::State& state) {
   fl::SetFlThreads(1);
 }
 BENCHMARK(BM_FedRound)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Parallel deterministic evaluation: EvaluateParams fans test batches over
+// the FL pool, one pooled replica per worker slot, and reduces per-batch
+// partials in batch order — results are bit-identical at every thread count
+// (the arg), so this measures pure evaluation throughput. At Arg(1) it also
+// shows the benefit of replica reuse over per-call model construction.
+void BM_Evaluate(benchmark::State& state) {
+  constexpr int kDim = kFedRoundDim;
+  util::Rng rng(11);
+  std::vector<float> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 2000; ++i) {
+    int k = static_cast<int>(rng.UniformInt(2));
+    float mean = k == 0 ? -1.0f : 1.0f;
+    for (int d = 0; d < kDim; ++d) {
+      features.push_back(mean + static_cast<float>(rng.Normal(0.0, 1.0)));
+    }
+    labels.push_back(k);
+  }
+  data::InMemoryDataset dataset(Tensor::Shape{kDim}, std::move(features),
+                                std::move(labels), 2);
+  models::ModelFactory factory = [] {
+    util::Rng model_rng(1);
+    nn::Sequential model;
+    model.Add(std::make_unique<nn::Linear>(kFedRoundDim, 128, model_rng));
+    model.Add(std::make_unique<nn::Relu>());
+    model.Add(std::make_unique<nn::Linear>(128, 2, model_rng));
+    return model;
+  };
+  fl::ModelPool pool(factory);
+  std::vector<float> params = factory().ParamsToFlat();
+
+  fl::SetFlThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    fl::EvalResult result = fl::EvaluateParams(pool, params, dataset, 100);
+    benchmark::DoNotOptimize(result.loss);
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.size());
+  fl::SetFlThreads(1);
+}
+BENCHMARK(BM_Evaluate)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_LossForwardBackward(benchmark::State& state) {
   util::Rng rng(4);

@@ -4,6 +4,7 @@
 #
 #   BENCH_gemm.json   BM_Gemm/{32..512}  (blocked GEMM kernel)
 #   BENCH_round.json  BM_FedRound/{1,2,4} (parallel client training)
+#   BENCH_eval.json   BM_Evaluate/{1,2,4} (pooled parallel evaluation)
 #
 # Usage: scripts/bench_to_json.sh [build_dir] [output_dir]
 # Defaults: build_dir=build, output_dir=. — run from the repo root.
@@ -37,3 +38,4 @@ run_filter() {
 
 run_filter '^BM_Gemm/' "${out_dir}/BENCH_gemm.json"
 run_filter '^BM_FedRound/' "${out_dir}/BENCH_round.json"
+run_filter '^BM_Evaluate/' "${out_dir}/BENCH_eval.json"

@@ -85,9 +85,7 @@ FedCross::FedCross(fl::AlgorithmConfig config, data::FederatedDataset data,
   // Initialise the K middleware models from the common factory seed (the
   // paper dispatches homogeneous models; identical initialisation mirrors
   // FedAvg's single starting point).
-  nn::Sequential initial = this->factory()();
-  fl::FlatParams init = initial.ParamsToFlat();
-  middleware_.assign(config.clients_per_round, init);
+  middleware_.assign(config.clients_per_round, InitialParams());
 }
 
 double FedCross::AlphaAt(int round) const {
@@ -177,35 +175,43 @@ void FedCross::RunRound(int round) {
   for (int i = 0; i < k; ++i) {
     jobs[i] = {selected[i], &middleware_[i], &spec};
   }
-  std::vector<fl::LocalTrainResult> results =
+  const std::vector<fl::LocalTrainResult>& results =
       TrainClients(round, /*salt=*/0, jobs);
-  std::vector<fl::FlatParams> uploaded(k);
-  for (int i = 0; i < k; ++i) uploaded[i] = std::move(results[i].params);
+  // Copy the uploads out of the shared (recycled) results vector: the
+  // similarity-based selection reads all of them while the new generation
+  // is built. Copy-assign reuses last round's buffers.
+  uploaded_.resize(k);
+  for (int i = 0; i < k; ++i) uploaded_[i] = results[i].params;
 
   // Lines 11-15: CoModelSel + CrossAggr.
   double alpha = AlphaAt(round);
+  float a = static_cast<float>(alpha);
   bool use_propellers = options_.propeller_count > 0 &&
                         round < options_.propeller_rounds;
-  std::vector<fl::FlatParams> next(k);
+  next_.resize(k);
   for (int i = 0; i < k; ++i) {
     if (use_propellers) {
       // Propeller acceleration: average propeller_count distinct in-order-
       // selected models to share the (1 - alpha) mass.
       std::vector<int> propellers =
           SelectPropellerIndices(i, round, k, options_.propeller_count);
-      fl::FlatParams propeller_mean(uploaded[i].size(), 0.0f);
+      propeller_mean_.assign(uploaded_[i].size(), 0.0f);
       for (int j : propellers) {
-        fl::flat_ops::AddInto(propeller_mean, uploaded[j]);
+        fl::flat_ops::AddInto(propeller_mean_, uploaded_[j]);
       }
-      fl::flat_ops::Scale(propeller_mean,
+      fl::flat_ops::Scale(propeller_mean_,
                           1.0f / static_cast<float>(propellers.size()));
-      next[i] = CrossAggregate(uploaded[i], propeller_mean, alpha);
+      fl::flat_ops::LinearCombine(a, uploaded_[i], 1.0f - a, propeller_mean_,
+                                  next_[i]);
     } else {
-      int co = SelectCollaborator(i, round, uploaded);
-      next[i] = CrossAggregate(uploaded[i], uploaded[co], alpha);
+      int co = SelectCollaborator(i, round, uploaded_);
+      fl::flat_ops::LinearCombine(a, uploaded_[i], 1.0f - a, uploaded_[co],
+                                  next_[i]);
     }
   }
-  middleware_ = std::move(next);
+  // Swap, don't move-assign: middleware_'s buffers become next round's
+  // next_ scratch, so the pair recycles indefinitely.
+  middleware_.swap(next_);
 }
 
 fl::FlatParams FedCross::GlobalParams() { return Average(middleware_); }

@@ -104,6 +104,12 @@ class FedCross : public fl::FlAlgorithm {
  private:
   FedCrossOptions options_;
   std::vector<fl::FlatParams> middleware_;  // the dispatched model list W
+  // Round-recycled scratch: uploads copied out of the shared results vector
+  // (middleware_ must stay intact during collaborator selection) and the
+  // next middleware generation, swapped in at the end of the round.
+  std::vector<fl::FlatParams> uploaded_;
+  std::vector<fl::FlatParams> next_;
+  fl::FlatParams propeller_mean_;
 };
 
 }  // namespace fedcross::core

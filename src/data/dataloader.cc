@@ -24,9 +24,9 @@ bool DataLoader::NextBatch(Tensor& features, std::vector<int>& labels) {
       cursor_ != 0) {
     return false;
   }
-  std::vector<int> indices(order_.begin() + cursor_, order_.begin() + end);
+  batch_indices_.assign(order_.begin() + cursor_, order_.begin() + end);
   cursor_ = end;
-  dataset_.GetBatch(indices, features, labels);
+  dataset_.GetBatch(batch_indices_, features, labels);
   return true;
 }
 

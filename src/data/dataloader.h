@@ -38,6 +38,7 @@ class DataLoader {
   util::Rng& rng_;
   bool drop_last_;
   std::vector<int> order_;
+  std::vector<int> batch_indices_;  // reused batch slice of order_
   std::size_t cursor_ = 0;
 };
 

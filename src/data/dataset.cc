@@ -11,14 +11,6 @@ std::int64_t ShapeNumel(const Tensor::Shape& shape) {
   return numel;
 }
 
-Tensor::Shape BatchShape(const Tensor::Shape& example_shape, int batch) {
-  Tensor::Shape shape;
-  shape.reserve(example_shape.size() + 1);
-  shape.push_back(batch);
-  shape.insert(shape.end(), example_shape.begin(), example_shape.end());
-  return shape;
-}
-
 }  // namespace
 
 std::vector<int> Dataset::LabelCounts() const {
@@ -49,7 +41,14 @@ void InMemoryDataset::GetBatch(const std::vector<int>& indices,
                                Tensor& features,
                                std::vector<int>& labels) const {
   int batch = static_cast<int>(indices.size());
-  features = Tensor(BatchShape(example_shape_, batch));
+  // thread_local: the global test set is shared across eval worker threads.
+  // Built in place (clear + push_back) so the scratch keeps its capacity.
+  thread_local Tensor::Shape batch_shape;
+  batch_shape.clear();
+  batch_shape.push_back(batch);
+  batch_shape.insert(batch_shape.end(), example_shape_.begin(),
+                     example_shape_.end());
+  features.ResizeTo(batch_shape);
   labels.resize(batch);
   float* out = features.data();
   for (int b = 0; b < batch; ++b) {
@@ -81,7 +80,9 @@ SubsetDataset::SubsetDataset(std::shared_ptr<const Dataset> base,
 
 void SubsetDataset::GetBatch(const std::vector<int>& indices, Tensor& features,
                              std::vector<int>& labels) const {
-  std::vector<int> base_indices(indices.size());
+  // thread_local: shards can be read concurrently by eval worker threads.
+  thread_local std::vector<int> base_indices;
+  base_indices.resize(indices.size());
   for (std::size_t i = 0; i < indices.size(); ++i) {
     int index = indices[i];
     FC_CHECK_GE(index, 0);

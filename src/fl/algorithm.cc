@@ -1,40 +1,12 @@
 #include "fl/algorithm.h"
 
-#include <memory>
-#include <mutex>
-#include <thread>
-
 #include "fl/flat_ops.h"
+#include "fl/parallel.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace fedcross::fl {
 namespace {
-
-// Process-wide client-training pool, built lazily at the requested size.
-std::mutex g_pool_mutex;
-int g_requested_threads = 0;  // <= 0: hardware_concurrency
-std::unique_ptr<util::ThreadPool> g_pool;
-
-int ResolveThreads(int requested) {
-  int threads = requested;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  return threads < 1 ? 1 : threads;
-}
-
-// Returns the shared pool, or nullptr when training should stay on the
-// calling thread (the legacy single-threaded path).
-util::ThreadPool* AcquireClientPool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  int want = ResolveThreads(g_requested_threads);
-  if (want == 1) return nullptr;
-  if (g_pool == nullptr || g_pool->num_threads() != want) {
-    g_pool = std::make_unique<util::ThreadPool>(want);
-  }
-  return g_pool.get();
-}
 
 // SplitMix64 finalizer: bijective avalanche mix.
 std::uint64_t MixSeed(std::uint64_t x) {
@@ -57,23 +29,13 @@ std::uint64_t ClientJobSeed(std::uint64_t seed, int round, int salt,
 
 }  // namespace
 
-void SetFlThreads(int n) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  g_requested_threads = n;
-  g_pool.reset();  // rebuilt lazily at the new size
-}
-
-int FlThreads() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  return ResolveThreads(g_requested_threads);
-}
-
 FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
                          data::FederatedDataset data,
                          models::ModelFactory factory)
     : name_(std::move(name)),
       config_(config),
       factory_(std::move(factory)),
+      pool_(factory_),
       test_(std::move(data.test)),
       rng_(config.seed) {
   FC_CHECK(test_ != nullptr);
@@ -85,8 +47,11 @@ FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
   for (std::size_t i = 0; i < data.client_train.size(); ++i) {
     clients_.emplace_back(static_cast<int>(i), data.client_train[i]);
   }
-  nn::Sequential probe = factory_();
-  model_size_ = probe.NumParams();
+  // Probe the pool's first replica once for the model size and the factory's
+  // initial parameters; the replica is recycled by every later job.
+  ModelPool::Lease probe = pool_.Acquire();
+  model_size_ = probe->model.NumParams();
+  initial_params_ = probe->model.ParamsToFlat();
 }
 
 const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
@@ -117,7 +82,7 @@ const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
 }
 
 EvalResult FlAlgorithm::Evaluate(const FlatParams& params) {
-  return EvaluateParams(factory_, params, *test_, config_.eval_batch_size);
+  return EvaluateParams(pool_, params, *test_, config_.eval_batch_size);
 }
 
 std::vector<int> FlAlgorithm::SampleClients() {
@@ -125,15 +90,16 @@ std::vector<int> FlAlgorithm::SampleClients() {
                                        config_.clients_per_round);
 }
 
-std::vector<LocalTrainResult> FlAlgorithm::TrainClients(
+const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     int round, int salt, const std::vector<ClientJob>& jobs) {
   int count = static_cast<int>(jobs.size());
-  std::vector<LocalTrainResult> results(count);
+  // resize keeps surviving elements' params capacity from the last round.
+  results_.resize(count);
   auto train_slot = [&](int slot) {
     util::Rng job_rng(ClientJobSeed(config_.seed, round, salt, slot));
-    results[slot] = TrainClientJob(jobs[slot], job_rng);
+    TrainClientJob(jobs[slot], job_rng, results_[slot]);
   };
-  util::ThreadPool* pool = AcquireClientPool();
+  util::ThreadPool* pool = AcquireFlPool();
   if (pool != nullptr && count > 1) {
     pool->ParallelFor(count, train_slot);
   } else {
@@ -141,18 +107,18 @@ std::vector<LocalTrainResult> FlAlgorithm::TrainClients(
   }
   // Bookkeeping on the calling thread, in job order, so accounting is
   // race-free and independent of the parallel schedule.
-  for (const LocalTrainResult& result : results) {
+  for (const LocalTrainResult& result : results_) {
     comm_.AddDownload(CommTracker::FloatBytes(model_size_));
     if (result.dropped) continue;  // the device never uploads
     comm_.AddUpload(CommTracker::FloatBytes(model_size_));
     round_loss_sum_ += result.mean_loss;
     ++round_loss_count_;
   }
-  return results;
+  return results_;
 }
 
-LocalTrainResult FlAlgorithm::TrainClientJob(const ClientJob& job,
-                                             util::Rng& rng) const {
+void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
+                                 LocalTrainResult& result) {
   FC_CHECK_GE(job.client_id, 0);
   FC_CHECK_LT(job.client_id, num_clients());
   FC_CHECK(job.init_params != nullptr);
@@ -160,24 +126,41 @@ LocalTrainResult FlAlgorithm::TrainClientJob(const ClientJob& job,
 
   // Fault injection: the device received the model but never uploads.
   if (config_.dropout_prob > 0.0 && rng.Uniform() < config_.dropout_prob) {
-    LocalTrainResult dropped;
-    dropped.params = *job.init_params;
-    dropped.num_samples = clients_[job.client_id].num_samples();
-    dropped.dropped = true;
-    return dropped;
+    result.params = *job.init_params;  // copy-assign recycles the buffer
+    result.num_samples = clients_[job.client_id].num_samples();
+    result.num_steps = 0;
+    result.lr = 0.0f;
+    result.mean_loss = 0.0;
+    result.dropped = true;
+    return;
   }
 
-  LocalTrainResult result =
-      clients_[job.client_id].Train(factory_, *job.init_params, *job.spec, rng);
+  clients_[job.client_id].Train(pool_, *job.init_params, *job.spec, rng,
+                                result);
   if (config_.dp.clip_norm > 0.0f) {
     result.params =
         SanitizeUpdate(*job.init_params, result.params, config_.dp, rng);
   }
-  return result;
 }
 
 FlatParams FlAlgorithm::WeightedAverage(const std::vector<FlatParams>& models,
                                         const std::vector<double>& weights) {
+  FC_CHECK_EQ(models.size(), weights.size());
+  std::vector<const FlatParams*> pointers(models.size());
+  for (std::size_t m = 0; m < models.size(); ++m) pointers[m] = &models[m];
+  FlatParams result;
+  WeightedAverageInto(pointers, weights, result);
+  return result;
+}
+
+FlatParams FlAlgorithm::Average(const std::vector<FlatParams>& models) {
+  FC_CHECK(!models.empty());
+  return flat_ops::Mean(models);
+}
+
+void FlAlgorithm::WeightedAverageInto(
+    const std::vector<const FlatParams*>& models,
+    const std::vector<double>& weights, FlatParams& out) {
   FC_CHECK(!models.empty());
   FC_CHECK_EQ(models.size(), weights.size());
   double total_weight = 0.0;
@@ -187,17 +170,21 @@ FlatParams FlAlgorithm::WeightedAverage(const std::vector<FlatParams>& models,
   }
   FC_CHECK_GT(total_weight, 0.0);
 
-  FlatParams result(models[0].size(), 0.0f);
+  out.assign(models[0]->size(), 0.0f);  // capacity-retaining
   for (std::size_t m = 0; m < models.size(); ++m) {
     float factor = static_cast<float>(weights[m] / total_weight);
-    flat_ops::Axpy(result, factor, models[m]);
+    flat_ops::Axpy(out, factor, *models[m]);
   }
-  return result;
 }
 
-FlatParams FlAlgorithm::Average(const std::vector<FlatParams>& models) {
+void FlAlgorithm::AverageInto(const std::vector<const FlatParams*>& models,
+                              FlatParams& out) {
   FC_CHECK(!models.empty());
-  return flat_ops::Mean(models);
+  float factor = 1.0f / static_cast<float>(models.size());
+  out.assign(models[0]->size(), 0.0f);
+  for (const FlatParams* model : models) {
+    flat_ops::Axpy(out, factor, *model);
+  }
 }
 
 double FlAlgorithm::TakeRoundClientLoss() {

@@ -10,23 +10,14 @@
 #include "fl/comm_tracker.h"
 #include "fl/evaluator.h"
 #include "fl/history.h"
+#include "fl/model_pool.h"
+#include "fl/parallel.h"  // SetFlThreads / FlThreads
 #include "fl/privacy.h"
 #include "fl/types.h"
 #include "models/model_zoo.h"
 #include "util/rng.h"
 
 namespace fedcross::fl {
-
-// Number of threads used to train the clients of a round in parallel
-// (process-wide; shared thread pool). n <= 0 selects
-// std::thread::hardware_concurrency(); 1 runs the legacy in-line sequential
-// path with no pool involvement. Because every client job draws from its own
-// per-(round, client-slot) seeded Rng, results are bit-identical for every
-// thread count.
-void SetFlThreads(int n);
-
-// The resolved thread count SetFlThreads selected (never < 1).
-int FlThreads();
 
 // Shared configuration for all FL algorithms.
 struct AlgorithmConfig {
@@ -108,8 +99,21 @@ class FlAlgorithm {
   // batches issued within one round (e.g. FedCluster's per-cluster steps).
   // Model down/up traffic and the round's mean client loss are accounted on
   // the calling thread, in job order.
-  std::vector<LocalTrainResult> TrainClients(int round, int salt,
-                                             const std::vector<ClientJob>& jobs);
+  //
+  // Returns a reference to an internal results vector that is recycled on
+  // the next TrainClients call: read (or copy) what you need before then.
+  // Round-over-round buffer reuse is what keeps the steady-state round free
+  // of tensor/params heap allocations.
+  const std::vector<LocalTrainResult>& TrainClients(
+      int round, int salt, const std::vector<ClientJob>& jobs);
+
+  // The factory model's initial parameters (captured once at construction);
+  // subclass constructors copy these into their global/middleware state.
+  const FlatParams& InitialParams() const { return initial_params_; }
+
+  // The shared replica pool (for subclasses with bespoke model passes, e.g.
+  // FedGen's generator training against the global model).
+  ModelPool& pool() { return pool_; }
 
   // Sample-count-weighted average of client models (FedAvg aggregation).
   static FlatParams WeightedAverage(const std::vector<FlatParams>& models,
@@ -117,22 +121,36 @@ class FlAlgorithm {
   // Unweighted mean.
   static FlatParams Average(const std::vector<FlatParams>& models);
 
+  // In-place variants over pointers into the results vector: `out` is
+  // resized (capacity-retaining) and overwritten, so aggregation adds no
+  // steady-state allocations and no params copies.
+  static void WeightedAverageInto(const std::vector<const FlatParams*>& models,
+                                  const std::vector<double>& weights,
+                                  FlatParams& out);
+  static void AverageInto(const std::vector<const FlatParams*>& models,
+                          FlatParams& out);
+
   double TakeRoundClientLoss();  // mean loss over the round's clients
 
  private:
   // Body of one ClientJob: dropout draw, local SGD, DP sanitisation — all
   // driven by the job's own rng so jobs are order- and thread-independent.
-  LocalTrainResult TrainClientJob(const ClientJob& job, util::Rng& rng) const;
+  // Writes into `result`, recycling its buffers.
+  void TrainClientJob(const ClientJob& job, util::Rng& rng,
+                      LocalTrainResult& result);
 
   std::string name_;
   AlgorithmConfig config_;
   models::ModelFactory factory_;
+  ModelPool pool_;  // replica pool shared by training jobs and evaluation
   std::vector<FlClient> clients_;
   std::shared_ptr<data::Dataset> test_;
   std::int64_t model_size_;
+  FlatParams initial_params_;  // factory init, captured once
   util::Rng rng_;
   CommTracker comm_;
   MetricsHistory history_;
+  std::vector<LocalTrainResult> results_;  // recycled across TrainClients
   double round_loss_sum_ = 0.0;
   int round_loss_count_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "fl/client.h"
 
+#include <optional>
+
 #include "data/dataloader.h"
 #include "nn/loss.h"
 #include "optim/sgd.h"
@@ -40,11 +42,12 @@ FlClient::FlClient(int id, std::shared_ptr<const data::Dataset> dataset)
   FC_CHECK_GT(dataset_->size(), 0) << "client " << id << " has no data";
 }
 
-LocalTrainResult FlClient::Train(const models::ModelFactory& factory,
-                                 const FlatParams& init_params,
-                                 const ClientTrainSpec& spec,
-                                 util::Rng& rng) const {
-  nn::Sequential model = factory();
+void FlClient::Train(ModelPool& pool, const FlatParams& init_params,
+                     const ClientTrainSpec& spec, util::Rng& rng,
+                     LocalTrainResult& result) const {
+  ModelPool::Lease lease = pool.Acquire();
+  ModelPool::Replica& replica = *lease;
+  nn::Sequential& model = replica.model;
   model.ParamsFromFlat(init_params);
 
   optim::SgdOptions sgd_options;
@@ -52,27 +55,35 @@ LocalTrainResult FlClient::Train(const models::ModelFactory& factory,
   sgd_options.momentum = spec.options.momentum;
   sgd_options.weight_decay = spec.options.weight_decay;
   sgd_options.grad_clip_norm = spec.options.grad_clip_norm;
-  optim::Sgd sgd(model.Params(), sgd_options);
+  if (replica.sgd == nullptr) {
+    replica.sgd = std::make_unique<optim::Sgd>(model.Params(), sgd_options);
+  } else {
+    // Re-arm the pooled optimiser: same options semantics as construction,
+    // momentum buffers zeroed in place.
+    replica.sgd->Configure(sgd_options);
+  }
+  optim::Sgd& sgd = *replica.sgd;
 
   util::Rng data_rng = rng.Fork(static_cast<std::uint64_t>(id_) + 1);
   data::DataLoader loader(*dataset_, spec.options.batch_size, data_rng);
-  std::unique_ptr<data::DataLoader> augment_loader;
+  std::optional<data::DataLoader> augment_loader;
   if (spec.augment_data != nullptr && spec.augment_data->size() > 0) {
-    augment_loader = std::make_unique<data::DataLoader>(
-        *spec.augment_data, spec.options.batch_size, data_rng);
+    augment_loader.emplace(*spec.augment_data, spec.options.batch_size,
+                           data_rng);
   }
 
   nn::CrossEntropyLoss criterion;
-  Tensor features;
-  std::vector<int> labels;
+  Tensor& features = replica.features;
+  std::vector<int>& labels = replica.labels;
+  nn::LossResult& loss = replica.loss;
   double total_loss = 0.0;
   int steps = 0;
 
   for (int epoch = 0; epoch < spec.options.local_epochs; ++epoch) {
     while (loader.NextBatch(features, labels)) {
       model.ZeroGrad();
-      Tensor logits = model.Forward(features, /*train=*/true);
-      nn::LossResult loss = criterion.Compute(logits, labels);
+      const Tensor& logits = model.Forward(features, /*train=*/true);
+      criterion.Compute(logits, labels, loss);
       model.Backward(loss.grad_logits);
       AdjustGradients(model, spec);
       sgd.Step();
@@ -82,16 +93,16 @@ LocalTrainResult FlClient::Train(const models::ModelFactory& factory,
     loader.Reset();
 
     // FedGen-style synthetic augmentation: a few weighted batches of
-    // generator data per epoch.
-    if (augment_loader != nullptr) {
+    // generator data per epoch, reusing the main loop's batch buffers.
+    if (augment_loader.has_value()) {
       for (int b = 0; b < spec.augment_batches_per_epoch; ++b) {
         if (!augment_loader->NextBatch(features, labels)) {
           augment_loader->Reset();
           if (!augment_loader->NextBatch(features, labels)) break;
         }
         model.ZeroGrad();
-        Tensor logits = model.Forward(features, /*train=*/true);
-        nn::LossResult loss = criterion.Compute(logits, labels);
+        const Tensor& logits = model.Forward(features, /*train=*/true);
+        criterion.Compute(logits, labels, loss);
         loss.grad_logits.Scale(spec.augment_weight);
         model.Backward(loss.grad_logits);
         AdjustGradients(model, spec);
@@ -100,12 +111,21 @@ LocalTrainResult FlClient::Train(const models::ModelFactory& factory,
     }
   }
 
-  LocalTrainResult result;
-  result.params = model.ParamsToFlat();
+  model.ParamsToFlat(result.params);
   result.num_samples = dataset_->size();
   result.num_steps = steps;
   result.lr = spec.options.lr;
   result.mean_loss = steps > 0 ? total_loss / steps : 0.0;
+  result.dropped = false;
+}
+
+LocalTrainResult FlClient::Train(const models::ModelFactory& factory,
+                                 const FlatParams& init_params,
+                                 const ClientTrainSpec& spec,
+                                 util::Rng& rng) const {
+  ModelPool pool(factory);
+  LocalTrainResult result;
+  Train(pool, init_params, spec, rng, result);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "data/dataset.h"
+#include "fl/model_pool.h"
 #include "fl/types.h"
 #include "models/model_zoo.h"
 #include "util/rng.h"
@@ -53,9 +54,19 @@ class FlClient {
   int num_samples() const { return dataset_->size(); }
   const data::Dataset& dataset() const { return *dataset_; }
 
-  // Trains a fresh factory-built model initialised from `init_params` for
-  // spec.options.local_epochs epochs and returns the result. `rng` drives
-  // batch shuffling (forked internally so client runs are reproducible).
+  // Trains a pooled model replica initialised from `init_params` for
+  // spec.options.local_epochs epochs, writing into `result` (whose buffers
+  // are recycled round-over-round: at steady state this performs zero
+  // tensor heap allocations). `rng` drives batch shuffling (forked
+  // internally so client runs are reproducible). Resets every result field,
+  // including dropped = false.
+  void Train(ModelPool& pool, const FlatParams& init_params,
+             const ClientTrainSpec& spec, util::Rng& rng,
+             LocalTrainResult& result) const;
+
+  // Convenience overload: trains a fresh factory-built model and returns
+  // the result by value. Equivalent to the pooled overload with a one-shot
+  // pool (bit-identical results); kept for tests and standalone callers.
   LocalTrainResult Train(const models::ModelFactory& factory,
                          const FlatParams& init_params,
                          const ClientTrainSpec& spec, util::Rng& rng) const;

@@ -25,8 +25,7 @@ CluSamp::CluSamp(AlgorithmConfig config, data::FederatedDataset data,
                  models::ModelFactory factory, int kmeans_iters)
     : FlAlgorithm("CluSamp", config, std::move(data), std::move(factory)),
       kmeans_iters_(kmeans_iters) {
-  nn::Sequential initial = this->factory()();
-  global_ = initial.ParamsToFlat();
+  global_ = InitialParams();
   client_updates_.assign(num_clients(), FlatParams());
   assignment_.assign(num_clients(), 0);
   // Initial assignment: round-robin (no history yet).
@@ -120,24 +119,25 @@ void CluSamp::RunRound(int round) {
     jobs[c] = {members[c][rng().UniformInt(members[c].size())], &global_,
                &spec};
   }
-  std::vector<LocalTrainResult> results = TrainClients(round, /*salt=*/0, jobs);
+  const std::vector<LocalTrainResult>& results =
+      TrainClients(round, /*salt=*/0, jobs);
 
-  std::vector<FlatParams> local_models;
+  std::vector<const FlatParams*> local_models;
   std::vector<double> weights;
+  FlatParams update;  // reused scratch across clusters
   for (int c = 0; c < k; ++c) {
-    LocalTrainResult& result = results[c];
+    const LocalTrainResult& result = results[c];
     if (result.dropped) continue;  // device failed before uploading
 
     // Store the (normalised) update direction for the next clustering.
-    FlatParams update;
     flat_ops::Subtract(result.params, global_, update);
-    if (Normalize(update)) client_updates_[jobs[c].client_id] = std::move(update);
+    if (Normalize(update)) client_updates_[jobs[c].client_id] = update;
 
     weights.push_back(result.num_samples);
-    local_models.push_back(std::move(result.params));
+    local_models.push_back(&result.params);
   }
   if (local_models.empty()) return;  // every client dropped
-  global_ = WeightedAverage(local_models, weights);
+  WeightedAverageInto(local_models, weights, global_);
 }
 
 }  // namespace fedcross::fl

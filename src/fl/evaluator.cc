@@ -1,15 +1,49 @@
 #include "fl/evaluator.h"
 
+#include <algorithm>
 #include <numeric>
 
+#include "fl/parallel.h"
 #include "nn/loss.h"
 
 namespace fedcross::fl {
+namespace {
+
+// Runs batches [batch_begin, batch_end) of the dataset through one replica
+// and records each batch's (summed loss, correct count) at its batch index.
+// Per-batch results are pure functions of (params, batch contents), so any
+// partition of the batch range across replicas yields the same per-batch
+// values; the caller's in-order reduction then makes the total independent
+// of the thread count.
+void EvalBatchRange(ModelPool::Replica& replica, const data::Dataset& dataset,
+                    int batch_size, int batch_begin, int batch_end,
+                    std::vector<double>& batch_loss,
+                    std::vector<int>& batch_correct) {
+  nn::CrossEntropyLoss criterion;
+  int total = dataset.size();
+  std::vector<int>& indices = replica.batch_indices;
+  for (int batch = batch_begin; batch < batch_end; ++batch) {
+    int start = batch * batch_size;
+    int end = std::min(start + batch_size, total);
+    indices.resize(end - start);
+    std::iota(indices.begin(), indices.end(), start);
+    dataset.GetBatch(indices, replica.features, replica.labels);
+    const Tensor& logits = replica.model.Forward(replica.features,
+                                                 /*train=*/false);
+    criterion.Compute(logits, replica.labels, replica.loss,
+                      /*compute_grad=*/false);
+    batch_loss[batch] = static_cast<double>(replica.loss.loss) * (end - start);
+    batch_correct[batch] = replica.loss.correct;
+  }
+}
+
+}  // namespace
 
 EvalResult EvaluateModel(nn::Sequential& model, const data::Dataset& dataset,
                          int batch_size) {
   FC_CHECK_GT(batch_size, 0);
   nn::CrossEntropyLoss criterion;
+  nn::LossResult loss;
   Tensor features;
   std::vector<int> labels;
   double total_loss = 0.0;
@@ -22,9 +56,8 @@ EvalResult EvaluateModel(nn::Sequential& model, const data::Dataset& dataset,
     indices.resize(end - start);
     std::iota(indices.begin(), indices.end(), start);
     dataset.GetBatch(indices, features, labels);
-    Tensor logits = model.Forward(features, /*train=*/false);
-    nn::LossResult loss =
-        criterion.Compute(logits, labels, /*compute_grad=*/false);
+    const Tensor& logits = model.Forward(features, /*train=*/false);
+    criterion.Compute(logits, labels, loss, /*compute_grad=*/false);
     total_loss += static_cast<double>(loss.loss) * (end - start);
     total_correct += loss.correct;
   }
@@ -33,6 +66,59 @@ EvalResult EvaluateModel(nn::Sequential& model, const data::Dataset& dataset,
   result.loss = total > 0 ? static_cast<float>(total_loss / total) : 0.0f;
   result.accuracy =
       total > 0 ? static_cast<float>(total_correct) / total : 0.0f;
+  return result;
+}
+
+EvalResult EvaluateParams(ModelPool& pool, const FlatParams& params,
+                          const data::Dataset& dataset, int batch_size) {
+  FC_CHECK_GT(batch_size, 0);
+  int total = dataset.size();
+  if (total == 0) return EvalResult{};
+  int num_batches = (total + batch_size - 1) / batch_size;
+
+  util::ThreadPool* workers = AcquireFlPool();
+  int shards = 1;
+  if (workers != nullptr) {
+    shards = std::min(workers->num_threads(), num_batches);
+  }
+
+  // Per-batch partials, indexed by batch number regardless of which shard
+  // produced them.
+  std::vector<double> batch_loss(num_batches, 0.0);
+  std::vector<int> batch_correct(num_batches, 0);
+
+  if (shards <= 1) {
+    ModelPool::Lease lease = pool.Acquire();
+    lease->model.ParamsFromFlat(params);
+    EvalBatchRange(*lease, dataset, batch_size, 0, num_batches, batch_loss,
+                   batch_correct);
+  } else {
+    // Contiguous batch shards: shard s gets batches [s*per + min(s, extra) +
+    // ...) — each worker slot checks out its own replica.
+    int per_shard = num_batches / shards;
+    int extra = num_batches % shards;
+    workers->ParallelFor(shards, [&](int shard) {
+      int begin = shard * per_shard + std::min(shard, extra);
+      int end = begin + per_shard + (shard < extra ? 1 : 0);
+      ModelPool::Lease lease = pool.Acquire();
+      lease->model.ParamsFromFlat(params);
+      EvalBatchRange(*lease, dataset, batch_size, begin, end, batch_loss,
+                     batch_correct);
+    });
+  }
+
+  // Reduce in batch order with double accumulation: the summation order is
+  // fixed by construction, never by thread scheduling.
+  double total_loss = 0.0;
+  int total_correct = 0;
+  for (int batch = 0; batch < num_batches; ++batch) {
+    total_loss += batch_loss[batch];
+    total_correct += batch_correct[batch];
+  }
+
+  EvalResult result;
+  result.loss = static_cast<float>(total_loss / total);
+  result.accuracy = static_cast<float>(total_correct) / total;
   return result;
 }
 

@@ -2,13 +2,23 @@
 #define FEDCROSS_FL_EVALUATOR_H_
 
 #include "data/dataset.h"
+#include "fl/model_pool.h"
 #include "fl/types.h"
 #include "models/model_zoo.h"
 
 namespace fedcross::fl {
 
-// Evaluates flat parameters on a dataset: builds a model from the factory,
-// loads the parameters, and runs inference in eval mode.
+// Evaluates flat parameters on a dataset using pooled model replicas: test
+// batches are fanned out over the shared FL thread pool (see fl/parallel.h),
+// one replica per worker slot, and per-batch results are reduced in batch
+// order with double accumulation — so the result is bit-identical for every
+// thread count, including the serial path. At steady state no replica or
+// batch-buffer allocations occur.
+EvalResult EvaluateParams(ModelPool& pool, const FlatParams& params,
+                          const data::Dataset& dataset, int batch_size = 100);
+
+// Convenience overload: builds a model from the factory per call and runs
+// the serial path. Kept for standalone callers; same math as above.
 EvalResult EvaluateParams(const models::ModelFactory& factory,
                           const FlatParams& params,
                           const data::Dataset& dataset, int batch_size = 100);

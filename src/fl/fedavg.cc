@@ -6,8 +6,7 @@ FedAvg::FedAvg(AlgorithmConfig config, data::FederatedDataset data,
                models::ModelFactory factory, std::string name)
     : FlAlgorithm(std::move(name), config, std::move(data),
                   std::move(factory)) {
-  nn::Sequential initial = this->factory()();
-  global_ = initial.ParamsToFlat();
+  global_ = InitialParams();
 }
 
 ClientTrainSpec FedAvg::MakeClientSpec() const {
@@ -23,19 +22,21 @@ void FedAvg::RunRound(int round) {
   for (std::size_t i = 0; i < selected.size(); ++i) {
     jobs[i] = {selected[i], &global_, &spec};
   }
-  std::vector<LocalTrainResult> results = TrainClients(round, /*salt=*/0, jobs);
+  const std::vector<LocalTrainResult>& results =
+      TrainClients(round, /*salt=*/0, jobs);
 
-  std::vector<FlatParams> local_models;
+  // Aggregate over pointers into the (recycled) results: no params copies.
+  std::vector<const FlatParams*> local_models;
   std::vector<double> weights;
   local_models.reserve(results.size());
   weights.reserve(results.size());
-  for (LocalTrainResult& result : results) {
+  for (const LocalTrainResult& result : results) {
     if (result.dropped) continue;  // device failed before uploading
     weights.push_back(result.num_samples);
-    local_models.push_back(std::move(result.params));
+    local_models.push_back(&result.params);
   }
   if (local_models.empty()) return;  // every client dropped: keep the model
-  global_ = WeightedAverage(local_models, weights);
+  WeightedAverageInto(local_models, weights, global_);
 }
 
 FedProx::FedProx(AlgorithmConfig config, data::FederatedDataset data,

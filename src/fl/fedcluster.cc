@@ -11,8 +11,7 @@ FedCluster::FedCluster(AlgorithmConfig config, data::FederatedDataset data,
   FC_CHECK_GT(num_clusters, 0);
   FC_CHECK_LE(num_clusters, config.clients_per_round)
       << "need at least one sampled client per cluster";
-  nn::Sequential initial = this->factory()();
-  global_ = initial.ParamsToFlat();
+  global_ = InitialParams();
 
   // Random, size-balanced clusters, fixed for the whole run (the original
   // method clusters once; re-clustering variants exist but are not needed
@@ -48,18 +47,18 @@ void FedCluster::RunRound(int round) {
     for (std::size_t i = 0; i < picks.size(); ++i) {
       jobs[i] = {cluster[picks[i]], &global_, &spec};
     }
-    std::vector<LocalTrainResult> results =
+    const std::vector<LocalTrainResult>& results =
         TrainClients(round, /*salt=*/step, jobs);
 
-    std::vector<FlatParams> local_models;
+    std::vector<const FlatParams*> local_models;
     std::vector<double> weights;
-    for (LocalTrainResult& result : results) {
+    for (const LocalTrainResult& result : results) {
       if (result.dropped) continue;
       weights.push_back(result.num_samples);
-      local_models.push_back(std::move(result.params));
+      local_models.push_back(&result.params);
     }
     if (local_models.empty()) continue;  // whole cluster step dropped
-    global_ = WeightedAverage(local_models, weights);
+    WeightedAverageInto(local_models, weights, global_);
   }
 }
 

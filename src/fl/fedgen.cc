@@ -17,8 +17,7 @@ FedGen::FedGen(AlgorithmConfig config, data::FederatedDataset data,
                models::ModelFactory factory, Options options)
     : FlAlgorithm("FedGen", config, std::move(data), std::move(factory)),
       options_(options) {
-  nn::Sequential initial = this->factory()();
-  global_ = initial.ParamsToFlat();
+  global_ = InitialParams();
 
   example_shape_ = test_set().example_shape();
   example_numel_ = 1;
@@ -37,8 +36,10 @@ FedGen::FedGen(AlgorithmConfig config, data::FederatedDataset data,
   generator_size_ = generator_.NumParams();
 }
 
-Tensor FedGen::SampleGeneratorInput(int batch, std::vector<int>& labels) {
-  Tensor input({batch, options_.latent_dim + num_classes_});
+void FedGen::SampleGeneratorInput(int batch, Tensor& input,
+                                  std::vector<int>& labels) {
+  input.ResizeTo({batch, options_.latent_dim + num_classes_});
+  input.Fill(0.0f);  // reused buffer: clear the one-hot block
   labels.resize(batch);
   float* data = input.data();
   for (int b = 0; b < batch; ++b) {
@@ -51,13 +52,15 @@ Tensor FedGen::SampleGeneratorInput(int batch, std::vector<int>& labels) {
     }
     row[options_.latent_dim + label] = 1.0f;
   }
-  return input;
 }
 
 void FedGen::TrainGenerator() {
   if (discrete_inputs_) return;  // no input gradients through embeddings
 
-  nn::Sequential global_model = factory()();
+  // The teacher pass borrows a pooled replica instead of rebuilding the
+  // global model every round.
+  ModelPool::Lease lease = pool().Acquire();
+  nn::Sequential& global_model = lease->model;
   global_model.ParamsFromFlat(global_);
 
   optim::SgdOptions sgd_options;
@@ -67,23 +70,29 @@ void FedGen::TrainGenerator() {
   optim::Sgd sgd(generator_.Params(), sgd_options);
 
   nn::CrossEntropyLoss criterion;
+  nn::LossResult loss;
   std::vector<int> labels;
+  // Hoisted copies of the layer-owned outputs: both get reshaped, which
+  // must not disturb the layers' cached buffers. Copy-assign inside the
+  // loop reuses their capacity after the first step.
+  Tensor input;
+  Tensor fake;
+  Tensor grad_input;
+  Tensor::Shape batch_shape;
+  batch_shape.push_back(options_.generator_batch);
+  batch_shape.insert(batch_shape.end(), example_shape_.begin(),
+                     example_shape_.end());
   for (int step = 0; step < options_.generator_steps_per_round; ++step) {
-    Tensor input = SampleGeneratorInput(options_.generator_batch, labels);
+    SampleGeneratorInput(options_.generator_batch, input, labels);
     generator_.ZeroGrad();
-    Tensor fake = generator_.Forward(input, /*train=*/true);
-
-    Tensor::Shape batch_shape;
-    batch_shape.push_back(options_.generator_batch);
-    batch_shape.insert(batch_shape.end(), example_shape_.begin(),
-                       example_shape_.end());
+    fake = generator_.Forward(input, /*train=*/true);
     fake.Reshape(batch_shape);
 
     // Teacher pass: the global model should classify fakes as their label.
     global_model.ZeroGrad();
-    Tensor logits = global_model.Forward(fake, /*train=*/false);
-    nn::LossResult loss = criterion.Compute(logits, labels);
-    Tensor grad_input = global_model.Backward(loss.grad_logits);
+    const Tensor& logits = global_model.Forward(fake, /*train=*/false);
+    criterion.Compute(logits, labels, loss);
+    grad_input = global_model.Backward(loss.grad_logits);
     grad_input.Reshape(
         {options_.generator_batch, static_cast<int>(example_numel_)});
     generator_.Backward(grad_input);
@@ -93,8 +102,9 @@ void FedGen::TrainGenerator() {
 
 void FedGen::RegenerateSyntheticSet() {
   std::vector<int> labels;
-  Tensor input = SampleGeneratorInput(options_.synthetic_samples, labels);
-  Tensor fake = generator_.Forward(input, /*train=*/false);
+  Tensor input;
+  SampleGeneratorInput(options_.synthetic_samples, input, labels);
+  const Tensor& fake = generator_.Forward(input, /*train=*/false);
 
   std::vector<float> features(
       static_cast<std::size_t>(options_.synthetic_samples) * example_numel_);
@@ -127,26 +137,27 @@ void FedGen::RunRound(int round) {
   for (std::size_t i = 0; i < selected.size(); ++i) {
     jobs[i] = {selected[i], &global_, &spec};
   }
-  std::vector<LocalTrainResult> results = TrainClients(round, /*salt=*/0, jobs);
+  const std::vector<LocalTrainResult>& results =
+      TrainClients(round, /*salt=*/0, jobs);
 
-  std::vector<FlatParams> local_models;
+  std::vector<const FlatParams*> local_models;
   std::vector<double> weights;
   for (std::size_t i = 0; i < results.size(); ++i) {
     // Generator payload rides along with the model dispatch.
     if (synthetic_ != nullptr) {
       comm().AddDownload(CommTracker::FloatBytes(generator_size_));
     }
-    LocalTrainResult& result = results[i];
+    const LocalTrainResult& result = results[i];
     if (result.dropped) continue;  // device failed before uploading
     weights.push_back(result.num_samples);
-    local_models.push_back(std::move(result.params));
+    local_models.push_back(&result.params);
 
     std::vector<int> counts = client(selected[i]).dataset().LabelCounts();
     for (int k = 0; k < num_classes_; ++k) new_label_weights[k] += counts[k];
   }
 
   if (local_models.empty()) return;  // every client dropped
-  global_ = WeightedAverage(local_models, weights);
+  WeightedAverageInto(local_models, weights, global_);
   label_weights_ = std::move(new_label_weights);
   TrainGenerator();
   RegenerateSyntheticSet();

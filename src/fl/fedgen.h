@@ -48,8 +48,9 @@ class FedGen : public FlAlgorithm {
  private:
   void TrainGenerator();
   void RegenerateSyntheticSet();
-  // One generator batch input [batch, latent+classes] plus its labels.
-  Tensor SampleGeneratorInput(int batch, std::vector<int>& labels);
+  // Fills one generator batch input [batch, latent+classes] plus its
+  // labels, reusing the caller's buffers.
+  void SampleGeneratorInput(int batch, Tensor& input, std::vector<int>& labels);
 
   Options options_;
   FlatParams global_;

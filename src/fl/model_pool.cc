@@ -1,0 +1,60 @@
+#include "fl/model_pool.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace fedcross::fl {
+
+void ModelPool::Lease::Reset() {
+  if (replica_ != nullptr && pool_ != nullptr) {
+    pool_->Release(std::move(replica_));
+  }
+  replica_.reset();
+  pool_ = nullptr;
+}
+
+ModelPool::ModelPool(models::ModelFactory factory)
+    : factory_(std::move(factory)) {
+  FC_CHECK(factory_ != nullptr);
+}
+
+ModelPool::Lease ModelPool::Acquire() {
+  std::unique_ptr<Replica> replica;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      replica = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (replica == nullptr) {
+    // Construct outside the lock: factory() builds a full model.
+    replica = std::make_unique<Replica>();
+    replica->model = factory_();
+  }
+  // A recycled replica must be indistinguishable from a fresh factory model
+  // once its parameters are overwritten; reset non-parameter state (dropout
+  // RNG streams, ...) here so every checkout starts from the same point.
+  replica->model.ResetState();
+  return Lease(this, std::move(replica));
+}
+
+void ModelPool::Release(std::unique_ptr<Replica> replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(replica));
+}
+
+std::size_t ModelPool::replicas_created() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return created_;
+}
+
+std::size_t ModelPool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+}  // namespace fedcross::fl

@@ -1,0 +1,45 @@
+#include "fl/parallel.h"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace fedcross::fl {
+namespace {
+
+std::mutex g_pool_mutex;
+int g_requested_threads = 0;  // <= 0: hardware_concurrency
+std::unique_ptr<util::ThreadPool> g_pool;
+
+int ResolveThreads(int requested) {
+  int threads = requested;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return threads < 1 ? 1 : threads;
+}
+
+}  // namespace
+
+void SetFlThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_requested_threads = n;
+  g_pool.reset();  // rebuilt lazily at the new size
+}
+
+int FlThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return ResolveThreads(g_requested_threads);
+}
+
+util::ThreadPool* AcquireFlPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  int want = ResolveThreads(g_requested_threads);
+  if (want == 1) return nullptr;
+  if (g_pool == nullptr || g_pool->num_threads() != want) {
+    g_pool = std::make_unique<util::ThreadPool>(want);
+  }
+  return g_pool.get();
+}
+
+}  // namespace fedcross::fl

@@ -1,0 +1,27 @@
+#ifndef FEDCROSS_FL_PARALLEL_H_
+#define FEDCROSS_FL_PARALLEL_H_
+
+#include "util/thread_pool.h"
+
+namespace fedcross::fl {
+
+// Number of threads used for the FL simulation's parallel sections (client
+// training fan-out, test-set evaluation). Process-wide; shared thread pool.
+// n <= 0 selects std::thread::hardware_concurrency(); 1 runs the legacy
+// in-line sequential paths with no pool involvement. Every parallel section
+// is deterministic by construction (per-slot seeded Rngs for training,
+// batch-order reduction for evaluation), so results are bit-identical for
+// every thread count.
+void SetFlThreads(int n);
+
+// The resolved thread count SetFlThreads selected (never < 1).
+int FlThreads();
+
+// The shared worker pool sized to FlThreads(), or nullptr when FlThreads()
+// == 1 (callers run their serial path). The pool is built lazily and
+// rebuilt when SetFlThreads changes the size.
+util::ThreadPool* AcquireFlPool();
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_PARALLEL_H_

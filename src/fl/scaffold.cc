@@ -7,8 +7,7 @@ namespace fedcross::fl {
 Scaffold::Scaffold(AlgorithmConfig config, data::FederatedDataset data,
                    models::ModelFactory factory)
     : FlAlgorithm("SCAFFOLD", config, std::move(data), std::move(factory)) {
-  nn::Sequential initial = this->factory()();
-  global_ = initial.ParamsToFlat();
+  global_ = InitialParams();
   server_c_.assign(global_.size(), 0.0f);
   client_c_.assign(num_clients(), FlatParams());
 }
@@ -31,13 +30,14 @@ void Scaffold::RunRound(int round) {
     specs[i].scaffold_correction = &corrections[i];
     jobs[i] = {selected[i], &global_, &specs[i]};
   }
-  std::vector<LocalTrainResult> results = TrainClients(round, /*salt=*/0, jobs);
+  const std::vector<LocalTrainResult>& results =
+      TrainClients(round, /*salt=*/0, jobs);
 
-  std::vector<FlatParams> local_models;
+  std::vector<const FlatParams*> local_models;
   std::vector<double> weights;
   FlatParams c_delta_sum(global_.size(), 0.0f);
   for (int i = 0; i < count; ++i) {
-    LocalTrainResult& result = results[i];
+    const LocalTrainResult& result = results[i];
     if (result.dropped) continue;  // no upload, no variate update
     // Variate traffic: one variate down (c), one up (c_i+).
     comm().AddDownload(CommTracker::FloatBytes(model_size()));
@@ -55,11 +55,11 @@ void Scaffold::RunRound(int round) {
     }
 
     weights.push_back(result.num_samples);
-    local_models.push_back(std::move(result.params));
+    local_models.push_back(&result.params);
   }
 
   if (local_models.empty()) return;  // every client dropped
-  global_ = WeightedAverage(local_models, weights);
+  WeightedAverageInto(local_models, weights, global_);
   // c += (|S| / N) * mean_i(c_i+ - c_i), over the clients that uploaded.
   flat_ops::Axpy(server_c_, 1.0f / static_cast<float>(num_clients()),
                  c_delta_sum);

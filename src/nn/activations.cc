@@ -4,68 +4,67 @@
 
 namespace fedcross::nn {
 
-Tensor Relu::Forward(const Tensor& input, bool train) {
+const Tensor& Relu::Forward(const Tensor& input, bool train) {
   (void)train;
-  cached_input_ = input;
-  Tensor output = input;
-  float* data = output.data();
-  for (std::int64_t i = 0; i < output.numel(); ++i) {
+  output_ = input;  // capacity-reusing copy
+  float* data = output_.data();
+  for (std::int64_t i = 0; i < output_.numel(); ++i) {
     if (data[i] < 0.0f) data[i] = 0.0f;
   }
-  return output;
+  return output_;
 }
 
-Tensor Relu::Backward(const Tensor& grad_output) {
-  FC_CHECK(grad_output.SameShape(cached_input_));
-  Tensor grad_input = grad_output;
-  float* grad = grad_input.data();
-  const float* input = cached_input_.data();
-  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
-    if (input[i] <= 0.0f) grad[i] = 0.0f;
+const Tensor& Relu::Backward(const Tensor& grad_output) {
+  FC_CHECK(grad_output.SameShape(output_));
+  grad_input_ = grad_output;
+  float* grad = grad_input_.data();
+  const float* out = output_.data();
+  // out[i] <= 0 exactly when the forward input was <= 0 (ReLU maps
+  // positives to themselves and everything else to 0).
+  for (std::int64_t i = 0; i < grad_input_.numel(); ++i) {
+    if (out[i] <= 0.0f) grad[i] = 0.0f;
   }
-  return grad_input;
+  return grad_input_;
 }
 
-Tensor Tanh::Forward(const Tensor& input, bool train) {
+const Tensor& Tanh::Forward(const Tensor& input, bool train) {
   (void)train;
-  Tensor output = input;
-  float* data = output.data();
-  for (std::int64_t i = 0; i < output.numel(); ++i) data[i] = std::tanh(data[i]);
-  cached_output_ = output;
-  return output;
+  output_ = input;
+  float* data = output_.data();
+  for (std::int64_t i = 0; i < output_.numel(); ++i) data[i] = std::tanh(data[i]);
+  return output_;
 }
 
-Tensor Tanh::Backward(const Tensor& grad_output) {
-  FC_CHECK(grad_output.SameShape(cached_output_));
-  Tensor grad_input = grad_output;
-  float* grad = grad_input.data();
-  const float* out = cached_output_.data();
-  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+const Tensor& Tanh::Backward(const Tensor& grad_output) {
+  FC_CHECK(grad_output.SameShape(output_));
+  grad_input_ = grad_output;
+  float* grad = grad_input_.data();
+  const float* out = output_.data();
+  for (std::int64_t i = 0; i < grad_input_.numel(); ++i) {
     grad[i] *= 1.0f - out[i] * out[i];
   }
-  return grad_input;
+  return grad_input_;
 }
 
-Tensor Sigmoid::Forward(const Tensor& input, bool train) {
+const Tensor& Sigmoid::Forward(const Tensor& input, bool train) {
   (void)train;
-  Tensor output = input;
-  float* data = output.data();
-  for (std::int64_t i = 0; i < output.numel(); ++i) {
+  output_ = input;
+  float* data = output_.data();
+  for (std::int64_t i = 0; i < output_.numel(); ++i) {
     data[i] = 1.0f / (1.0f + std::exp(-data[i]));
   }
-  cached_output_ = output;
-  return output;
+  return output_;
 }
 
-Tensor Sigmoid::Backward(const Tensor& grad_output) {
-  FC_CHECK(grad_output.SameShape(cached_output_));
-  Tensor grad_input = grad_output;
-  float* grad = grad_input.data();
-  const float* out = cached_output_.data();
-  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+const Tensor& Sigmoid::Backward(const Tensor& grad_output) {
+  FC_CHECK(grad_output.SameShape(output_));
+  grad_input_ = grad_output;
+  float* grad = grad_input_.data();
+  const float* out = output_.data();
+  for (std::int64_t i = 0; i < grad_input_.numel(); ++i) {
     grad[i] *= out[i] * (1.0f - out[i]);
   }
-  return grad_input;
+  return grad_input_;
 }
 
 }  // namespace fedcross::nn

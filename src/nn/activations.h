@@ -7,37 +7,42 @@
 
 namespace fedcross::nn {
 
-// Elementwise max(0, x). Works on tensors of any rank.
+// Elementwise max(0, x). Works on tensors of any rank. Backward derives the
+// mask from the cached output (out == 0 iff in <= 0), so no input copy is
+// kept.
 class Relu : public Layer {
  public:
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "Relu"; }
 
  private:
-  Tensor cached_input_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 // Elementwise tanh(x).
 class Tanh : public Layer {
  public:
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "Tanh"; }
 
  private:
-  Tensor cached_output_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 // Elementwise logistic sigmoid.
 class Sigmoid : public Layer {
  public:
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "Sigmoid"; }
 
  private:
-  Tensor cached_output_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 }  // namespace fedcross::nn

@@ -20,7 +20,7 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
   FC_CHECK_GT(kernel, 0);
 }
 
-Tensor Conv2d::Forward(const Tensor& input, bool train) {
+const Tensor& Conv2d::Forward(const Tensor& input, bool train) {
   (void)train;
   FC_CHECK_EQ(input.ndim(), 4);
   FC_CHECK_EQ(input.dim(1), in_channels_);
@@ -41,7 +41,7 @@ Tensor Conv2d::Forward(const Tensor& input, bool train) {
     cached_columns_.resize(batch);
   }
 
-  Tensor output({batch, out_channels_, out_h, out_w});
+  output_.ResizeTo({batch, out_channels_, out_h, out_w});
   std::int64_t in_stride = static_cast<std::int64_t>(in_channels_) * height * width;
   std::int64_t out_stride = static_cast<std::int64_t>(out_channels_) * out_area;
   for (int b = 0; b < batch; ++b) {
@@ -55,20 +55,20 @@ Tensor Conv2d::Forward(const Tensor& input, bool train) {
     // output_b = W(out_channels, patch) * columns(patch, out_area)
     ops::Gemm(false, false, out_channels_, out_area, patch, 1.0f,
               weight_.value.data(), patch, columns.data(), out_area, 0.0f,
-              output.data() + b * out_stride, out_area);
+              output_.data() + b * out_stride, out_area);
   }
   const float* bias = bias_.value.data();
-  float* out = output.data();
+  float* out = output_.data();
   for (int b = 0; b < batch; ++b) {
     for (int oc = 0; oc < out_channels_; ++oc) {
       float* plane = out + b * out_stride + static_cast<std::int64_t>(oc) * out_area;
       for (int i = 0; i < out_area; ++i) plane[i] += bias[oc];
     }
   }
-  return output;
+  return output_;
 }
 
-Tensor Conv2d::Backward(const Tensor& grad_output) {
+const Tensor& Conv2d::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.ndim(), 4);
   int batch = grad_output.dim(0);
   FC_CHECK_EQ(batch, static_cast<int>(cached_columns_.size()));
@@ -78,7 +78,8 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   int out_area = out_h * out_w;
   int patch = in_channels_ * kernel_ * kernel_;
 
-  Tensor grad_input({batch, in_channels_, cached_height_, cached_width_});
+  grad_input_.ResizeTo({batch, in_channels_, cached_height_, cached_width_});
+  grad_input_.Fill(0.0f);  // Col2Im accumulates into the image
   // Same scratch-reuse as Forward: the dColumns GEMM runs with beta = 0, so
   // the buffer is fully overwritten each iteration.
   if (grad_columns_.ndim() != 2 || grad_columns_.dim(0) != patch ||
@@ -110,9 +111,9 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
               grad_columns.data(), out_area);
     ops::Col2Im(grad_columns.data(), in_channels_, cached_height_,
                 cached_width_, kernel_, kernel_, stride_, pad_,
-                grad_input.data() + b * in_stride);
+                grad_input_.data() + b * in_stride);
   }
-  return grad_input;
+  return grad_input_;
 }
 
 void Conv2d::CollectParams(std::vector<Param*>& out) {

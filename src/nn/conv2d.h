@@ -19,8 +19,8 @@ class Conv2d : public Layer {
   Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
          util::Rng& rng);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "Conv2d"; }
 
@@ -39,6 +39,8 @@ class Conv2d : public Layer {
   // dColumns scratch are reused across steps instead of reallocated.
   std::vector<Tensor> cached_columns_;
   Tensor grad_columns_;
+  Tensor output_;
+  Tensor grad_input_;
   int cached_height_ = 0;
   int cached_width_ = 0;
 };

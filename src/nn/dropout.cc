@@ -2,30 +2,31 @@
 
 namespace fedcross::nn {
 
-Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+Dropout::Dropout(float rate, std::uint64_t seed)
+    : rate_(rate), seed_(seed), rng_(seed) {
   FC_CHECK_GE(rate, 0.0f);
   FC_CHECK_LT(rate, 1.0f);
 }
 
-Tensor Dropout::Forward(const Tensor& input, bool train) {
+const Tensor& Dropout::Forward(const Tensor& input, bool train) {
   last_was_train_ = train && rate_ > 0.0f;
   if (!last_was_train_) return input;
-  cached_mask_ = Tensor(input.shape());
+  cached_mask_.ResizeTo(input.shape());
   float scale = 1.0f / (1.0f - rate_);
   float* mask = cached_mask_.data();
   for (std::int64_t i = 0; i < cached_mask_.numel(); ++i) {
     mask[i] = rng_.Uniform() < rate_ ? 0.0f : scale;
   }
-  Tensor output = input;
-  output.MulInPlace(cached_mask_);
-  return output;
+  output_ = input;
+  output_.MulInPlace(cached_mask_);
+  return output_;
 }
 
-Tensor Dropout::Backward(const Tensor& grad_output) {
+const Tensor& Dropout::Backward(const Tensor& grad_output) {
   if (!last_was_train_) return grad_output;
-  Tensor grad_input = grad_output;
-  grad_input.MulInPlace(cached_mask_);
-  return grad_input;
+  grad_input_ = grad_output;
+  grad_input_.MulInPlace(cached_mask_);
+  return grad_input_;
 }
 
 }  // namespace fedcross::nn

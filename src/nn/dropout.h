@@ -9,20 +9,27 @@
 namespace fedcross::nn {
 
 // Inverted dropout: during training each element is zeroed with probability
-// `rate` and survivors are scaled by 1/(1-rate); evaluation is identity.
+// `rate` and survivors are scaled by 1/(1-rate); evaluation is identity (the
+// input reference is returned untouched).
 class Dropout : public Layer {
  public:
   // `seed` makes the mask stream reproducible per layer instance.
   Dropout(float rate, std::uint64_t seed);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
+  // Rewinds the mask RNG to its construction seed, so a pooled replica draws
+  // the same mask stream a freshly built model would.
+  void ResetState() override { rng_ = util::Rng(seed_); }
   std::string Name() const override { return "Dropout"; }
 
  private:
   float rate_;
+  std::uint64_t seed_;
   util::Rng rng_;
   Tensor cached_mask_;  // scaled keep-mask from the last training Forward
+  Tensor output_;
+  Tensor grad_input_;
   bool last_was_train_ = false;
 };
 

@@ -14,7 +14,7 @@ Embedding::Embedding(int vocab_size, int embed_dim, util::Rng& rng)
   FC_CHECK_GT(embed_dim, 0);
 }
 
-Tensor Embedding::Forward(const Tensor& input, bool train) {
+const Tensor& Embedding::Forward(const Tensor& input, bool train) {
   (void)train;
   FC_CHECK_EQ(input.ndim(), 2);
   cached_batch_ = input.dim(0);
@@ -22,10 +22,10 @@ Tensor Embedding::Forward(const Tensor& input, bool train) {
   std::int64_t tokens = input.numel();
   cached_ids_.resize(tokens);
 
-  Tensor output({cached_batch_, cached_time_, embed_dim_});
+  output_.ResizeTo({cached_batch_, cached_time_, embed_dim_});
   const float* ids = input.data();
   const float* table = table_.value.data();
-  float* out = output.data();
+  float* out = output_.data();
   for (std::int64_t i = 0; i < tokens; ++i) {
     int id = static_cast<int>(ids[i]);
     FC_CHECK_GE(id, 0);
@@ -35,10 +35,10 @@ Tensor Embedding::Forward(const Tensor& input, bool train) {
                 table + static_cast<std::int64_t>(id) * embed_dim_,
                 embed_dim_ * sizeof(float));
   }
-  return output;
+  return output_;
 }
 
-Tensor Embedding::Backward(const Tensor& grad_output) {
+const Tensor& Embedding::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.ndim(), 3);
   FC_CHECK_EQ(grad_output.dim(0), cached_batch_);
   FC_CHECK_EQ(grad_output.dim(1), cached_time_);
@@ -52,7 +52,7 @@ Tensor Embedding::Backward(const Tensor& grad_output) {
     const float* src = grad + static_cast<std::int64_t>(i) * embed_dim_;
     for (int d = 0; d < embed_dim_; ++d) row[d] += src[d];
   }
-  return Tensor();  // no gradient for discrete token ids
+  return empty_grad_;  // no gradient for discrete token ids
 }
 
 void Embedding::CollectParams(std::vector<Param*>& out) {

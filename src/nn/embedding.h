@@ -20,8 +20,8 @@ class Embedding : public Layer {
  public:
   Embedding(int vocab_size, int embed_dim, util::Rng& rng);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "Embedding"; }
 
@@ -33,6 +33,8 @@ class Embedding : public Layer {
   int embed_dim_;
   Param table_;
   std::vector<int> cached_ids_;  // batch-major token ids from last Forward
+  Tensor output_;
+  Tensor empty_grad_;  // stays numel()==0: the stop-backprop sentinel
   int cached_batch_ = 0;
   int cached_time_ = 0;
 };

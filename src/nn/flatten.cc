@@ -2,21 +2,21 @@
 
 namespace fedcross::nn {
 
-Tensor Flatten::Forward(const Tensor& input, bool train) {
+const Tensor& Flatten::Forward(const Tensor& input, bool train) {
   (void)train;
   FC_CHECK_GE(input.ndim(), 2);
   cached_input_shape_ = input.shape();
   int batch = input.dim(0);
   int features = static_cast<int>(input.numel() / batch);
-  Tensor output = input;
-  output.Reshape({batch, features});
-  return output;
+  output_ = input;  // capacity-reusing copy
+  output_.Reshape({batch, features});
+  return output_;
 }
 
-Tensor Flatten::Backward(const Tensor& grad_output) {
-  Tensor grad_input = grad_output;
-  grad_input.Reshape(cached_input_shape_);
-  return grad_input;
+const Tensor& Flatten::Backward(const Tensor& grad_output) {
+  grad_input_ = grad_output;
+  grad_input_.Reshape(cached_input_shape_);
+  return grad_input_;
 }
 
 }  // namespace fedcross::nn

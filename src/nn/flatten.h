@@ -11,12 +11,14 @@ namespace fedcross::nn {
 // original shape. Metadata-only on contiguous tensors.
 class Flatten : public Layer {
  public:
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "Flatten"; }
 
  private:
   Tensor::Shape cached_input_shape_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 }  // namespace fedcross::nn

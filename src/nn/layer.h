@@ -39,18 +39,31 @@ struct Param {
 //    Forward, accumulates parameter gradients (+=), and returns the
 //    gradient w.r.t. the layer input. Calling Backward twice without an
 //    intervening Forward is undefined.
+//  - Forward/Backward return references to layer-owned output buffers (or,
+//    for identity layers, to the argument itself). The reference stays
+//    valid until the layer's next Forward/Backward call; callers that need
+//    a longer-lived value copy it. Layers reuse these buffers across
+//    batches via Tensor::ResizeTo, so steady-state training allocates
+//    nothing.
 //  - Layers process one mini-batch at a time and are not thread-safe; each
-//    simulated client owns its own model instance.
+//    simulated client owns its own model instance (fl::ModelPool hands out
+//    per-job replicas).
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  virtual Tensor Forward(const Tensor& input, bool train) = 0;
-  virtual Tensor Backward(const Tensor& grad_output) = 0;
+  virtual const Tensor& Forward(const Tensor& input, bool train) = 0;
+  virtual const Tensor& Backward(const Tensor& grad_output) = 0;
 
   // Appends pointers to this layer's parameters (stable for the layer's
   // lifetime). Default: no parameters.
   virtual void CollectParams(std::vector<Param*>& out) { (void)out; }
+
+  // Restores any non-parameter state (e.g. Dropout's mask RNG) to its
+  // just-constructed value, so a pooled model replica behaves exactly like
+  // a freshly built one after ParamsFromFlat. Cached activations need no
+  // reset: every Forward fully overwrites them. Default: nothing to reset.
+  virtual void ResetState() {}
 
   // Human-readable layer type for debugging / summaries.
   virtual std::string Name() const = 0;

@@ -14,27 +14,27 @@ Linear::Linear(int in_features, int out_features, util::Rng& rng)
   FC_CHECK_GT(out_features, 0);
 }
 
-Tensor Linear::Forward(const Tensor& input, bool train) {
+const Tensor& Linear::Forward(const Tensor& input, bool train) {
   (void)train;
   FC_CHECK_EQ(input.ndim(), 2);
   FC_CHECK_EQ(input.dim(1), in_features_);
   cached_input_ = input;
   int batch = input.dim(0);
-  Tensor output({batch, out_features_});
+  output_.ResizeTo({batch, out_features_});
   ops::Gemm(false, false, batch, out_features_, in_features_, 1.0f,
             input.data(), in_features_, weight_.value.data(), out_features_,
-            0.0f, output.data(), out_features_);
+            0.0f, output_.data(), out_features_);
   const float* bias = bias_.value.data();
-  float* out = output.data();
+  float* out = output_.data();
   for (int b = 0; b < batch; ++b) {
     for (int j = 0; j < out_features_; ++j) {
       out[static_cast<std::int64_t>(b) * out_features_ + j] += bias[j];
     }
   }
-  return output;
+  return output_;
 }
 
-Tensor Linear::Backward(const Tensor& grad_output) {
+const Tensor& Linear::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.ndim(), 2);
   FC_CHECK_EQ(grad_output.dim(1), out_features_);
   int batch = grad_output.dim(0);
@@ -53,11 +53,11 @@ Tensor Linear::Backward(const Tensor& grad_output) {
     }
   }
   // dX = dY * W^T
-  Tensor grad_input({batch, in_features_});
+  grad_input_.ResizeTo({batch, in_features_});
   ops::Gemm(false, true, batch, in_features_, out_features_, 1.0f,
             grad_output.data(), out_features_, weight_.value.data(),
-            out_features_, 0.0f, grad_input.data(), in_features_);
-  return grad_input;
+            out_features_, 0.0f, grad_input_.data(), in_features_);
+  return grad_input_;
 }
 
 void Linear::CollectParams(std::vector<Param*>& out) {

@@ -18,8 +18,8 @@ class Linear : public Layer {
  public:
   Linear(int in_features, int out_features, util::Rng& rng);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "Linear"; }
 
@@ -32,6 +32,8 @@ class Linear : public Layer {
   Param weight_;
   Param bias_;
   Tensor cached_input_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 }  // namespace fedcross::nn

@@ -10,15 +10,27 @@ namespace fedcross::nn {
 LossResult CrossEntropyLoss::Compute(const Tensor& logits,
                                      const std::vector<int>& labels,
                                      bool compute_grad) const {
+  LossResult result;
+  Compute(logits, labels, result, compute_grad);
+  return result;
+}
+
+void CrossEntropyLoss::Compute(const Tensor& logits,
+                               const std::vector<int>& labels,
+                               LossResult& result, bool compute_grad) const {
   FC_CHECK_EQ(logits.ndim(), 2);
   int batch = logits.dim(0);
   int classes = logits.dim(1);
   FC_CHECK_EQ(batch, static_cast<int>(labels.size()));
 
-  Tensor probs = logits;
+  // Softmax in the caller-owned grad buffer: it doubles as probs scratch and
+  // (when compute_grad) becomes the gradient in place.
+  Tensor& probs = result.grad_logits;
+  probs = logits;  // capacity-reusing copy
   ops::SoftmaxRows(probs);
 
-  LossResult result;
+  result.loss = 0.0f;
+  result.correct = 0;
   double total_loss = 0.0;
   const float* p = probs.data();
   for (int b = 0; b < batch; ++b) {
@@ -32,8 +44,7 @@ LossResult CrossEntropyLoss::Compute(const Tensor& logits,
   result.loss = static_cast<float>(total_loss / batch);
 
   if (compute_grad) {
-    result.grad_logits = std::move(probs);
-    float* grad = result.grad_logits.data();
+    float* grad = probs.data();
     float inv_batch = 1.0f / static_cast<float>(batch);
     for (int b = 0; b < batch; ++b) {
       float* row = grad + static_cast<std::int64_t>(b) * classes;
@@ -41,21 +52,30 @@ LossResult CrossEntropyLoss::Compute(const Tensor& logits,
       for (int c = 0; c < classes; ++c) row[c] *= inv_batch;
     }
   }
-  return result;
 }
 
 LossResult SoftCrossEntropyLoss::Compute(const Tensor& logits,
                                          const Tensor& targets,
                                          bool compute_grad) const {
+  LossResult result;
+  Compute(logits, targets, result, compute_grad);
+  return result;
+}
+
+void SoftCrossEntropyLoss::Compute(const Tensor& logits, const Tensor& targets,
+                                   LossResult& result,
+                                   bool compute_grad) const {
   FC_CHECK_EQ(logits.ndim(), 2);
   FC_CHECK(logits.SameShape(targets));
   int batch = logits.dim(0);
   int classes = logits.dim(1);
 
-  Tensor probs = logits;
+  Tensor& probs = result.grad_logits;
+  probs = logits;
   ops::SoftmaxRows(probs);
 
-  LossResult result;
+  result.loss = 0.0f;
+  result.correct = 0;
   double total_loss = 0.0;
   const float* p = probs.data();
   const float* t = targets.data();
@@ -73,11 +93,9 @@ LossResult SoftCrossEntropyLoss::Compute(const Tensor& logits,
   result.loss = static_cast<float>(total_loss / batch);
 
   if (compute_grad) {
-    result.grad_logits = std::move(probs);
-    result.grad_logits.SubInPlace(targets);
-    result.grad_logits.Scale(1.0f / static_cast<float>(batch));
+    probs.SubInPlace(targets);
+    probs.Scale(1.0f / static_cast<float>(batch));
   }
-  return result;
 }
 
 }  // namespace fedcross::nn

@@ -22,6 +22,13 @@ class CrossEntropyLoss {
   // `compute_grad=false` skips the gradient (evaluation-only passes).
   LossResult Compute(const Tensor& logits, const std::vector<int>& labels,
                      bool compute_grad = true) const;
+  // In-place variant: reuses `result` (in particular result.grad_logits'
+  // storage) instead of allocating a fresh LossResult per batch. The
+  // grad_logits tensor is used as softmax scratch even when
+  // compute_grad=false, so its contents are meaningful only when
+  // compute_grad=true.
+  void Compute(const Tensor& logits, const std::vector<int>& labels,
+               LossResult& result, bool compute_grad = true) const;
 };
 
 // Cross-entropy against an arbitrary target distribution (soft labels);
@@ -31,6 +38,9 @@ class SoftCrossEntropyLoss {
  public:
   LossResult Compute(const Tensor& logits, const Tensor& targets,
                      bool compute_grad = true) const;
+  // In-place variant; same contract as CrossEntropyLoss::Compute above.
+  void Compute(const Tensor& logits, const Tensor& targets, LossResult& result,
+               bool compute_grad = true) const;
 };
 
 }  // namespace fedcross::nn

@@ -1,6 +1,7 @@
 #include "nn/lstm.h"
 
 #include <cmath>
+#include <utility>
 
 #include "nn/init.h"
 #include "tensor/tensor_ops.h"
@@ -27,7 +28,7 @@ Lstm::Lstm(int input_dim, int hidden_dim, util::Rng& rng)
   for (int j = hidden_dim_; j < 2 * hidden_dim_; ++j) bias[j] = 1.0f;
 }
 
-Tensor Lstm::Forward(const Tensor& input, bool train) {
+const Tensor& Lstm::Forward(const Tensor& input, bool train) {
   (void)train;
   FC_CHECK_EQ(input.ndim(), 3);
   FC_CHECK_EQ(input.dim(2), input_dim_);
@@ -36,17 +37,21 @@ Tensor Lstm::Forward(const Tensor& input, bool train) {
   int h4 = 4 * hidden_dim_;
 
   cached_input_ = input;
-  gates_.assign(time, Tensor());
-  cells_.assign(time, Tensor());
-  hiddens_.assign(time + 1, Tensor());
-  hiddens_[0] = Tensor::Zeros({batch, hidden_dim_});
+  // Resize (not assign) so the per-step tensors keep their capacity when the
+  // sequence length is stable.
+  if (static_cast<int>(gates_.size()) != time) {
+    gates_.resize(time);
+    cells_.resize(time);
+    hiddens_.resize(time + 1);
+  }
+  hiddens_[0].ResizeTo({batch, hidden_dim_});
+  hiddens_[0].Fill(0.0f);
 
-  Tensor cell_prev = Tensor::Zeros({batch, hidden_dim_});
-  // x_t is strided inside [batch, time, input]; gather per timestep.
-  Tensor x_t({batch, input_dim_});
+  x_t_.ResizeTo({batch, input_dim_});
   for (int t = 0; t < time; ++t) {
+    // x_t is strided inside [batch, time, input]; gather per timestep.
     const float* in = input.data();
-    float* xt = x_t.data();
+    float* xt = x_t_.data();
     for (int b = 0; b < batch; ++b) {
       const float* src =
           in + (static_cast<std::int64_t>(b) * time + t) * input_dim_;
@@ -54,9 +59,11 @@ Tensor Lstm::Forward(const Tensor& input, bool train) {
       for (int d = 0; d < input_dim_; ++d) dst[d] = src[d];
     }
 
-    // Pre-activations z = x_t Wx + h_{t-1} Wh + b.
-    Tensor z({batch, h4});
-    ops::Gemm(false, false, batch, h4, input_dim_, 1.0f, x_t.data(),
+    // Pre-activations z = x_t Wx + h_{t-1} Wh + b (beta=0 overwrites the
+    // reused gate buffer).
+    Tensor& z = gates_[t];
+    z.ResizeTo({batch, h4});
+    ops::Gemm(false, false, batch, h4, input_dim_, 1.0f, x_t_.data(),
               input_dim_, weight_x_.value.data(), h4, 0.0f, z.data(), h4);
     ops::Gemm(false, false, batch, h4, hidden_dim_, 1.0f,
               hiddens_[t].data(), hidden_dim_, weight_h_.value.data(), h4,
@@ -69,9 +76,11 @@ Tensor Lstm::Forward(const Tensor& input, bool train) {
     }
 
     // Activations and state update.
-    Tensor cell({batch, hidden_dim_});
-    Tensor hidden({batch, hidden_dim_});
-    const float* c_prev = cell_prev.data();
+    Tensor& cell = cells_[t];
+    Tensor& hidden = hiddens_[t + 1];
+    cell.ResizeTo({batch, hidden_dim_});
+    hidden.ResizeTo({batch, hidden_dim_});
+    const float* c_prev = t > 0 ? cells_[t - 1].data() : nullptr;  // c_{-1}=0
     float* c = cell.data();
     float* h = hidden.data();
     for (int b = 0; b < batch; ++b) {
@@ -86,20 +95,17 @@ Tensor Lstm::Forward(const Tensor& input, bool train) {
         row[hidden_dim_ + j] = f_gate;
         row[2 * hidden_dim_ + j] = g_gate;
         row[3 * hidden_dim_ + j] = o_gate;
-        float c_new = f_gate * c_prev[base + j] + i_gate * g_gate;
+        float c_new =
+            f_gate * (c_prev ? c_prev[base + j] : 0.0f) + i_gate * g_gate;
         c[base + j] = c_new;
         h[base + j] = o_gate * std::tanh(c_new);
       }
     }
-    gates_[t] = std::move(z);
-    cells_[t] = cell;
-    hiddens_[t + 1] = hidden;
-    cell_prev = std::move(cell);
   }
   return hiddens_[time];
 }
 
-Tensor Lstm::Backward(const Tensor& grad_output) {
+const Tensor& Lstm::Backward(const Tensor& grad_output) {
   int batch = cached_input_.dim(0);
   int time = cached_input_.dim(1);
   int h4 = 4 * hidden_dim_;
@@ -107,21 +113,23 @@ Tensor Lstm::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.dim(0), batch);
   FC_CHECK_EQ(grad_output.dim(1), hidden_dim_);
 
-  Tensor grad_input({batch, time, input_dim_});
-  Tensor dh = grad_output;                       // dL/dh_t
-  Tensor dc = Tensor::Zeros({batch, hidden_dim_});  // dL/dc_t
-  Tensor dz({batch, h4});
-  Tensor x_t({batch, input_dim_});
-  Tensor dx_t({batch, input_dim_});
+  grad_input_.ResizeTo({batch, time, input_dim_});
+  dh_ = grad_output;  // dL/dh_t
+  dc_.ResizeTo({batch, hidden_dim_});
+  dc_.Fill(0.0f);  // dL/dc_t
+  dz_.ResizeTo({batch, h4});
+  x_t_.ResizeTo({batch, input_dim_});
+  dx_t_.ResizeTo({batch, input_dim_});
+  dh_prev_.ResizeTo({batch, hidden_dim_});
 
   for (int t = time - 1; t >= 0; --t) {
     const float* gates = gates_[t].data();
     const float* cell = cells_[t].data();
     const float* cell_prev_data =
         t > 0 ? cells_[t - 1].data() : nullptr;  // c_{-1} = 0
-    float* dzd = dz.data();
-    float* dcd = dc.data();
-    const float* dhd = dh.data();
+    float* dzd = dz_.data();
+    float* dcd = dc_.data();
+    const float* dhd = dh_.data();
 
     for (int b = 0; b < batch; ++b) {
       std::int64_t base = static_cast<std::int64_t>(b) * hidden_dim_;
@@ -151,7 +159,7 @@ Tensor Lstm::Backward(const Tensor& grad_output) {
 
     // Gather x_t for the weight gradient.
     const float* in = cached_input_.data();
-    float* xt = x_t.data();
+    float* xt = x_t_.data();
     for (int b = 0; b < batch; ++b) {
       const float* src =
           in + (static_cast<std::int64_t>(b) * time + t) * input_dim_;
@@ -160,34 +168,34 @@ Tensor Lstm::Backward(const Tensor& grad_output) {
     }
 
     // dWx += x_t^T dz ; dWh += h_{t-1}^T dz ; db += colsum dz.
-    ops::Gemm(true, false, input_dim_, h4, batch, 1.0f, x_t.data(), input_dim_,
-              dz.data(), h4, 1.0f, weight_x_.grad.data(), h4);
+    ops::Gemm(true, false, input_dim_, h4, batch, 1.0f, x_t_.data(), input_dim_,
+              dz_.data(), h4, 1.0f, weight_x_.grad.data(), h4);
     ops::Gemm(true, false, hidden_dim_, h4, batch, 1.0f, hiddens_[t].data(),
-              hidden_dim_, dz.data(), h4, 1.0f, weight_h_.grad.data(), h4);
+              hidden_dim_, dz_.data(), h4, 1.0f, weight_h_.grad.data(), h4);
     float* bias_grad = bias_.grad.data();
     for (int b = 0; b < batch; ++b) {
-      const float* row = dz.data() + static_cast<std::int64_t>(b) * h4;
+      const float* row = dz_.data() + static_cast<std::int64_t>(b) * h4;
       for (int j = 0; j < h4; ++j) bias_grad[j] += row[j];
     }
 
     // dx_t = dz Wx^T ; dh_{t-1} = dz Wh^T.
-    ops::Gemm(false, true, batch, input_dim_, h4, 1.0f, dz.data(), h4,
-              weight_x_.value.data(), h4, 0.0f, dx_t.data(), input_dim_);
-    Tensor dh_prev({batch, hidden_dim_});
-    ops::Gemm(false, true, batch, hidden_dim_, h4, 1.0f, dz.data(), h4,
-              weight_h_.value.data(), h4, 0.0f, dh_prev.data(), hidden_dim_);
-    dh = std::move(dh_prev);
+    ops::Gemm(false, true, batch, input_dim_, h4, 1.0f, dz_.data(), h4,
+              weight_x_.value.data(), h4, 0.0f, dx_t_.data(), input_dim_);
+    dh_prev_.ResizeTo({batch, hidden_dim_});
+    ops::Gemm(false, true, batch, hidden_dim_, h4, 1.0f, dz_.data(), h4,
+              weight_h_.value.data(), h4, 0.0f, dh_prev_.data(), hidden_dim_);
+    std::swap(dh_, dh_prev_);  // buffers ping-pong; no allocation
 
     // Scatter dx_t back into [batch, time, input].
-    float* gin = grad_input.data();
-    const float* dxt = dx_t.data();
+    float* gin = grad_input_.data();
+    const float* dxt = dx_t_.data();
     for (int b = 0; b < batch; ++b) {
       float* dst = gin + (static_cast<std::int64_t>(b) * time + t) * input_dim_;
       const float* src = dxt + static_cast<std::int64_t>(b) * input_dim_;
       for (int d = 0; d < input_dim_; ++d) dst[d] = src[d];
     }
   }
-  return grad_input;
+  return grad_input_;
 }
 
 void Lstm::CollectParams(std::vector<Param*>& out) {

@@ -21,8 +21,8 @@ class Lstm : public Layer {
  public:
   Lstm(int input_dim, int hidden_dim, util::Rng& rng);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "Lstm"; }
 
@@ -35,11 +35,22 @@ class Lstm : public Layer {
   Param weight_h_;  // [hidden, 4*hidden]
   Param bias_;      // [4*hidden]
 
-  // Per-timestep caches from the last Forward.
-  Tensor cached_input_;               // [batch, time, input_dim]
-  std::vector<Tensor> gates_;         // t -> [batch, 4*hidden], post-activation
-  std::vector<Tensor> cells_;         // t -> [batch, hidden] (c_t)
-  std::vector<Tensor> hiddens_;       // t -> [batch, hidden] (h_t); index 0 = h_{-1}=0
+  // Per-timestep caches from the last Forward. The vectors are resized only
+  // when the sequence length changes and each slot tensor keeps its storage
+  // across batches, so steady-state BPTT training is allocation-free.
+  Tensor cached_input_;          // [batch, time, input_dim]
+  std::vector<Tensor> gates_;    // t -> [batch, 4*hidden], post-activation
+  std::vector<Tensor> cells_;    // t -> [batch, hidden] (c_t)
+  std::vector<Tensor> hiddens_;  // t -> [batch, hidden] (h_t); index 0 = h_{-1}=0
+
+  // Step workspaces shared by Forward and Backward.
+  Tensor x_t_;         // gathered [batch, input_dim] timestep slice
+  Tensor dx_t_;        // [batch, input_dim]
+  Tensor dz_;          // [batch, 4*hidden]
+  Tensor dh_;          // [batch, hidden]
+  Tensor dh_prev_;     // [batch, hidden]
+  Tensor dc_;          // [batch, hidden]
+  Tensor grad_input_;  // [batch, time, input_dim]
 };
 
 }  // namespace fedcross::nn

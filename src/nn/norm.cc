@@ -14,7 +14,7 @@ GroupNorm::GroupNorm(int channels, int groups, float eps)
   FC_CHECK_EQ(channels % groups, 0) << "channels must divide into groups";
 }
 
-Tensor GroupNorm::Forward(const Tensor& input, bool train) {
+const Tensor& GroupNorm::Forward(const Tensor& input, bool train) {
   (void)train;
   FC_CHECK_EQ(input.ndim(), 4);
   FC_CHECK_EQ(input.dim(1), channels_);
@@ -23,13 +23,13 @@ Tensor GroupNorm::Forward(const Tensor& input, bool train) {
   int chans_per_group = channels_ / groups_;
   std::int64_t group_size = static_cast<std::int64_t>(chans_per_group) * area;
 
-  cached_xhat_ = Tensor(input.shape());
+  cached_xhat_.ResizeTo(input.shape());
   cached_inv_std_.assign(static_cast<std::size_t>(batch) * groups_, 0.0f);
 
-  Tensor output(input.shape());
+  output_.ResizeTo(input.shape());
   const float* in = input.data();
   float* xhat = cached_xhat_.data();
-  float* out = output.data();
+  float* out = output_.data();
   const float* gamma = gamma_.value.data();
   const float* beta = beta_.value.data();
 
@@ -60,23 +60,23 @@ Tensor GroupNorm::Forward(const Tensor& input, bool train) {
       }
     }
   }
-  return output;
+  return output_;
 }
 
-Tensor GroupNorm::Backward(const Tensor& grad_output) {
+const Tensor& GroupNorm::Backward(const Tensor& grad_output) {
   FC_CHECK(grad_output.SameShape(cached_xhat_));
   int batch = grad_output.dim(0);
   int area = grad_output.dim(2) * grad_output.dim(3);
   int chans_per_group = channels_ / groups_;
   std::int64_t group_size = static_cast<std::int64_t>(chans_per_group) * area;
 
-  Tensor grad_input(grad_output.shape());
+  grad_input_.ResizeTo(grad_output.shape());
   const float* grad_out = grad_output.data();
   const float* xhat = cached_xhat_.data();
   const float* gamma = gamma_.value.data();
   float* gamma_grad = gamma_.grad.data();
   float* beta_grad = beta_.grad.data();
-  float* grad_in = grad_input.data();
+  float* grad_in = grad_input_.data();
 
   for (int b = 0; b < batch; ++b) {
     for (int g = 0; g < groups_; ++g) {
@@ -114,7 +114,7 @@ Tensor GroupNorm::Backward(const Tensor& grad_output) {
       }
     }
   }
-  return grad_input;
+  return grad_input_;
 }
 
 void GroupNorm::CollectParams(std::vector<Param*>& out) {
@@ -135,7 +135,7 @@ BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps)
   FC_CHECK_LE(momentum, 1.0f);
 }
 
-Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
+const Tensor& BatchNorm2d::Forward(const Tensor& input, bool train) {
   FC_CHECK_EQ(input.ndim(), 4);
   FC_CHECK_EQ(input.dim(1), channels_);
   int batch = input.dim(0);
@@ -143,14 +143,14 @@ Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
   std::int64_t per_channel = static_cast<std::int64_t>(batch) * area;
   last_was_train_ = train;
 
-  Tensor output(input.shape());
+  output_.ResizeTo(input.shape());
   const float* in = input.data();
-  float* out = output.data();
+  float* out = output_.data();
   const float* gamma = gamma_.value.data();
   const float* beta = beta_.value.data();
 
   if (train) {
-    cached_xhat_ = Tensor(input.shape());
+    cached_xhat_.ResizeTo(input.shape());
     cached_inv_std_.assign(channels_, 0.0f);
     float* xhat = cached_xhat_.data();
     float* run_mean = running_mean_.value.data();
@@ -205,23 +205,23 @@ Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
       }
     }
   }
-  return output;
+  return output_;
 }
 
-Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
+const Tensor& BatchNorm2d::Backward(const Tensor& grad_output) {
   FC_CHECK(last_was_train_) << "BatchNorm2d::Backward after eval Forward";
   FC_CHECK(grad_output.SameShape(cached_xhat_));
   int batch = grad_output.dim(0);
   int area = grad_output.dim(2) * grad_output.dim(3);
   std::int64_t per_channel = static_cast<std::int64_t>(batch) * area;
 
-  Tensor grad_input(grad_output.shape());
+  grad_input_.ResizeTo(grad_output.shape());
   const float* grad_out = grad_output.data();
   const float* xhat = cached_xhat_.data();
   const float* gamma = gamma_.value.data();
   float* gamma_grad = gamma_.grad.data();
   float* beta_grad = beta_.grad.data();
-  float* grad_in = grad_input.data();
+  float* grad_in = grad_input_.data();
 
   for (int c = 0; c < channels_; ++c) {
     double sum_dxhat = 0.0;
@@ -249,7 +249,7 @@ Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
       }
     }
   }
-  return grad_input;
+  return grad_input_;
 }
 
 void BatchNorm2d::CollectParams(std::vector<Param*>& out) {

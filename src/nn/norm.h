@@ -20,8 +20,8 @@ class GroupNorm : public Layer {
  public:
   GroupNorm(int channels, int groups, float eps = 1e-5f);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "GroupNorm"; }
 
@@ -33,6 +33,8 @@ class GroupNorm : public Layer {
   Param beta_;
   Tensor cached_xhat_;
   std::vector<float> cached_inv_std_;  // per (batch, group)
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 // Batch normalisation over [batch, channels, H, W] with per-channel
@@ -47,8 +49,8 @@ class BatchNorm2d : public Layer {
  public:
   BatchNorm2d(int channels, float momentum = 0.1f, float eps = 1e-5f);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "BatchNorm2d"; }
 
@@ -62,6 +64,8 @@ class BatchNorm2d : public Layer {
   Param running_var_;   // non-trainable
   Tensor cached_xhat_;
   std::vector<float> cached_inv_std_;  // per channel (training forward only)
+  Tensor output_;
+  Tensor grad_input_;
   bool last_was_train_ = false;
 };
 

@@ -9,7 +9,7 @@ MaxPool2d::MaxPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) 
   FC_CHECK_GT(stride, 0);
 }
 
-Tensor MaxPool2d::Forward(const Tensor& input, bool train) {
+const Tensor& MaxPool2d::Forward(const Tensor& input, bool train) {
   (void)train;
   FC_CHECK_EQ(input.ndim(), 4);
   int batch = input.dim(0);
@@ -20,11 +20,11 @@ Tensor MaxPool2d::Forward(const Tensor& input, bool train) {
   int out_w = ops::ConvOutSize(width, kernel_, stride_, /*pad=*/0);
 
   cached_input_shape_ = input.shape();
-  Tensor output({batch, channels, out_h, out_w});
-  argmax_.assign(output.numel(), 0);
+  output_.ResizeTo({batch, channels, out_h, out_w});
+  argmax_.assign(output_.numel(), 0);
 
   const float* in = input.data();
-  float* out = output.data();
+  float* out = output_.data();
   std::int64_t out_index = 0;
   for (int b = 0; b < batch; ++b) {
     for (int c = 0; c < channels; ++c) {
@@ -60,21 +60,22 @@ Tensor MaxPool2d::Forward(const Tensor& input, bool train) {
       }
     }
   }
-  return output;
+  return output_;
 }
 
-Tensor MaxPool2d::Backward(const Tensor& grad_output) {
+const Tensor& MaxPool2d::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.numel(), static_cast<std::int64_t>(argmax_.size()));
-  Tensor grad_input(cached_input_shape_);
-  float* grad_in = grad_input.data();
+  grad_input_.ResizeTo(cached_input_shape_);
+  grad_input_.Fill(0.0f);  // scatter-add below only touches argmax cells
+  float* grad_in = grad_input_.data();
   const float* grad_out = grad_output.data();
   for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
     grad_in[argmax_[i]] += grad_out[i];
   }
-  return grad_input;
+  return grad_input_;
 }
 
-Tensor GlobalAvgPool::Forward(const Tensor& input, bool train) {
+const Tensor& GlobalAvgPool::Forward(const Tensor& input, bool train) {
   (void)train;
   FC_CHECK_EQ(input.ndim(), 4);
   int batch = input.dim(0);
@@ -82,9 +83,9 @@ Tensor GlobalAvgPool::Forward(const Tensor& input, bool train) {
   int area = input.dim(2) * input.dim(3);
   cached_input_shape_ = input.shape();
 
-  Tensor output({batch, channels});
+  output_.ResizeTo({batch, channels});
   const float* in = input.data();
-  float* out = output.data();
+  float* out = output_.data();
   for (int b = 0; b < batch; ++b) {
     for (int c = 0; c < channels; ++c) {
       const float* plane = in + (static_cast<std::int64_t>(b) * channels + c) * area;
@@ -94,10 +95,10 @@ Tensor GlobalAvgPool::Forward(const Tensor& input, bool train) {
           static_cast<float>(acc / area);
     }
   }
-  return output;
+  return output_;
 }
 
-Tensor GlobalAvgPool::Backward(const Tensor& grad_output) {
+const Tensor& GlobalAvgPool::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.ndim(), 2);
   int batch = cached_input_shape_[0];
   int channels = cached_input_shape_[1];
@@ -105,8 +106,8 @@ Tensor GlobalAvgPool::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.dim(0), batch);
   FC_CHECK_EQ(grad_output.dim(1), channels);
 
-  Tensor grad_input(cached_input_shape_);
-  float* grad_in = grad_input.data();
+  grad_input_.ResizeTo(cached_input_shape_);
+  float* grad_in = grad_input_.data();
   const float* grad_out = grad_output.data();
   float inv_area = 1.0f / static_cast<float>(area);
   for (int b = 0; b < batch; ++b) {
@@ -117,7 +118,7 @@ Tensor GlobalAvgPool::Backward(const Tensor& grad_output) {
       for (int i = 0; i < area; ++i) plane[i] = g;
     }
   }
-  return grad_input;
+  return grad_input_;
 }
 
 }  // namespace fedcross::nn

@@ -14,8 +14,8 @@ class MaxPool2d : public Layer {
  public:
   MaxPool2d(int kernel, int stride);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "MaxPool2d"; }
 
  private:
@@ -24,17 +24,21 @@ class MaxPool2d : public Layer {
   Tensor::Shape cached_input_shape_;
   // Flat input index of the argmax for every output element.
   std::vector<std::int64_t> argmax_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 // Global average pooling: [batch, channels, H, W] -> [batch, channels].
 class GlobalAvgPool : public Layer {
  public:
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "GlobalAvgPool"; }
 
  private:
   Tensor::Shape cached_input_shape_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 }  // namespace fedcross::nn

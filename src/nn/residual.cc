@@ -17,43 +17,44 @@ ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride,
   }
 }
 
-Tensor ResidualBlock::Forward(const Tensor& input, bool train) {
-  Tensor main = conv1_.Forward(input, train);
-  main = norm1_.Forward(main, train);
-  main = relu1_.Forward(main, train);
-  main = conv2_.Forward(main, train);
-  main = norm2_.Forward(main, train);
+const Tensor& ResidualBlock::Forward(const Tensor& input, bool train) {
+  const Tensor* x = &conv1_.Forward(input, train);
+  x = &norm1_.Forward(*x, train);
+  x = &relu1_.Forward(*x, train);
+  x = &conv2_.Forward(*x, train);
+  sum_ = norm2_.Forward(*x, train);  // copy: we mutate it with the skip add
 
-  Tensor skip;
   if (has_projection_) {
-    skip = proj_conv_->Forward(input, train);
-    skip = proj_norm_->Forward(skip, train);
+    const Tensor& skip =
+        proj_norm_->Forward(proj_conv_->Forward(input, train), train);
+    sum_.AddInPlace(skip);
   } else {
-    skip = input;
+    sum_.AddInPlace(input);
   }
-  main.AddInPlace(skip);
-  return relu_out_.Forward(main, train);
+  return relu_out_.Forward(sum_, train);
 }
 
-Tensor ResidualBlock::Backward(const Tensor& grad_output) {
-  Tensor grad_sum = relu_out_.Backward(grad_output);
+const Tensor& ResidualBlock::Backward(const Tensor& grad_output) {
+  // grad_sum lives in relu_out_ and stays valid while both branch
+  // backwards run (neither touches relu_out_).
+  const Tensor& grad_sum = relu_out_.Backward(grad_output);
 
   // Main path.
-  Tensor grad_main = norm2_.Backward(grad_sum);
-  grad_main = conv2_.Backward(grad_main);
-  grad_main = relu1_.Backward(grad_main);
-  grad_main = norm1_.Backward(grad_main);
-  grad_main = conv1_.Backward(grad_main);
+  const Tensor* g = &norm2_.Backward(grad_sum);
+  g = &conv2_.Backward(*g);
+  g = &relu1_.Backward(*g);
+  g = &norm1_.Backward(*g);
+  grad_input_ = conv1_.Backward(*g);  // copy: we add the skip grad below
 
   // Skip path.
   if (has_projection_) {
-    Tensor grad_skip = proj_norm_->Backward(grad_sum);
-    grad_skip = proj_conv_->Backward(grad_skip);
-    grad_main.AddInPlace(grad_skip);
+    const Tensor& grad_skip =
+        proj_conv_->Backward(proj_norm_->Backward(grad_sum));
+    grad_input_.AddInPlace(grad_skip);
   } else {
-    grad_main.AddInPlace(grad_sum);
+    grad_input_.AddInPlace(grad_sum);
   }
-  return grad_main;
+  return grad_input_;
 }
 
 void ResidualBlock::CollectParams(std::vector<Param*>& out) {

@@ -20,8 +20,8 @@ class ResidualBlock : public Layer {
   ResidualBlock(int in_channels, int out_channels, int stride, int gn_groups,
                 util::Rng& rng);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input, bool train) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "ResidualBlock"; }
 
@@ -35,6 +35,8 @@ class ResidualBlock : public Layer {
   std::unique_ptr<Conv2d> proj_conv_;
   std::unique_ptr<GroupNorm> proj_norm_;
   Relu relu_out_;
+  Tensor sum_;         // main-path output + skip, reused across batches
+  Tensor grad_input_;  // main-path input grad + skip grad
 };
 
 }  // namespace fedcross::nn

@@ -13,25 +13,29 @@ void Sequential::Add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
 }
 
-Tensor Sequential::Forward(const Tensor& input, bool train) {
-  Tensor activation = input;
+const Tensor& Sequential::Forward(const Tensor& input, bool train) {
+  const Tensor* activation = &input;
   for (auto& layer : layers_) {
-    activation = layer->Forward(activation, train);
+    activation = &layer->Forward(*activation, train);
   }
-  return activation;
+  return *activation;
 }
 
-Tensor Sequential::Backward(const Tensor& grad_output) {
-  Tensor grad = grad_output;
+const Tensor& Sequential::Backward(const Tensor& grad_output) {
+  const Tensor* grad = &grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    grad = (*it)->Backward(grad);
-    if (grad.numel() == 0) break;  // discrete-input layer: stop propagating
+    grad = &(*it)->Backward(*grad);
+    if (grad->numel() == 0) break;  // discrete-input layer: stop propagating
   }
-  return grad;
+  return *grad;
 }
 
 void Sequential::CollectParams(std::vector<Param*>& out) {
   for (auto& layer : layers_) layer->CollectParams(out);
+}
+
+void Sequential::ResetState() {
+  for (auto& layer : layers_) layer->ResetState();
 }
 
 const std::vector<Param*>& Sequential::Params() {
@@ -53,14 +57,19 @@ void Sequential::ZeroGrad() {
 }
 
 std::vector<float> Sequential::ParamsToFlat() {
-  std::vector<float> flat(NumParams());
+  std::vector<float> flat;
+  ParamsToFlat(flat);
+  return flat;
+}
+
+void Sequential::ParamsToFlat(std::vector<float>& out) {
+  out.resize(NumParams());  // retains capacity across rounds
   std::size_t offset = 0;
   for (Param* param : Params()) {
-    std::memcpy(flat.data() + offset, param->value.data(),
+    std::memcpy(out.data() + offset, param->value.data(),
                 param->value.numel() * sizeof(float));
     offset += param->value.numel();
   }
-  return flat;
 }
 
 void Sequential::ParamsFromFlat(const std::vector<float>& flat) {
@@ -74,14 +83,19 @@ void Sequential::ParamsFromFlat(const std::vector<float>& flat) {
 }
 
 std::vector<float> Sequential::GradsToFlat() {
-  std::vector<float> flat(NumParams());
+  std::vector<float> flat;
+  GradsToFlat(flat);
+  return flat;
+}
+
+void Sequential::GradsToFlat(std::vector<float>& out) {
+  out.resize(NumParams());
   std::size_t offset = 0;
   for (Param* param : Params()) {
-    std::memcpy(flat.data() + offset, param->grad.data(),
+    std::memcpy(out.data() + offset, param->grad.data(),
                 param->grad.numel() * sizeof(float));
     offset += param->grad.numel();
   }
-  return flat;
 }
 
 std::string Sequential::Summary() {

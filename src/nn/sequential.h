@@ -28,12 +28,17 @@ class Sequential : public Layer {
   void Add(std::unique_ptr<Layer> layer);
 
   // ---- Layer interface ----------------------------------------------------
-  Tensor Forward(const Tensor& input, bool train) override;
+  // Chains layer-owned output buffers; the returned reference is owned by
+  // the last layer (or is the input itself for an empty pipeline) and stays
+  // valid until the next Forward call.
+  const Tensor& Forward(const Tensor& input, bool train) override;
   // Propagates gradients back through the stack; stops early if a layer
   // (e.g. Embedding) reports an empty input gradient. Returns the gradient
   // w.r.t. the pipeline input (possibly empty).
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   void CollectParams(std::vector<Param*>& out) override;
+  // Resets every layer's non-parameter state (see Layer::ResetState).
+  void ResetState() override;
   std::string Name() const override { return "Sequential"; }
 
   // ---- Model utilities ----------------------------------------------------
@@ -54,6 +59,12 @@ class Sequential : public Layer {
   std::vector<float> ParamsToFlat();
   void ParamsFromFlat(const std::vector<float>& flat);
   std::vector<float> GradsToFlat();
+
+  // Out-parameter overloads that reuse the caller's storage (capacity is
+  // retained across rounds). The hot FL paths use these to avoid per-round
+  // flat-vector allocations.
+  void ParamsToFlat(std::vector<float>& out);
+  void GradsToFlat(std::vector<float>& out);
 
   // One-line architecture summary, e.g. "Conv2d->Relu->...->Linear (12345 params)".
   std::string Summary();

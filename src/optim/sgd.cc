@@ -12,6 +12,11 @@ Sgd::Sgd(std::vector<nn::Param*> params, SgdOptions options)
   }
 }
 
+void Sgd::Configure(SgdOptions options) {
+  options_ = options;
+  for (Tensor& vel : velocity_) vel.Fill(0.0f);
+}
+
 void Sgd::Step() {
   // Optional global-norm gradient clipping.
   float clip_scale = 1.0f;

@@ -24,6 +24,11 @@ class Sgd {
   // Applies one update using the gradients currently stored in the params.
   void Step();
 
+  // Re-arms the optimiser for a fresh training run: installs `options` and
+  // zeroes the momentum buffers (keeping their storage). After Configure, a
+  // pooled optimiser behaves exactly like a newly constructed one.
+  void Configure(SgdOptions options);
+
   float lr() const { return options_.lr; }
   void set_lr(float lr) { options_.lr = lr; }
 

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <numeric>
@@ -18,10 +19,41 @@ std::int64_t ShapeNumel(const Tensor::Shape& shape) {
   return shape.empty() ? 0 : numel;
 }
 
+// Relaxed is enough: tests only read the counter from quiescent points.
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void CountAllocation(std::size_t elements) {
+  if (elements > 0) {
+    g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 }  // namespace
 
+std::uint64_t Tensor::HeapAllocations() {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
+
+void Tensor::ResetHeapAllocations() {
+  g_heap_allocations.store(0, std::memory_order_relaxed);
+}
+
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  CountAllocation(static_cast<std::size_t>(ShapeNumel(shape_)));
   data_.assign(ShapeNumel(shape_), 0.0f);
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  CountAllocation(data_.size());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  if (other.data_.size() > data_.capacity()) CountAllocation(other.data_.size());
+  shape_ = other.shape_;
+  data_ = other.data_;  // vector copy-assign reuses capacity when possible
+  return *this;
 }
 
 Tensor Tensor::Full(Shape shape, float value) {
@@ -33,6 +65,7 @@ Tensor Tensor::Full(Shape shape, float value) {
 Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
   Tensor t;
   FC_CHECK_EQ(ShapeNumel(shape), static_cast<std::int64_t>(values.size()));
+  CountAllocation(values.size());  // adopts a caller-allocated buffer
   t.shape_ = std::move(shape);
   t.data_ = std::move(values);
   return t;
@@ -76,6 +109,14 @@ Tensor& Tensor::Reshape(Shape shape) {
   FC_CHECK_EQ(ShapeNumel(shape), numel())
       << "reshape " << ShapeString() << " incompatible";
   shape_ = std::move(shape);
+  return *this;
+}
+
+Tensor& Tensor::ResizeTo(const Shape& shape) {
+  std::size_t count = static_cast<std::size_t>(ShapeNumel(shape));
+  if (count > data_.capacity()) CountAllocation(count);
+  data_.resize(count);
+  shape_ = shape;  // small-vector copy-assign, reuses shape_'s capacity
   return *this;
 }
 

@@ -19,6 +19,10 @@ namespace fedcross {
 //  - Copyable (deep copy) and movable. FL aggregation relies on cheap moves.
 //  - Indexing helpers are bounds-checked via FC_CHECK in all builds; the
 //    hot loops in tensor_ops.cc and the layers use raw data() pointers.
+//  - Storage is capacity-retaining: ResizeTo and copy-assignment reuse the
+//    existing heap block whenever it is large enough, so steady-state
+//    training loops (fixed batch geometry) perform zero allocations. The
+//    HeapAllocations() counter below makes that claim testable.
 class Tensor {
  public:
   using Shape = std::vector<int>;
@@ -29,8 +33,8 @@ class Tensor {
   // Zero-initialised tensor of the given shape. All dims must be positive.
   explicit Tensor(Shape shape);
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
   Tensor(Tensor&&) = default;
   Tensor& operator=(Tensor&&) = default;
 
@@ -56,6 +60,21 @@ class Tensor {
 
   // Metadata-only reshape; the new shape must preserve numel.
   Tensor& Reshape(Shape shape);
+
+  // Resizes to `shape`, retaining the existing heap block when its capacity
+  // suffices (buffers shrink and regrow without freeing). Element values are
+  // unspecified afterwards — callers are expected to overwrite (or Fill)
+  // the tensor. This is the workspace-reuse primitive behind the per-layer
+  // activation/gradient caches.
+  Tensor& ResizeTo(const Shape& shape);
+
+  // ---- Allocation instrumentation -----------------------------------------
+  // Process-wide count of Tensor data-buffer heap allocations (construction,
+  // deep copies, and capacity growth; moves and capacity-reusing resizes do
+  // not count). Used by tests to assert that warmed-up training loops are
+  // allocation-free.
+  static std::uint64_t HeapAllocations();
+  static void ResetHeapAllocations();
 
   // ---- Element access -----------------------------------------------------
   float* data() { return data_.data(); }

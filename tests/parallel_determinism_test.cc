@@ -127,6 +127,30 @@ TEST(ParallelDeterminismTest, FedCrossIsThreadCountInvariant) {
   ExpectBitIdentical(sequential, parallel);
 }
 
+TEST(ParallelDeterminismTest, EvaluationIsThreadCountInvariant) {
+  // Parallel evaluation shards test batches across replicas but reduces the
+  // per-batch partials in batch order, so loss and accuracy are exactly
+  // equal at every thread count.
+  FlThreadsGuard guard;
+  SetFlThreads(1);
+  AlgorithmConfig config = ToyConfig();
+  config.eval_batch_size = 7;  // 40 test examples -> 6 uneven batches
+  FedAvg fedavg(config, MakeToyFederated(8, 40, 4, 41), LinearFactory(4));
+  for (int r = 0; r < 2; ++r) fedavg.RunRound(r);
+  FlatParams params = fedavg.GlobalParams();
+
+  EvalResult serial = fedavg.Evaluate(params);
+  SetFlThreads(4);
+  EvalResult four = fedavg.Evaluate(params);
+  SetFlThreads(3);
+  EvalResult three = fedavg.Evaluate(params);
+
+  EXPECT_EQ(serial.loss, four.loss);
+  EXPECT_EQ(serial.accuracy, four.accuracy);
+  EXPECT_EQ(serial.loss, three.loss);
+  EXPECT_EQ(serial.accuracy, three.accuracy);
+}
+
 TEST(ParallelDeterminismTest, OddThreadCountMatchesToo) {
   // The schedule changes completely between 3 and 4 threads; the params
   // must not.
