@@ -115,8 +115,9 @@ BENCHMARK(BM_CosineSimilarity)->Arg(1)->Arg(2)->Arg(4);
 // machine, throughput should scale until Arg reaches N.
 constexpr int kFedRoundDim = 64;
 
-void BM_FedRound(benchmark::State& state) {
-  constexpr int kClients = 8;
+constexpr int kFedRoundClients = 8;
+
+data::FederatedDataset MakeFedRoundData() {
   constexpr int kDim = kFedRoundDim;
   util::Rng rng(7);
   data::FederatedDataset federated;
@@ -132,7 +133,7 @@ void BM_FedRound(benchmark::State& state) {
       labels.push_back(k);
     }
   };
-  for (int c = 0; c < kClients; ++c) {
+  for (int c = 0; c < kFedRoundClients; ++c) {
     std::vector<float> features;
     std::vector<int> labels;
     fill(200, features, labels);
@@ -146,7 +147,11 @@ void BM_FedRound(benchmark::State& state) {
     federated.test = std::make_shared<data::InMemoryDataset>(
         Tensor::Shape{kDim}, std::move(features), std::move(labels), 2);
   }
-  models::ModelFactory factory = [] {
+  return federated;
+}
+
+models::ModelFactory MakeFedRoundFactory() {
+  return [] {
     util::Rng model_rng(1);
     nn::Sequential model;
     model.Add(std::make_unique<nn::Linear>(kFedRoundDim, 128, model_rng));
@@ -154,23 +159,51 @@ void BM_FedRound(benchmark::State& state) {
     model.Add(std::make_unique<nn::Linear>(128, 2, model_rng));
     return model;
   };
+}
+
+fl::AlgorithmConfig MakeFedRoundConfig() {
   fl::AlgorithmConfig config;
-  config.clients_per_round = kClients;
+  config.clients_per_round = kFedRoundClients;
   config.train.local_epochs = 2;
   config.train.batch_size = 20;
   config.seed = 42;
+  return config;
+}
 
+void RunFedRoundLoop(benchmark::State& state, fl::AlgorithmConfig config) {
   fl::SetFlThreads(static_cast<int>(state.range(0)));
-  fl::FedAvg fedavg(config, std::move(federated), std::move(factory));
+  fl::FedAvg fedavg(config, MakeFedRoundData(), MakeFedRoundFactory());
   int round = 0;
   for (auto _ : state) {
     fedavg.RunRound(round++);
     benchmark::DoNotOptimize(round);
   }
-  state.SetItemsProcessed(state.iterations() * kClients);
+  state.SetItemsProcessed(state.iterations() * kFedRoundClients);
   fl::SetFlThreads(1);
 }
+
+void BM_FedRound(benchmark::State& state) {
+  RunFedRoundLoop(state, MakeFedRoundConfig());
+}
 BENCHMARK(BM_FedRound)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The same round with the full robustness stack switched on: per-slot fault
+// streams, upload screening (finite check + norm gate) and a trimmed-mean
+// aggregator. The delta vs BM_FedRound is the price of resilience; the
+// screening pass is O(P) per upload and the trimmed mean sorts one
+// K-element column per coordinate.
+void BM_FedRoundRobust(benchmark::State& state) {
+  fl::AlgorithmConfig config = MakeFedRoundConfig();
+  config.faults.profile.dropout_prob = 0.05;
+  config.faults.profile.corrupt_prob = 0.05;
+  config.faults.profile.corruption = fl::CorruptionKind::kSignFlip;
+  config.screening.check_finite = true;
+  config.screening.max_update_norm = 100.0f;
+  config.aggregator.kind = fl::AggregatorKind::kTrimmedMean;
+  config.aggregator.trim_ratio = 0.2;
+  RunFedRoundLoop(state, config);
+}
+BENCHMARK(BM_FedRoundRobust)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 // Parallel deterministic evaluation: EvaluateParams fans test batches over
 // the FL pool, one pooled replica per worker slot, and reduces per-batch

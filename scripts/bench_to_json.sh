@@ -2,9 +2,12 @@
 # Runs the micro benchmarks and writes the results as JSON so the perf
 # trajectory can be tracked across PRs:
 #
-#   BENCH_gemm.json   BM_Gemm/{32..512}  (blocked GEMM kernel)
-#   BENCH_round.json  BM_FedRound/{1,2,4} (parallel client training)
-#   BENCH_eval.json   BM_Evaluate/{1,2,4} (pooled parallel evaluation)
+#   BENCH_gemm.json    BM_Gemm/{32..512}  (blocked GEMM kernel)
+#   BENCH_round.json   BM_FedRound/{1,2,4} (parallel client training)
+#   BENCH_eval.json    BM_Evaluate/{1,2,4} (pooled parallel evaluation)
+#   BENCH_robust.json  BM_FedRoundRobust/{1,2,4} (faults + screening +
+#                      trimmed-mean aggregation; delta vs BENCH_round is
+#                      the overhead of the resilience stack)
 #
 # Usage: scripts/bench_to_json.sh [build_dir] [output_dir]
 # Defaults: build_dir=build, output_dir=. — run from the repo root.
@@ -39,3 +42,4 @@ run_filter() {
 run_filter '^BM_Gemm/' "${out_dir}/BENCH_gemm.json"
 run_filter '^BM_FedRound/' "${out_dir}/BENCH_round.json"
 run_filter '^BM_Evaluate/' "${out_dir}/BENCH_eval.json"
+run_filter '^BM_FedRoundRobust/' "${out_dir}/BENCH_robust.json"

@@ -216,4 +216,28 @@ void FedCross::RunRound(int round) {
 
 fl::FlatParams FedCross::GlobalParams() { return Average(middleware_); }
 
+void FedCross::SaveExtraState(fl::StateWriter& writer) {
+  writer.WriteU64(middleware_.size());
+  for (const fl::FlatParams& model : middleware_) writer.WriteFloats(model);
+}
+
+util::Status FedCross::LoadExtraState(fl::StateReader& reader) {
+  std::uint64_t count = 0;
+  FC_RETURN_IF_ERROR(reader.ReadU64(count));
+  if (count != middleware_.size()) {
+    return util::Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(count) +
+        " middleware models, run has " + std::to_string(middleware_.size()));
+  }
+  for (fl::FlatParams& model : middleware_) {
+    FC_RETURN_IF_ERROR(reader.ReadFloats(model));
+    if (model.size() != static_cast<std::size_t>(model_size())) {
+      return util::Status::FailedPrecondition(
+          "checkpointed middleware model has " + std::to_string(model.size()) +
+          " params, model expects " + std::to_string(model_size()));
+    }
+  }
+  return util::Status::Ok();
+}
+
 }  // namespace fedcross::core

@@ -101,6 +101,12 @@ class FedCross : public fl::FlAlgorithm {
   static std::vector<int> SelectPropellerIndices(int model_index, int round,
                                                  int k, int count);
 
+ protected:
+  // Checkpoint state: the K middleware models (everything else — selection
+  // order, alpha schedule — is a pure function of config and round).
+  void SaveExtraState(fl::StateWriter& writer) override;
+  util::Status LoadExtraState(fl::StateReader& reader) override;
+
  private:
   FedCrossOptions options_;
   std::vector<fl::FlatParams> middleware_;  // the dispatched model list W

@@ -1,0 +1,123 @@
+#include "fl/aggregators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fedcross::fl {
+
+const char* AggregatorKindName(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kWeightedMean:
+      return "weighted-mean";
+    case AggregatorKind::kTrimmedMean:
+      return "trimmed-mean";
+    case AggregatorKind::kCoordinateMedian:
+      return "median";
+    case AggregatorKind::kNormClippedMean:
+      return "norm-clipped";
+  }
+  return "unknown";
+}
+
+util::StatusOr<AggregatorKind> ParseAggregatorKind(const std::string& name) {
+  if (name == "weighted-mean" || name == "mean") {
+    return AggregatorKind::kWeightedMean;
+  }
+  if (name == "trimmed-mean" || name == "trimmed") {
+    return AggregatorKind::kTrimmedMean;
+  }
+  if (name == "median" || name == "coordinate-median") {
+    return AggregatorKind::kCoordinateMedian;
+  }
+  if (name == "norm-clipped" || name == "clipped") {
+    return AggregatorKind::kNormClippedMean;
+  }
+  return util::Status::InvalidArgument("unknown aggregator: " + name);
+}
+
+void TrimmedMeanInto(const std::vector<const FlatParams*>& models,
+                     double trim_ratio, FlatParams& column, FlatParams& out) {
+  FC_CHECK(!models.empty());
+  FC_CHECK_GE(trim_ratio, 0.0);
+  FC_CHECK_LT(trim_ratio, 0.5);
+  std::size_t n = models.size();
+  std::size_t dim = models[0]->size();
+  std::size_t trim = static_cast<std::size_t>(trim_ratio * n);
+  trim = std::min(trim, (n - 1) / 2);  // at least one value survives
+  std::size_t keep = n - 2 * trim;
+  float inv_keep = 1.0f / static_cast<float>(keep);
+
+  column.resize(n);
+  out.assign(dim, 0.0f);  // capacity-retaining
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t m = 0; m < n; ++m) column[m] = (*models[m])[j];
+    std::sort(column.begin(), column.end());
+    float total = 0.0f;
+    for (std::size_t m = trim; m < n - trim; ++m) total += column[m];
+    out[j] = total * inv_keep;
+  }
+}
+
+void CoordinateMedianInto(const std::vector<const FlatParams*>& models,
+                          FlatParams& column, FlatParams& out) {
+  FC_CHECK(!models.empty());
+  std::size_t n = models.size();
+  std::size_t dim = models[0]->size();
+  std::size_t mid = n / 2;
+
+  column.resize(n);
+  out.assign(dim, 0.0f);
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t m = 0; m < n; ++m) column[m] = (*models[m])[j];
+    std::nth_element(column.begin(), column.begin() + mid, column.end());
+    float median = column[mid];
+    if (n % 2 == 0) {
+      // Mean of the two middle values: the lower one is the max of the
+      // left partition nth_element leaves behind.
+      float lower = *std::max_element(column.begin(), column.begin() + mid);
+      median = 0.5f * (lower + median);
+    }
+    out[j] = median;
+  }
+}
+
+void NormClippedWeightedAverageInto(
+    const std::vector<const FlatParams*>& models,
+    const std::vector<double>& weights, const FlatParams& reference,
+    float clip_norm, FlatParams& scratch, FlatParams& out) {
+  FC_CHECK(!models.empty());
+  FC_CHECK_EQ(models.size(), weights.size());
+  FC_CHECK_GT(clip_norm, 0.0f);
+  std::size_t dim = reference.size();
+  double total_weight = 0.0;
+  for (double w : weights) {
+    FC_CHECK_GE(w, 0.0);
+    total_weight += w;
+  }
+  FC_CHECK_GT(total_weight, 0.0);
+
+  // Accumulate the clipped updates into scratch first so `out` may alias
+  // `reference`.
+  scratch.assign(dim, 0.0f);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const FlatParams& model = *models[m];
+    FC_CHECK_EQ(model.size(), dim);
+    double norm_sq = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      double d = static_cast<double>(model[j]) - reference[j];
+      norm_sq += d * d;
+    }
+    double norm = std::sqrt(norm_sq);
+    double clip = norm > clip_norm ? clip_norm / norm : 1.0;
+    float factor = static_cast<float>(weights[m] / total_weight * clip);
+    for (std::size_t j = 0; j < dim; ++j) {
+      scratch[j] += factor * (model[j] - reference[j]);
+    }
+  }
+  out.resize(dim);
+  for (std::size_t j = 0; j < dim; ++j) out[j] = reference[j] + scratch[j];
+}
+
+}  // namespace fedcross::fl

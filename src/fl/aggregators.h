@@ -1,0 +1,57 @@
+#ifndef FEDCROSS_FL_AGGREGATORS_H_
+#define FEDCROSS_FL_AGGREGATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "fl/types.h"
+#include "util/status.h"
+
+namespace fedcross::fl {
+
+// Pluggable server-side aggregation rules. The default (sample-weighted
+// mean) is FedAvg's rule and is byte-for-byte the pre-existing path; the
+// robust rules bound the influence of corrupted or Byzantine uploads that
+// slip past screening. Selected through AlgorithmConfig::aggregator; every
+// mean-style algorithm (FedAvg, FedProx, SCAFFOLD, FedGen, CluSamp,
+// FedCluster) dispatches through FlAlgorithm::Aggregate. FedCross's
+// pairwise cross-aggregation is not a mean and keeps its own rule.
+enum class AggregatorKind {
+  kWeightedMean,      // sum-weighted average (the FedAvg default)
+  kTrimmedMean,       // coordinate-wise trimmed mean (unweighted)
+  kCoordinateMedian,  // coordinate-wise median (unweighted)
+  kNormClippedMean,   // weighted mean of norm-clipped updates
+};
+
+const char* AggregatorKindName(AggregatorKind kind);
+util::StatusOr<AggregatorKind> ParseAggregatorKind(const std::string& name);
+
+struct AggregatorOptions {
+  AggregatorKind kind = AggregatorKind::kWeightedMean;
+  double trim_ratio = 0.2;   // fraction trimmed from EACH end (trimmed mean)
+  float clip_norm = 10.0f;   // per-update L2 clip (norm-clipped mean)
+};
+
+// Coordinate-wise trimmed mean: per coordinate, drop the floor(trim_ratio*n)
+// smallest and largest values (clamped so at least one survives) and average
+// the rest. `column` is caller-provided scratch (resized to n) so the round
+// loop stays allocation-free; `out` is resized capacity-retaining.
+void TrimmedMeanInto(const std::vector<const FlatParams*>& models,
+                     double trim_ratio, FlatParams& column, FlatParams& out);
+
+// Coordinate-wise median (mean of the two middle values for even n).
+void CoordinateMedianInto(const std::vector<const FlatParams*>& models,
+                          FlatParams& column, FlatParams& out);
+
+// Weighted mean of updates clipped to clip_norm around `reference` (the
+// dispatched model):
+//   out = reference + sum_i (w_i / W) * min(1, clip/||m_i - ref||) * (m_i - ref)
+// Safe when `out` aliases `reference`; `scratch` is caller-provided.
+void NormClippedWeightedAverageInto(
+    const std::vector<const FlatParams*>& models,
+    const std::vector<double>& weights, const FlatParams& reference,
+    float clip_norm, FlatParams& scratch, FlatParams& out);
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_AGGREGATORS_H_

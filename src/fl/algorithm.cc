@@ -1,5 +1,8 @@
 #include "fl/algorithm.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "fl/flat_ops.h"
 #include "fl/parallel.h"
 #include "util/logging.h"
@@ -38,6 +41,10 @@ FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
       pool_(factory_),
       test_(std::move(data.test)),
       rng_(config.seed) {
+  // Legacy shorthand: fold dropout_prob into the default fault profile.
+  if (config_.dropout_prob > 0.0 && config_.faults.profile.dropout_prob == 0.0) {
+    config_.faults.profile.dropout_prob = config_.dropout_prob;
+  }
   FC_CHECK(test_ != nullptr);
   FC_CHECK_GT(config_.clients_per_round, 0);
   FC_CHECK_LE(config_.clients_per_round,
@@ -57,11 +64,12 @@ FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
 const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
                                        bool verbose) {
   FC_CHECK_GT(eval_every, 0);
-  for (int round = 0; round < rounds; ++round) {
+  for (int round = completed_rounds_; round < rounds; ++round) {
     comm_.BeginRound();
     round_loss_sum_ = 0.0;
     round_loss_count_ = 0;
     RunRound(round);
+    completed_rounds_ = round + 1;
     if ((round + 1) % eval_every == 0 || round == rounds - 1) {
       EvalResult eval = Evaluate(GlobalParams());
       RoundRecord record;
@@ -77,8 +85,21 @@ const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
                      << record.test_accuracy << " loss " << record.test_loss;
       }
     }
+    if (checkpoint_every_ > 0 &&
+        ((round + 1) % checkpoint_every_ == 0 || round == rounds - 1)) {
+      util::Status saved = SaveCheckpoint(checkpoint_path_);
+      if (!saved.ok()) {
+        FC_LOG(Warning) << name_ << " checkpoint to " << checkpoint_path_
+                        << " failed: " << saved.ToString();
+      }
+    }
   }
   return history_;
+}
+
+void FlAlgorithm::EnableAutoCheckpoint(std::string path, int every_rounds) {
+  checkpoint_path_ = std::move(path);
+  checkpoint_every_ = checkpoint_path_.empty() ? 0 : every_rounds;
 }
 
 EvalResult FlAlgorithm::Evaluate(const FlatParams& params) {
@@ -86,8 +107,11 @@ EvalResult FlAlgorithm::Evaluate(const FlatParams& params) {
 }
 
 std::vector<int> FlAlgorithm::SampleClients() {
-  return rng_.SampleWithoutReplacement(num_clients(),
-                                       config_.clients_per_round);
+  int want = config_.clients_per_round;
+  if (config_.faults.over_provision > 0) {
+    want = std::min(num_clients(), want + config_.faults.over_provision);
+  }
+  return rng_.SampleWithoutReplacement(num_clients(), want);
 }
 
 const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
@@ -97,7 +121,10 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
   results_.resize(count);
   auto train_slot = [&](int slot) {
     util::Rng job_rng(ClientJobSeed(config_.seed, round, salt, slot));
-    TrainClientJob(jobs[slot], job_rng, results_[slot]);
+    // The fault stream is derived independently of the training stream, so
+    // fault draws can never perturb a surviving client's trajectory.
+    util::Rng fault_rng(FaultSeed(config_.seed, round, salt, slot));
+    TrainClientJob(jobs[slot], job_rng, fault_rng, results_[slot]);
   };
   util::ThreadPool* pool = AcquireFlPool();
   if (pool != nullptr && count > 1) {
@@ -105,12 +132,31 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
   } else {
     for (int slot = 0; slot < count; ++slot) train_slot(slot);
   }
-  // Bookkeeping on the calling thread, in job order, so accounting is
-  // race-free and independent of the parallel schedule.
-  for (const LocalTrainResult& result : results_) {
+  // Bookkeeping and upload screening on the calling thread, in job order,
+  // so accounting is race-free and independent of the parallel schedule.
+  bool screen = config_.screening.Enabled();
+  for (int slot = 0; slot < count; ++slot) {
+    LocalTrainResult& result = results_[slot];
     comm_.AddDownload(CommTracker::FloatBytes(model_size_));
+    if (result.fault == FaultKind::kDropout) ++fault_stats_.dropouts;
+    if (result.fault == FaultKind::kStraggler) ++fault_stats_.stragglers;
     if (result.dropped) continue;  // the device never uploads
     comm_.AddUpload(CommTracker::FloatBytes(model_size_));
+    if (result.fault == FaultKind::kCorrupted) ++fault_stats_.corrupted;
+    if (screen) {
+      util::Status verdict = ScreenUpload(*jobs[slot].init_params,
+                                          result.params, config_.screening);
+      if (!verdict.ok()) {
+        // Degrade exactly like a dropout: the contribution is discarded and
+        // params echo the dispatched model (so FedCross keeps its
+        // middleware copy).
+        result.params = *jobs[slot].init_params;
+        result.dropped = true;
+        result.fault = FaultKind::kRejected;
+        ++fault_stats_.rejected;
+        continue;
+      }
+    }
     round_loss_sum_ += result.mean_loss;
     ++round_loss_count_;
   }
@@ -118,20 +164,29 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
 }
 
 void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
+                                 util::Rng& fault_rng,
                                  LocalTrainResult& result) {
   FC_CHECK_GE(job.client_id, 0);
   FC_CHECK_LT(job.client_id, num_clients());
   FC_CHECK(job.init_params != nullptr);
   FC_CHECK(job.spec != nullptr);
 
-  // Fault injection: the device received the model but never uploads.
-  if (config_.dropout_prob > 0.0 && rng.Uniform() < config_.dropout_prob) {
+  const FaultProfile& profile = config_.faults.ProfileFor(job.client_id);
+  FaultDecision decision =
+      DrawFaults(profile, config_.faults.round_deadline, fault_rng);
+
+  // Dropout / straggler timeout: the device received the model but its
+  // upload never reaches the round. params echo the dispatch so FedCross
+  // keeps its middleware copy.
+  if (decision.dropped || decision.timed_out) {
     result.params = *job.init_params;  // copy-assign recycles the buffer
     result.num_samples = clients_[job.client_id].num_samples();
     result.num_steps = 0;
     result.lr = 0.0f;
     result.mean_loss = 0.0;
     result.dropped = true;
+    result.fault =
+        decision.dropped ? FaultKind::kDropout : FaultKind::kStraggler;
     return;
   }
 
@@ -140,6 +195,10 @@ void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
   if (config_.dp.clip_norm > 0.0f) {
     result.params =
         SanitizeUpdate(*job.init_params, result.params, config_.dp, rng);
+  }
+  if (decision.corrupt) {
+    CorruptUpload(profile, *job.init_params, result.params, fault_rng);
+    result.fault = FaultKind::kCorrupted;
   }
 }
 
@@ -185,6 +244,151 @@ void FlAlgorithm::AverageInto(const std::vector<const FlatParams*>& models,
   for (const FlatParams* model : models) {
     flat_ops::Axpy(out, factor, *model);
   }
+}
+
+void FlAlgorithm::Aggregate(const std::vector<const FlatParams*>& models,
+                            const std::vector<double>& weights,
+                            const FlatParams& reference, FlatParams& out) {
+  switch (config_.aggregator.kind) {
+    case AggregatorKind::kWeightedMean:
+      WeightedAverageInto(models, weights, out);
+      return;
+    case AggregatorKind::kTrimmedMean:
+      TrimmedMeanInto(models, config_.aggregator.trim_ratio, agg_column_, out);
+      return;
+    case AggregatorKind::kCoordinateMedian:
+      CoordinateMedianInto(models, agg_column_, out);
+      return;
+    case AggregatorKind::kNormClippedMean:
+      NormClippedWeightedAverageInto(models, weights, reference,
+                                     config_.aggregator.clip_norm,
+                                     agg_scratch_, out);
+      return;
+  }
+  FC_CHECK(false) << "unreachable";
+}
+
+std::uint64_t FlAlgorithm::ConfigFingerprint() const {
+  auto mix_float = [](std::uint64_t h, float value) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return MixSeed(h ^ bits);
+  };
+  std::uint64_t h = MixSeed(0x666370ULL);  // "fcp"
+  for (char c : name_) h = MixSeed(h ^ static_cast<std::uint8_t>(c));
+  h = MixSeed(h ^ config_.seed);
+  h = MixSeed(h ^ static_cast<std::uint64_t>(config_.clients_per_round));
+  h = MixSeed(h ^ static_cast<std::uint64_t>(num_clients()));
+  h = MixSeed(h ^ static_cast<std::uint64_t>(model_size_));
+  h = MixSeed(h ^ static_cast<std::uint64_t>(config_.train.local_epochs));
+  h = MixSeed(h ^ static_cast<std::uint64_t>(config_.train.batch_size));
+  h = mix_float(h, config_.train.lr);
+  h = mix_float(h, config_.train.momentum);
+  h = mix_float(h, config_.train.weight_decay);
+  h = mix_float(h, config_.train.grad_clip_norm);
+  h = MixSeed(h ^ static_cast<std::uint64_t>(config_.eval_batch_size));
+  return h;
+}
+
+util::Status FlAlgorithm::SaveCheckpoint(const std::string& path) {
+  StateWriter writer;
+  writer.WriteU64(ConfigFingerprint());
+  writer.WriteI64(completed_rounds_);
+
+  util::Rng::State rng_state = rng_.GetState();
+  for (std::uint64_t word : rng_state.words) writer.WriteU64(word);
+  writer.WriteBool(rng_state.has_cached_normal);
+  writer.WriteF64(rng_state.cached_normal);
+
+  writer.WriteF64(comm_.total_download_bytes());
+  writer.WriteF64(comm_.total_upload_bytes());
+
+  writer.WriteI64(fault_stats_.dropouts);
+  writer.WriteI64(fault_stats_.stragglers);
+  writer.WriteI64(fault_stats_.corrupted);
+  writer.WriteI64(fault_stats_.rejected);
+
+  const std::vector<RoundRecord>& records = history_.records();
+  writer.WriteU64(records.size());
+  for (const RoundRecord& record : records) {
+    writer.WriteI64(record.round);
+    writer.WriteF32(record.test_loss);
+    writer.WriteF32(record.test_accuracy);
+    writer.WriteF64(record.bytes_up);
+    writer.WriteF64(record.bytes_down);
+    writer.WriteF64(record.mean_client_loss);
+  }
+
+  SaveExtraState(writer);
+  return WriteStateFile(path, writer);
+}
+
+util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
+  util::StatusOr<StateReader> reader_or = ReadStateFile(path);
+  if (!reader_or.ok()) return reader_or.status();
+  StateReader reader = std::move(reader_or).value();
+
+  std::uint64_t fingerprint = 0;
+  FC_RETURN_IF_ERROR(reader.ReadU64(fingerprint));
+  if (fingerprint != ConfigFingerprint()) {
+    return util::Status::FailedPrecondition(
+        "checkpoint was written by a different run configuration (algorithm, "
+        "seed, client count, model, or training options differ)");
+  }
+
+  std::int64_t completed = 0;
+  FC_RETURN_IF_ERROR(reader.ReadI64(completed));
+  if (completed < 0) {
+    return util::Status::InvalidArgument("negative completed-round counter");
+  }
+
+  util::Rng::State rng_state;
+  for (std::uint64_t& word : rng_state.words) {
+    FC_RETURN_IF_ERROR(reader.ReadU64(word));
+  }
+  FC_RETURN_IF_ERROR(reader.ReadBool(rng_state.has_cached_normal));
+  FC_RETURN_IF_ERROR(reader.ReadF64(rng_state.cached_normal));
+
+  double total_down = 0.0;
+  double total_up = 0.0;
+  FC_RETURN_IF_ERROR(reader.ReadF64(total_down));
+  FC_RETURN_IF_ERROR(reader.ReadF64(total_up));
+
+  FaultStats stats;
+  FC_RETURN_IF_ERROR(reader.ReadI64(stats.dropouts));
+  FC_RETURN_IF_ERROR(reader.ReadI64(stats.stragglers));
+  FC_RETURN_IF_ERROR(reader.ReadI64(stats.corrupted));
+  FC_RETURN_IF_ERROR(reader.ReadI64(stats.rejected));
+
+  std::uint64_t record_count = 0;
+  FC_RETURN_IF_ERROR(reader.ReadU64(record_count));
+  MetricsHistory restored;
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    RoundRecord record;
+    std::int64_t round = 0;
+    FC_RETURN_IF_ERROR(reader.ReadI64(round));
+    record.round = static_cast<int>(round);
+    FC_RETURN_IF_ERROR(reader.ReadF32(record.test_loss));
+    FC_RETURN_IF_ERROR(reader.ReadF32(record.test_accuracy));
+    FC_RETURN_IF_ERROR(reader.ReadF64(record.bytes_up));
+    FC_RETURN_IF_ERROR(reader.ReadF64(record.bytes_down));
+    FC_RETURN_IF_ERROR(reader.ReadF64(record.mean_client_loss));
+    restored.Add(record);
+  }
+
+  FC_RETURN_IF_ERROR(LoadExtraState(reader));
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument("trailing bytes in checkpoint");
+  }
+
+  // Commit the base state only after every read (including the subclass
+  // state) succeeded.
+  completed_rounds_ = static_cast<int>(completed);
+  rng_.SetState(rng_state);
+  comm_.Restore(total_down, total_up);
+  fault_stats_ = stats;
+  history_ = std::move(restored);
+  return util::Status::Ok();
 }
 
 double FlAlgorithm::TakeRoundClientLoss() {

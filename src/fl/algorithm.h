@@ -6,9 +6,12 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "fl/aggregators.h"
+#include "fl/checkpoint.h"
 #include "fl/client.h"
 #include "fl/comm_tracker.h"
 #include "fl/evaluator.h"
+#include "fl/faults.h"
 #include "fl/history.h"
 #include "fl/model_pool.h"
 #include "fl/parallel.h"  // SetFlThreads / FlThreads
@@ -16,6 +19,7 @@
 #include "fl/types.h"
 #include "models/model_zoo.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace fedcross::fl {
 
@@ -26,10 +30,23 @@ struct AlgorithmConfig {
   std::uint64_t seed = 42;
   int eval_batch_size = 100;
 
-  // Fault injection: probability that a selected client fails before
-  // uploading (TrainClient reports dropped=true; algorithms degrade
-  // gracefully). 0 disables.
+  // Legacy shorthand for faults.profile.dropout_prob (kept so existing
+  // callers keep working); merged into `faults` at construction.
   double dropout_prob = 0.0;
+
+  // Fault injection (see fl/faults.h): per-client dropout / straggler /
+  // corrupted-upload profiles, drawn from a dedicated fault RNG stream so
+  // enabling faults never perturbs surviving clients' training and results
+  // stay bit-identical across thread counts. All disabled by default.
+  FaultModel faults;
+
+  // Server-side upload screening: finite-check plus update-norm gate.
+  // Rejected uploads degrade exactly like dropouts. Disabled by default.
+  ScreeningOptions screening;
+
+  // Server aggregation rule for the mean-style algorithms (see
+  // fl/aggregators.h). Defaults to the classic sample-weighted mean.
+  AggregatorOptions aggregator;
 
   // Differential privacy: clip-and-noise applied to every client upload
   // (see fl/privacy.h). clip_norm <= 0 disables.
@@ -57,11 +74,37 @@ class FlAlgorithm {
   // middleware models, generated on demand).
   virtual FlatParams GlobalParams() = 0;
 
-  // Driver: runs `rounds` rounds, evaluating the global model on the test
-  // set every `eval_every` rounds and recording a RoundRecord. Returns the
-  // accumulated history.
+  // Driver: runs rounds [completed_rounds(), rounds), evaluating the global
+  // model on the test set every `eval_every` rounds and recording a
+  // RoundRecord. Returns the accumulated history. On a freshly constructed
+  // instance this runs all `rounds` rounds; after LoadCheckpoint it resumes
+  // where the checkpoint left off and produces a history bit-identical to
+  // an uninterrupted run.
   const MetricsHistory& Run(int rounds, int eval_every = 1,
                             bool verbose = false);
+
+  // Rounds completed by Run() so far (restored by LoadCheckpoint).
+  int completed_rounds() const { return completed_rounds_; }
+
+  // Checkpoint/resume. SaveCheckpoint serialises the full training state —
+  // config fingerprint, completed rounds, run RNG state, communication
+  // totals, fault statistics, metrics history, and the subclass model state
+  // — atomically (tmp file + rename). LoadCheckpoint restores it into a
+  // freshly constructed instance of the *same* configuration; a fingerprint
+  // mismatch returns FailedPrecondition, truncated or malformed files
+  // return InvalidArgument. On a non-OK load the training state is
+  // unspecified: construct a fresh instance before retrying.
+  util::Status SaveCheckpoint(const std::string& path);
+  util::Status LoadCheckpoint(const std::string& path);
+
+  // Enables periodic checkpointing inside Run(): the training state is
+  // saved to `path` after every `every_rounds` completed rounds and after
+  // the final round. `every_rounds <= 0` disables.
+  void EnableAutoCheckpoint(std::string path, int every_rounds);
+
+  // Cumulative fault accounting (dropouts, stragglers, corrupted uploads,
+  // server-side rejections) across the whole run.
+  const FaultStats& fault_stats() const { return fault_stats_; }
 
   const std::string& name() const { return name_; }
   int num_clients() const { return static_cast<int>(clients_.size()); }
@@ -79,7 +122,9 @@ class FlAlgorithm {
   util::Rng& rng() { return rng_; }
   const FlClient& client(int id) const { return clients_[id]; }
 
-  // Samples K distinct client ids uniformly (the paper's random selection).
+  // Samples K distinct client ids uniformly (the paper's random selection),
+  // plus faults.over_provision extras (capped at N) when over-provisioned
+  // selection is enabled.
   std::vector<int> SampleClients();
 
   // One client-training job of a round: which client, which dispatched
@@ -130,14 +175,36 @@ class FlAlgorithm {
   static void AverageInto(const std::vector<const FlatParams*>& models,
                           FlatParams& out);
 
+  // Aggregates client models under the configured rule (fl/aggregators.h).
+  // `reference` is the model the round dispatched (the norm-clipped rule's
+  // clipping centre); `out` may alias it. The default kWeightedMean path is
+  // byte-for-byte WeightedAverageInto.
+  void Aggregate(const std::vector<const FlatParams*>& models,
+                 const std::vector<double>& weights,
+                 const FlatParams& reference, FlatParams& out);
+
   double TakeRoundClientLoss();  // mean loss over the round's clients
 
+  // Checkpoint hooks: subclasses append/restore their algorithm state
+  // (global params, variates, middleware, ...). LoadExtraState must consume
+  // exactly what SaveExtraState wrote.
+  virtual void SaveExtraState(StateWriter& writer) { (void)writer; }
+  virtual util::Status LoadExtraState(StateReader& reader) {
+    (void)reader;
+    return util::Status::Ok();
+  }
+
  private:
-  // Body of one ClientJob: dropout draw, local SGD, DP sanitisation — all
-  // driven by the job's own rng so jobs are order- and thread-independent.
-  // Writes into `result`, recycling its buffers.
+  // Body of one ClientJob: fault draws (dedicated fault stream), local SGD,
+  // DP sanitisation, upload corruption — all driven by the job's own rngs
+  // so jobs are order- and thread-independent. Writes into `result`,
+  // recycling its buffers.
   void TrainClientJob(const ClientJob& job, util::Rng& rng,
-                      LocalTrainResult& result);
+                      util::Rng& fault_rng, LocalTrainResult& result);
+
+  // Deterministic fingerprint of (name, seed, K, N, model size, train
+  // options); a checkpoint only restores into a matching configuration.
+  std::uint64_t ConfigFingerprint() const;
 
   std::string name_;
   AlgorithmConfig config_;
@@ -151,6 +218,12 @@ class FlAlgorithm {
   CommTracker comm_;
   MetricsHistory history_;
   std::vector<LocalTrainResult> results_;  // recycled across TrainClients
+  FlatParams agg_scratch_;   // robust-aggregator scratch, recycled
+  FlatParams agg_column_;    // per-coordinate gather scratch, recycled
+  FaultStats fault_stats_;
+  int completed_rounds_ = 0;
+  std::string checkpoint_path_;  // autosave target; empty = disabled
+  int checkpoint_every_ = 0;
   double round_loss_sum_ = 0.0;
   int round_loss_count_ = 0;
 };

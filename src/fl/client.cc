@@ -117,6 +117,7 @@ void FlClient::Train(ModelPool& pool, const FlatParams& init_params,
   result.lr = spec.options.lr;
   result.mean_loss = steps > 0 ? total_loss / steps : 0.0;
   result.dropped = false;
+  result.fault = FaultKind::kNone;
 }
 
 LocalTrainResult FlClient::Train(const models::ModelFactory& factory,

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "data/dataset.h"
+#include "fl/faults.h"
 #include "fl/model_pool.h"
 #include "fl/types.h"
 #include "models/model_zoo.h"
@@ -38,9 +39,12 @@ struct LocalTrainResult {
   int num_steps = 0;        // SGD steps taken (used by SCAFFOLD's c_i update)
   float lr = 0.0f;          // learning rate used
   double mean_loss = 0.0;   // mean training loss over all steps
-  // True if the simulated device failed this round (client dropout): params
-  // echo the dispatched model and nothing was uploaded.
+  // True if the round produced no usable upload (dropout, straggler
+  // timeout, or server-side rejection): params echo the dispatched model
+  // and the client is excluded from aggregation.
   bool dropped = false;
+  // What, if anything, went wrong (see fl/faults.h).
+  FaultKind fault = FaultKind::kNone;
 };
 
 // A simulated device: owns a training shard and can run local SGD on any

@@ -137,7 +137,31 @@ void CluSamp::RunRound(int round) {
     local_models.push_back(&result.params);
   }
   if (local_models.empty()) return;  // every client dropped
-  WeightedAverageInto(local_models, weights, global_);
+  Aggregate(local_models, weights, global_, global_);
+}
+
+void CluSamp::SaveExtraState(StateWriter& writer) {
+  writer.WriteFloats(global_);
+  writer.WriteInts(assignment_);
+  writer.WriteU64(client_updates_.size());
+  for (const FlatParams& update : client_updates_) writer.WriteFloats(update);
+}
+
+util::Status CluSamp::LoadExtraState(StateReader& reader) {
+  FC_RETURN_IF_ERROR(reader.ReadFloats(global_));
+  FC_RETURN_IF_ERROR(reader.ReadInts(assignment_));
+  std::uint64_t count = 0;
+  FC_RETURN_IF_ERROR(reader.ReadU64(count));
+  if (count != client_updates_.size() ||
+      assignment_.size() != client_updates_.size()) {
+    return util::Status::FailedPrecondition(
+        "checkpoint has update history for " + std::to_string(count) +
+        " clients, run has " + std::to_string(client_updates_.size()));
+  }
+  for (FlatParams& update : client_updates_) {
+    FC_RETURN_IF_ERROR(reader.ReadFloats(update));
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace fedcross::fl

@@ -27,6 +27,11 @@ class CluSamp : public FlAlgorithm {
   // Exposed for tests: current cluster assignment (size N, values [0, K)).
   const std::vector<int>& cluster_assignment() const { return assignment_; }
 
+ protected:
+  // Checkpoint state: global model, cluster assignment, update history.
+  void SaveExtraState(StateWriter& writer) override;
+  util::Status LoadExtraState(StateReader& reader) override;
+
  private:
   // Re-clusters clients from their stored update directions.
   void UpdateClusters();

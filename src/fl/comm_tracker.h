@@ -28,6 +28,15 @@ class CommTracker {
   double total_download_bytes() const { return total_down_; }
   double total_upload_bytes() const { return total_up_; }
 
+  // Checkpoint restore: resets to the given cumulative totals with the
+  // per-round counters cleared.
+  void Restore(double total_down, double total_up) {
+    total_down_ = total_down;
+    total_up_ = total_up;
+    round_down_ = 0.0;
+    round_up_ = 0.0;
+  }
+
  private:
   double round_down_ = 0.0;
   double round_up_ = 0.0;

@@ -36,7 +36,23 @@ void FedAvg::RunRound(int round) {
     local_models.push_back(&result.params);
   }
   if (local_models.empty()) return;  // every client dropped: keep the model
-  WeightedAverageInto(local_models, weights, global_);
+  Aggregate(local_models, weights, global_, global_);
+}
+
+void FedAvg::SaveExtraState(StateWriter& writer) {
+  writer.WriteFloats(global_);
+}
+
+util::Status FedAvg::LoadExtraState(StateReader& reader) {
+  FlatParams global;
+  FC_RETURN_IF_ERROR(reader.ReadFloats(global));
+  if (global.size() != global_.size()) {
+    return util::Status::FailedPrecondition(
+        "checkpointed global model has " + std::to_string(global.size()) +
+        " params, model expects " + std::to_string(global_.size()));
+  }
+  global_ = std::move(global);
+  return util::Status::Ok();
 }
 
 FedProx::FedProx(AlgorithmConfig config, data::FederatedDataset data,

@@ -23,6 +23,10 @@ class FedAvg : public FlAlgorithm {
   // Hook for subclasses that modify the client objective (FedProx).
   virtual ClientTrainSpec MakeClientSpec() const;
 
+  // Checkpoint state: the global model (FedProx adds nothing on top).
+  void SaveExtraState(StateWriter& writer) override;
+  util::Status LoadExtraState(StateReader& reader) override;
+
   FlatParams global_;
 };
 

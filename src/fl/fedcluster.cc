@@ -58,8 +58,29 @@ void FedCluster::RunRound(int round) {
       local_models.push_back(&result.params);
     }
     if (local_models.empty()) continue;  // whole cluster step dropped
-    WeightedAverageInto(local_models, weights, global_);
+    Aggregate(local_models, weights, global_, global_);
   }
+}
+
+void FedCluster::SaveExtraState(StateWriter& writer) {
+  writer.WriteFloats(global_);
+  writer.WriteU64(clusters_.size());
+  for (const std::vector<int>& cluster : clusters_) writer.WriteInts(cluster);
+}
+
+util::Status FedCluster::LoadExtraState(StateReader& reader) {
+  FC_RETURN_IF_ERROR(reader.ReadFloats(global_));
+  std::uint64_t count = 0;
+  FC_RETURN_IF_ERROR(reader.ReadU64(count));
+  if (count != clusters_.size()) {
+    return util::Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(count) + " clusters, run has " +
+        std::to_string(clusters_.size()));
+  }
+  for (std::vector<int>& cluster : clusters_) {
+    FC_RETURN_IF_ERROR(reader.ReadInts(cluster));
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace fedcross::fl

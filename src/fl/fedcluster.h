@@ -27,6 +27,12 @@ class FedCluster : public FlAlgorithm {
 
   const std::vector<std::vector<int>>& clusters() const { return clusters_; }
 
+ protected:
+  // Checkpoint state: global model plus the fixed cluster partition (it was
+  // drawn from the run RNG at construction, which the checkpoint rewinds).
+  void SaveExtraState(StateWriter& writer) override;
+  util::Status LoadExtraState(StateReader& reader) override;
+
  private:
   int num_clusters_;
   FlatParams global_;

@@ -1,6 +1,8 @@
 #include "fl/fedgen.h"
 
 #include <cmath>
+#include <cstring>
+#include <numeric>
 
 #include "nn/activations.h"
 #include "nn/linear.h"
@@ -157,10 +159,62 @@ void FedGen::RunRound(int round) {
   }
 
   if (local_models.empty()) return;  // every client dropped
-  WeightedAverageInto(local_models, weights, global_);
+  Aggregate(local_models, weights, global_, global_);
   label_weights_ = std::move(new_label_weights);
   TrainGenerator();
   RegenerateSyntheticSet();
+}
+
+void FedGen::SaveExtraState(StateWriter& writer) {
+  writer.WriteFloats(global_);
+  writer.WriteDoubles(label_weights_);
+  writer.WriteFloats(generator_.ParamsToFlat());
+  writer.WriteBool(synthetic_ != nullptr);
+  if (synthetic_ != nullptr) {
+    int n = synthetic_->size();
+    std::vector<int> indices(n);
+    std::iota(indices.begin(), indices.end(), 0);
+    Tensor features;
+    std::vector<int> labels;
+    synthetic_->GetBatch(indices, features, labels);
+    FlatParams flat(static_cast<std::size_t>(features.numel()));
+    std::memcpy(flat.data(), features.data(), flat.size() * sizeof(float));
+    writer.WriteFloats(flat);
+    writer.WriteInts(labels);
+  }
+}
+
+util::Status FedGen::LoadExtraState(StateReader& reader) {
+  FC_RETURN_IF_ERROR(reader.ReadFloats(global_));
+  FC_RETURN_IF_ERROR(reader.ReadDoubles(label_weights_));
+  FlatParams generator_params;
+  FC_RETURN_IF_ERROR(reader.ReadFloats(generator_params));
+  if (static_cast<std::int64_t>(generator_params.size()) != generator_size_) {
+    return util::Status::FailedPrecondition(
+        "checkpointed generator has " +
+        std::to_string(generator_params.size()) + " params, expected " +
+        std::to_string(generator_size_));
+  }
+  generator_.ParamsFromFlat(generator_params);
+  bool has_synthetic = false;
+  FC_RETURN_IF_ERROR(reader.ReadBool(has_synthetic));
+  if (has_synthetic) {
+    FlatParams features;
+    std::vector<int> labels;
+    FC_RETURN_IF_ERROR(reader.ReadFloats(features));
+    FC_RETURN_IF_ERROR(reader.ReadInts(labels));
+    if (labels.empty() ||
+        features.size() !=
+            labels.size() * static_cast<std::size_t>(example_numel_)) {
+      return util::Status::InvalidArgument(
+          "checkpointed synthetic set is inconsistent");
+    }
+    synthetic_ = std::make_shared<data::InMemoryDataset>(
+        example_shape_, std::move(features), std::move(labels), num_classes_);
+  } else {
+    synthetic_ = nullptr;
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace fedcross::fl

@@ -45,6 +45,13 @@ class FedGen : public FlAlgorithm {
   // Size of the generator payload in floats (communication accounting).
   std::int64_t generator_size() const { return generator_size_; }
 
+ protected:
+  // Checkpoint state: global model, label weights, generator params, and
+  // the current synthetic proxy set (it cannot be regenerated at load time
+  // without disturbing the run RNG stream).
+  void SaveExtraState(StateWriter& writer) override;
+  util::Status LoadExtraState(StateReader& reader) override;
+
  private:
   void TrainGenerator();
   void RegenerateSyntheticSet();

@@ -59,10 +59,33 @@ void Scaffold::RunRound(int round) {
   }
 
   if (local_models.empty()) return;  // every client dropped
-  WeightedAverageInto(local_models, weights, global_);
+  Aggregate(local_models, weights, global_, global_);
   // c += (|S| / N) * mean_i(c_i+ - c_i), over the clients that uploaded.
   flat_ops::Axpy(server_c_, 1.0f / static_cast<float>(num_clients()),
                  c_delta_sum);
+}
+
+void Scaffold::SaveExtraState(StateWriter& writer) {
+  writer.WriteFloats(global_);
+  writer.WriteFloats(server_c_);
+  writer.WriteU64(client_c_.size());
+  for (const FlatParams& c_i : client_c_) writer.WriteFloats(c_i);
+}
+
+util::Status Scaffold::LoadExtraState(StateReader& reader) {
+  FC_RETURN_IF_ERROR(reader.ReadFloats(global_));
+  FC_RETURN_IF_ERROR(reader.ReadFloats(server_c_));
+  std::uint64_t count = 0;
+  FC_RETURN_IF_ERROR(reader.ReadU64(count));
+  if (count != client_c_.size()) {
+    return util::Status::FailedPrecondition(
+        "checkpoint has variates for " + std::to_string(count) +
+        " clients, run has " + std::to_string(client_c_.size()));
+  }
+  for (FlatParams& c_i : client_c_) {
+    FC_RETURN_IF_ERROR(reader.ReadFloats(c_i));
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace fedcross::fl

@@ -24,6 +24,11 @@ class Scaffold : public FlAlgorithm {
 
   const FlatParams& server_variate() const { return server_c_; }
 
+ protected:
+  // Checkpoint state: global model plus the server and client variates.
+  void SaveExtraState(StateWriter& writer) override;
+  util::Status LoadExtraState(StateReader& reader) override;
+
  private:
   FlatParams global_;
   FlatParams server_c_;

@@ -26,6 +26,20 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& word : state_) word = SplitMix64(sm);
 }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 Rng Rng::Fork(std::uint64_t salt) {
   return Rng(NextUint64() ^ (salt * 0x9e3779b97f4a7c15ULL));
 }

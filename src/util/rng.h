@@ -56,6 +56,16 @@ class Rng {
   // Samples k distinct indices from [0, n) uniformly (partial Fisher-Yates).
   std::vector<int> SampleWithoutReplacement(int n, int k);
 
+  // Full generator state, including the Box-Muller cache, so a restored
+  // generator continues the exact draw sequence (checkpoint/resume).
+  struct State {
+    std::uint64_t words[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   std::uint64_t state_[4];
   bool has_cached_normal_ = false;

@@ -160,5 +160,63 @@ TEST(ParallelDeterminismTest, OddThreadCountMatchesToo) {
   ExpectBitIdentical(three, four);
 }
 
+// A config that exercises every fault class at once: dropout, straggler
+// racing a deadline, Byzantine sign-flip corruption, over-provisioned
+// selection, server-side screening, and a robust aggregator. All fault
+// draws come from the per-slot fault stream, so the whole stack must stay
+// bit-identical across thread counts.
+AlgorithmConfig FaultyConfig() {
+  AlgorithmConfig config = ToyConfig();
+  config.dropout_prob = 0.0;
+  config.faults.profile.dropout_prob = 0.1;
+  config.faults.profile.straggler_prob = 0.3;
+  config.faults.profile.slowdown_min = 2.0;
+  config.faults.profile.slowdown_max = 8.0;
+  config.faults.round_deadline = 5.0;
+  config.faults.profile.corrupt_prob = 0.25;
+  config.faults.profile.corruption = CorruptionKind::kSignFlip;
+  config.faults.profile.corruption_scale = 10.0f;
+  config.faults.over_provision = 1;
+  config.screening.check_finite = true;
+  config.screening.max_update_norm = 50.0f;
+  config.aggregator.kind = AggregatorKind::kTrimmedMean;
+  config.aggregator.trim_ratio = 0.25;
+  return config;
+}
+
+TEST(ParallelDeterminismTest, FaultInjectionIsThreadCountInvariant) {
+  FlThreadsGuard guard;
+  auto run = [](int threads) {
+    SetFlThreads(threads);
+    FedAvg fedavg(FaultyConfig(), MakeToyFederated(8, 40, 4, 41),
+                  LinearFactory(4));
+    for (int r = 0; r < 5; ++r) fedavg.RunRound(r);
+    return fedavg.GlobalParams();
+  };
+  FlatParams one = run(1);
+  FlatParams two = run(2);
+  FlatParams four = run(4);
+  ExpectBitIdentical(one, two);
+  ExpectBitIdentical(one, four);
+}
+
+TEST(ParallelDeterminismTest, FaultyFedCrossIsThreadCountInvariant) {
+  FlThreadsGuard guard;
+  auto run = [](int threads) {
+    SetFlThreads(threads);
+    core::FedCrossOptions options;
+    options.alpha = 0.9;
+    core::FedCross fedcross(FaultyConfig(), MakeToyFederated(8, 40, 4, 41),
+                            LinearFactory(4), options);
+    for (int r = 0; r < 5; ++r) fedcross.RunRound(r);
+    return fedcross.GlobalParams();
+  };
+  FlatParams one = run(1);
+  FlatParams two = run(2);
+  FlatParams four = run(4);
+  ExpectBitIdentical(one, two);
+  ExpectBitIdentical(one, four);
+}
+
 }  // namespace
 }  // namespace fedcross::fl
