@@ -17,6 +17,9 @@
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 #include "nn/loss.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 
@@ -204,6 +207,24 @@ void BM_FedRoundRobust(benchmark::State& state) {
   RunFedRoundLoop(state, config);
 }
 BENCHMARK(BM_FedRoundRobust)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The same round with every observability sink armed: metrics counters and
+// histograms, phase/span tracing into the per-thread rings, and the round
+// event stream (to /dev/null — the fprintf + fflush cost is real, the disk
+// is not the point). The delta vs BM_FedRound is the full observability
+// overhead; the acceptance bar is <= 5%.
+void BM_FedRoundObs(benchmark::State& state) {
+  obs::SetMetricsEnabled(true);
+  obs::SetTracingEnabled(true);
+  obs::SetEventsPath("/dev/null");
+  RunFedRoundLoop(state, MakeFedRoundConfig());
+  obs::SetEventsPath("");
+  obs::SetTracingEnabled(false);
+  obs::SetMetricsEnabled(false);
+  obs::TraceRecorder::Global().Clear();
+  obs::MetricsRegistry::Global().Reset();
+}
+BENCHMARK(BM_FedRoundObs)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 // Parallel deterministic evaluation: EvaluateParams fans test batches over
 // the FL pool, one pooled replica per worker slot, and reduces per-batch

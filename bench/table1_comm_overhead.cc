@@ -3,12 +3,18 @@
 // run (not an analytic estimate). The paper's claim to verify: FedCross
 // moves exactly 2K models per round — the same as FedAvg and less than
 // SCAFFOLD (4K payloads) and FedGen (2K models + K generators).
+//
+// Supports the shared observability flags (--events_out/--trace_out/
+// --metrics_out): with --events_out set, every measured round of every
+// method lands in one JSONL file, so the table can be cross-checked against
+// the per-round byte counts in the event stream.
 #include <cstdio>
 #include <string>
 
 #include "bench_common.h"
 #include "util/csv_writer.h"
 #include "util/flags.h"
+#include "util/obs_init.h"
 #include "util/table_printer.h"
 
 namespace fedcross::bench {
@@ -29,8 +35,13 @@ int Main(int argc, char** argv) {
   fl::SetFlThreads(flags.GetInt("fl_threads", 0));
   int num_clients = flags.GetInt("clients", 20);
   std::string csv_path = flags.GetString("csv", "table1_comm.csv");
+  util::Status obs_status = util::InitObservability(flags);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "%s\n", obs_status.ToString().c_str());
     return 1;
   }
 
@@ -73,6 +84,10 @@ int Main(int argc, char** argv) {
               std::max(2, num_clients / 10));
   table.Print(stdout);
   std::printf("CSV written to %s\n", csv_path.c_str());
+  util::Status flushed = util::FlushObservability();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "%s\n", flushed.ToString().c_str());
+  }
   return 0;
 }
 

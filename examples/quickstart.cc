@@ -1,21 +1,29 @@
-// Quickstart: train a CNN with FedCross on a synthetic CIFAR-10-like
-// federated dataset and watch the global model's accuracy per round.
+// Quickstart: train a CNN with FedCross (or FedAvg, for comparison) on a
+// synthetic CIFAR-10-like federated dataset and watch the global model's
+// accuracy per round.
 //
-//   ./quickstart [--rounds 40] [--clients 20] [--k 4] [--beta 0.5]
-//                [--alpha 0.9] [--strategy lowest-similarity]
+//   ./quickstart [--algo fedcross|fedavg] [--rounds 40] [--clients 20]
+//                [--k 4] [--beta 0.5] [--alpha 0.9]
+//                [--strategy lowest-similarity]
 //                [--fl_threads 0]   (0 = all cores, 1 = sequential)
+//                [--trace_out t.json] [--metrics_out m.json]
+//                [--events_out e.jsonl] [--log_level info]
 //
 // This is the minimal end-to-end use of the public API:
 //   1. build a dataset and partition it across clients,
 //   2. pick a model factory,
-//   3. construct the FedCross server and call Run().
+//   3. construct the server and call Run() — which also streams one
+//      structured round event per round when --events_out is set.
 #include <cstdio>
+#include <memory>
 
 #include "core/fedcross.h"
 #include "data/partition.h"
 #include "data/synthetic_image.h"
+#include "fl/fedavg.h"
 #include "models/model_zoo.h"
 #include "util/flags.h"
+#include "util/obs_init.h"
 
 namespace {
 
@@ -24,6 +32,7 @@ int Run(int argc, char** argv) {
 
   util::FlagParser flags(argc, argv);
   fl::SetFlThreads(flags.GetInt("fl_threads", 0));
+  std::string algo = flags.GetString("algo", "fedcross");
   int rounds = flags.GetInt("rounds", 40);
   int num_clients = flags.GetInt("clients", 20);
   int k = flags.GetInt("k", 4);
@@ -31,8 +40,13 @@ int Run(int argc, char** argv) {
   double alpha = flags.GetDouble("alpha", 0.9);
   std::string strategy_name =
       flags.GetString("strategy", "lowest-similarity");
+  util::Status obs_status = util::InitObservability(flags);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "%s\n", obs_status.ToString().c_str());
     return 1;
   }
 
@@ -60,16 +74,8 @@ int Run(int argc, char** argv) {
   cnn.num_classes = 10;
   models::ModelFactory factory = models::MakeCnn(cnn);
 
-  // 3. FedCross server.
-  auto strategy = core::ParseSelectionStrategy(strategy_name);
-  if (!strategy.ok()) {
-    std::fprintf(stderr, "%s\n", strategy.status().ToString().c_str());
-    return 1;
-  }
-  core::FedCrossOptions options;
-  options.alpha = alpha;
-  options.strategy = strategy.value();
-
+  // 3. The server. Both algorithms share AlgorithmConfig; FedCross adds its
+  // cross-aggregation options.
   fl::AlgorithmConfig config;
   config.clients_per_round = k;
   config.train.local_epochs = 5;
@@ -77,20 +83,44 @@ int Run(int argc, char** argv) {
   config.train.lr = 0.03f;
   config.train.momentum = 0.5f;
 
-  core::FedCross fedcross(config, std::move(federated), factory, options);
-  std::printf("FedCross quickstart: %d clients, K=%d, beta=%s, alpha=%.2f, "
-              "%s selection\n",
-              num_clients, k, beta > 0 ? "non-IID" : "IID", alpha,
-              core::SelectionStrategyName(options.strategy));
+  std::unique_ptr<fl::FlAlgorithm> server;
+  if (algo == "fedavg") {
+    server = std::make_unique<fl::FedAvg>(config, std::move(federated),
+                                          factory);
+  } else if (algo == "fedcross") {
+    auto strategy = core::ParseSelectionStrategy(strategy_name);
+    if (!strategy.ok()) {
+      std::fprintf(stderr, "%s\n", strategy.status().ToString().c_str());
+      return 1;
+    }
+    core::FedCrossOptions options;
+    options.alpha = alpha;
+    options.strategy = strategy.value();
+    server = std::make_unique<core::FedCross>(config, std::move(federated),
+                                              factory, options);
+  } else {
+    std::fprintf(stderr, "unknown --algo '%s' (want fedcross|fedavg)\n",
+                 algo.c_str());
+    return 1;
+  }
+
+  std::printf("%s quickstart: %d clients, K=%d, beta=%s, alpha=%.2f\n",
+              server->name().c_str(), num_clients, k,
+              beta > 0 ? "non-IID" : "IID", alpha);
   std::printf("model: %s\n", factory().Summary().c_str());
 
-  for (int round = 0; round < rounds; ++round) {
-    fedcross.RunRound(round);
-    if ((round + 1) % 5 == 0 || round == rounds - 1) {
-      fl::EvalResult eval = fedcross.Evaluate(fedcross.GlobalParams());
-      std::printf("round %3d  accuracy %.2f%%  loss %.4f\n", round + 1,
-                  eval.accuracy * 100, eval.loss);
-    }
+  // Run() drives the rounds, evaluates every 5th, and feeds every enabled
+  // observability sink. The history replays the eval cadence below.
+  const fl::MetricsHistory& history = server->Run(rounds, /*eval_every=*/5);
+  for (const fl::RoundRecord& record : history.records()) {
+    std::printf("round %3d  accuracy %.2f%%  loss %.4f\n", record.round,
+                record.test_accuracy * 100, record.test_loss);
+  }
+
+  util::Status flushed = util::FlushObservability();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "%s\n", flushed.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -8,6 +8,9 @@
 #   BENCH_robust.json  BM_FedRoundRobust/{1,2,4} (faults + screening +
 #                      trimmed-mean aggregation; delta vs BENCH_round is
 #                      the overhead of the resilience stack)
+#   BENCH_obs.json     BM_FedRoundObs/{1,2,4} (metrics + tracing + round
+#                      events all enabled; delta vs BENCH_round is the
+#                      observability overhead, budgeted at <= 5%)
 #
 # Usage: scripts/bench_to_json.sh [build_dir] [output_dir]
 # Defaults: build_dir=build, output_dir=. — run from the repo root.
@@ -43,3 +46,4 @@ run_filter '^BM_Gemm/' "${out_dir}/BENCH_gemm.json"
 run_filter '^BM_FedRound/' "${out_dir}/BENCH_round.json"
 run_filter '^BM_Evaluate/' "${out_dir}/BENCH_eval.json"
 run_filter '^BM_FedRoundRobust/' "${out_dir}/BENCH_robust.json"
+run_filter '^BM_FedRoundObs/' "${out_dir}/BENCH_obs.json"

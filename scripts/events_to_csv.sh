@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Renders a round-event JSONL file (written via --events_out) as CSV, plus a
+# readable per-round phase-time table on stderr — the table used in
+# EXPERIMENTS.md §"Phase breakdown". Pure awk over the flat one-line-per-
+# record format; no JSON tooling required.
+#
+# Usage: scripts/events_to_csv.sh events.jsonl [> events.csv]
+set -euo pipefail
+
+if [[ $# -lt 1 || ! -f "$1" ]]; then
+  echo "usage: $0 events.jsonl" >&2
+  exit 1
+fi
+
+awk '
+# Extract a numeric / string value for `key` from the flat JSON line.
+function nval(line, key,   m) {
+  if (match(line, "\"" key "\":[-+0-9.eE]+")) {
+    m = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\":", "", m)
+    return m + 0
+  }
+  return 0
+}
+function sval(line, key,   m) {
+  if (match(line, "\"" key "\":\"[^\"]*\"")) {
+    m = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\":\"", "", m)
+    sub("\"$", "", m)
+    return m
+  }
+  return ""
+}
+BEGIN {
+  print "algo,round,round_ms,dispatch_ms,train_ms,screen_ms,aggregate_ms," \
+        "eval_ms,checkpoint_ms,test_accuracy,test_loss,bytes_down," \
+        "bytes_up,dropouts,stragglers,corrupted,rejected"
+  printf "%-10s %5s %9s %9s %9s %9s %9s %9s %9s\n", \
+         "algo", "round", "round_ms", "dispatch", "train", "screen", \
+         "aggregate", "eval", "ckpt" > "/dev/stderr"
+}
+/"round":/ {
+  algo = sval($0, "algo")
+  round = nval($0, "round")
+  printf "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.9g,%.9g,%.0f,%.0f,%d,%d,%d,%d\n", \
+    algo, round, nval($0, "round_ms"), nval($0, "dispatch_ms"), \
+    nval($0, "train_ms"), nval($0, "screen_ms"), nval($0, "aggregate_ms"), \
+    nval($0, "eval_ms"), nval($0, "checkpoint_ms"), \
+    nval($0, "test_accuracy"), nval($0, "test_loss"), \
+    nval($0, "bytes_down"), nval($0, "bytes_up"), nval($0, "dropouts"), \
+    nval($0, "stragglers"), nval($0, "corrupted"), nval($0, "rejected")
+  printf "%-10s %5d %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n", \
+         algo, round, nval($0, "round_ms"), nval($0, "dispatch_ms"), \
+         nval($0, "train_ms"), nval($0, "screen_ms"), \
+         nval($0, "aggregate_ms"), nval($0, "eval_ms"), \
+         nval($0, "checkpoint_ms") > "/dev/stderr"
+}
+' "$1"

@@ -160,23 +160,28 @@ std::vector<int> FedCross::SelectPropellerIndices(int model_index, int round,
 void FedCross::RunRound(int round) {
   int k = config().clients_per_round;
 
-  // Algorithm 1 lines 4-5: random client selection, then shuffle so each
-  // middleware model meets a fresh client (model i trains on L_c[i]).
-  std::vector<int> selected = SampleClients();
-  rng().Shuffle(selected);
+  fl::ClientTrainSpec spec;
+  spec.options = config().train;
+  std::vector<ClientJob> jobs(k);
+  {
+    PhaseScope phase(*this, RoundPhase::kDispatch);
+    // Algorithm 1 lines 4-5: random client selection, then shuffle so each
+    // middleware model meets a fresh client (model i trains on L_c[i]).
+    std::vector<int> selected = SampleClients();
+    rng().Shuffle(selected);
+    for (int i = 0; i < k; ++i) {
+      jobs[i] = {selected[i], &middleware_[i], &spec};
+    }
+  }
 
   // Lines 7-10: local training of every middleware model — the K clients
   // are independent, so they fan out across the client-training pool. A
   // dropped client simply never uploads, so the server keeps its dispatched
   // copy of that middleware model (result.params echoes the dispatch).
-  fl::ClientTrainSpec spec;
-  spec.options = config().train;
-  std::vector<ClientJob> jobs(k);
-  for (int i = 0; i < k; ++i) {
-    jobs[i] = {selected[i], &middleware_[i], &spec};
-  }
   const std::vector<fl::LocalTrainResult>& results =
       TrainClients(round, /*salt=*/0, jobs);
+
+  PhaseScope phase(*this, RoundPhase::kAggregate);
   // Copy the uploads out of the shared (recycled) results vector: the
   // similarity-based selection reads all of them while the new generation
   // is built. Copy-assign reuses last round's buffers.

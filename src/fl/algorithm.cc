@@ -5,11 +5,53 @@
 
 #include "fl/flat_ops.h"
 #include "fl/parallel.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace fedcross::fl {
 namespace {
+
+// Span names for PhaseScope, indexed by RoundPhase. Static storage: the
+// trace ring stores the pointer.
+constexpr const char* kPhaseSpanNames[] = {
+    "phase.dispatch", "phase.train",     "phase.screen",
+    "phase.aggregate", "phase.eval",     "phase.checkpoint",
+};
+
+// True when any observability sink wants per-phase timings.
+bool ObservabilityActive() {
+  return obs::MetricsEnabled() || obs::TracingEnabled() ||
+         obs::EventsEnabled();
+}
+
+// Registry handles are resolved once per process; the addresses are stable
+// across MetricsRegistry::Reset.
+struct FlMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& rounds = reg.GetCounter("fl.rounds");
+  obs::Counter& client_jobs = reg.GetCounter("fl.clients.jobs");
+  obs::Counter& uploads_accepted = reg.GetCounter("fl.uploads.accepted");
+  obs::Counter& robust_aggregations = reg.GetCounter("fl.agg.robust");
+  obs::Gauge& comm_down = reg.GetGauge("fl.comm.total_down_bytes");
+  obs::Gauge& comm_up = reg.GetGauge("fl.comm.total_up_bytes");
+  obs::Gauge& faults_dropouts = reg.GetGauge("fl.faults.dropouts");
+  obs::Gauge& faults_stragglers = reg.GetGauge("fl.faults.stragglers");
+  obs::Gauge& faults_corrupted = reg.GetGauge("fl.faults.corrupted");
+  obs::Gauge& faults_rejected = reg.GetGauge("fl.faults.rejected");
+  obs::Histogram& round_ms = reg.GetHistogram("fl.round_ms");
+  obs::Histogram& checkpoint_save_ms =
+      reg.GetHistogram("fl.checkpoint.save_ms");
+  obs::Histogram& checkpoint_load_ms =
+      reg.GetHistogram("fl.checkpoint.load_ms");
+};
+
+FlMetrics& Metrics() {
+  static FlMetrics* metrics = new FlMetrics();
+  return *metrics;
+}
 
 // SplitMix64 finalizer: bijective avalanche mix.
 std::uint64_t MixSeed(std::uint64_t x) {
@@ -31,6 +73,26 @@ std::uint64_t ClientJobSeed(std::uint64_t seed, int round, int salt,
 }
 
 }  // namespace
+
+FlAlgorithm::PhaseScope::PhaseScope(FlAlgorithm& algo, RoundPhase phase)
+    : phase_(phase) {
+  if (ObservabilityActive()) {
+    algo_ = &algo;
+    start_us_ = obs::TraceNowMicros();
+  }
+}
+
+FlAlgorithm::PhaseScope::~PhaseScope() {
+  if (algo_ == nullptr) return;
+  std::int64_t end_us = obs::TraceNowMicros();
+  algo_->phase_ms_[static_cast<int>(phase_)] +=
+      static_cast<double>(end_us - start_us_) / 1000.0;
+  if (obs::TracingEnabled()) {
+    obs::TraceRecorder::Global().RecordComplete(
+        kPhaseSpanNames[static_cast<int>(phase_)], start_us_,
+        end_us - start_us_);
+  }
+}
 
 FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
                          data::FederatedDataset data,
@@ -65,36 +127,118 @@ const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
                                        bool verbose) {
   FC_CHECK_GT(eval_every, 0);
   for (int round = completed_rounds_; round < rounds; ++round) {
+    // Snapshot observability state once per round: sinks toggled mid-round
+    // would otherwise leave a half-timed event.
+    const bool observe = ObservabilityActive();
+    const std::int64_t round_start_us = observe ? obs::TraceNowMicros() : 0;
+    const FaultStats faults_before = fault_stats_;
+    if (observe) {
+      for (double& ms : phase_ms_) ms = 0.0;
+    }
+
     comm_.BeginRound();
     round_loss_sum_ = 0.0;
     round_loss_count_ = 0;
-    RunRound(round);
-    completed_rounds_ = round + 1;
-    if ((round + 1) % eval_every == 0 || round == rounds - 1) {
-      EvalResult eval = Evaluate(GlobalParams());
-      RoundRecord record;
-      record.round = round + 1;
-      record.test_loss = eval.loss;
-      record.test_accuracy = eval.accuracy;
-      record.bytes_up = comm_.round_upload_bytes();
-      record.bytes_down = comm_.round_download_bytes();
-      record.mean_client_loss = TakeRoundClientLoss();
-      history_.Add(record);
-      if (verbose) {
-        FC_LOG(Info) << name_ << " round " << record.round << " acc "
-                     << record.test_accuracy << " loss " << record.test_loss;
+    bool evaluated = false;
+    EvalResult eval;
+    double mean_client_loss = 0.0;
+    {
+      obs::ScopedSpan round_span("fl.round", round + 1);
+      RunRound(round);
+      completed_rounds_ = round + 1;
+      if (observe) {
+        // Read-only preview of what TakeRoundClientLoss() would return, so
+        // the event carries the round's mean client loss without consuming
+        // the accumulator eval rounds read below.
+        mean_client_loss = round_loss_count_ > 0
+                               ? round_loss_sum_ / round_loss_count_
+                               : 0.0;
+      }
+      if ((round + 1) % eval_every == 0 || round == rounds - 1) {
+        {
+          PhaseScope phase(*this, RoundPhase::kEval);
+          eval = Evaluate(GlobalParams());
+        }
+        evaluated = true;
+        RoundRecord record;
+        record.round = round + 1;
+        record.test_loss = eval.loss;
+        record.test_accuracy = eval.accuracy;
+        record.bytes_up = comm_.round_upload_bytes();
+        record.bytes_down = comm_.round_download_bytes();
+        record.mean_client_loss = TakeRoundClientLoss();
+        history_.Add(record);
+        if (verbose) {
+          FC_LOG(Info) << name_ << " round " << record.round << " acc "
+                       << record.test_accuracy << " loss " << record.test_loss;
+        }
+      }
+      if (checkpoint_every_ > 0 &&
+          ((round + 1) % checkpoint_every_ == 0 || round == rounds - 1)) {
+        PhaseScope phase(*this, RoundPhase::kCheckpoint);
+        util::Status saved = SaveCheckpoint(checkpoint_path_);
+        if (!saved.ok()) {
+          FC_LOG(Warning) << name_ << " checkpoint to " << checkpoint_path_
+                          << " failed: " << saved.ToString();
+        }
       }
     }
-    if (checkpoint_every_ > 0 &&
-        ((round + 1) % checkpoint_every_ == 0 || round == rounds - 1)) {
-      util::Status saved = SaveCheckpoint(checkpoint_path_);
-      if (!saved.ok()) {
-        FC_LOG(Warning) << name_ << " checkpoint to " << checkpoint_path_
-                        << " failed: " << saved.ToString();
-      }
+    if (observe) {
+      RecordRoundObservations(round, round_start_us, faults_before, evaluated,
+                              eval, mean_client_loss);
     }
   }
   return history_;
+}
+
+void FlAlgorithm::RecordRoundObservations(int round,
+                                          std::int64_t round_start_us,
+                                          const FaultStats& faults_before,
+                                          bool evaluated,
+                                          const EvalResult& eval,
+                                          double mean_client_loss) {
+  const double round_ms =
+      static_cast<double>(obs::TraceNowMicros() - round_start_us) / 1000.0;
+
+  if (obs::MetricsEnabled()) {
+    FlMetrics& m = Metrics();
+    m.rounds.Add(1);
+    m.round_ms.Observe(round_ms);
+    // Satellite fold: communication totals and cumulative fault stats become
+    // gauges, so one metrics snapshot carries the whole run's accounting.
+    // CommTracker itself stays the source of truth for Table I.
+    m.comm_down.Set(comm_.total_download_bytes());
+    m.comm_up.Set(comm_.total_upload_bytes());
+    m.faults_dropouts.Set(static_cast<double>(fault_stats_.dropouts));
+    m.faults_stragglers.Set(static_cast<double>(fault_stats_.stragglers));
+    m.faults_corrupted.Set(static_cast<double>(fault_stats_.corrupted));
+    m.faults_rejected.Set(static_cast<double>(fault_stats_.rejected));
+  }
+
+  if (obs::EventsEnabled()) {
+    obs::RoundEvent event;
+    event.algorithm = name_;
+    event.round = round + 1;
+    event.round_ms = round_ms;
+    event.dispatch_ms = phase_ms_[static_cast<int>(RoundPhase::kDispatch)];
+    event.train_ms = phase_ms_[static_cast<int>(RoundPhase::kTrain)];
+    event.screen_ms = phase_ms_[static_cast<int>(RoundPhase::kScreen)];
+    event.aggregate_ms = phase_ms_[static_cast<int>(RoundPhase::kAggregate)];
+    event.eval_ms = phase_ms_[static_cast<int>(RoundPhase::kEval)];
+    event.checkpoint_ms =
+        phase_ms_[static_cast<int>(RoundPhase::kCheckpoint)];
+    event.evaluated = evaluated;
+    event.test_accuracy = evaluated ? eval.accuracy : 0.0;
+    event.test_loss = evaluated ? eval.loss : 0.0;
+    event.mean_client_loss = mean_client_loss;
+    event.bytes_down = comm_.round_download_bytes();
+    event.bytes_up = comm_.round_upload_bytes();
+    event.dropouts = fault_stats_.dropouts - faults_before.dropouts;
+    event.stragglers = fault_stats_.stragglers - faults_before.stragglers;
+    event.corrupted = fault_stats_.corrupted - faults_before.corrupted;
+    event.rejected = fault_stats_.rejected - faults_before.rejected;
+    obs::EmitRoundEvent(event);
+  }
 }
 
 void FlAlgorithm::EnableAutoCheckpoint(std::string path, int every_rounds) {
@@ -117,6 +261,7 @@ std::vector<int> FlAlgorithm::SampleClients() {
 const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     int round, int salt, const std::vector<ClientJob>& jobs) {
   int count = static_cast<int>(jobs.size());
+  Metrics().client_jobs.Add(count);
   // resize keeps surviving elements' params capacity from the last round.
   results_.resize(count);
   auto train_slot = [&](int slot) {
@@ -126,14 +271,18 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     util::Rng fault_rng(FaultSeed(config_.seed, round, salt, slot));
     TrainClientJob(jobs[slot], job_rng, fault_rng, results_[slot]);
   };
-  util::ThreadPool* pool = AcquireFlPool();
-  if (pool != nullptr && count > 1) {
-    pool->ParallelFor(count, train_slot);
-  } else {
-    for (int slot = 0; slot < count; ++slot) train_slot(slot);
+  {
+    PhaseScope phase(*this, RoundPhase::kTrain);
+    util::ThreadPool* pool = AcquireFlPool();
+    if (pool != nullptr && count > 1) {
+      pool->ParallelFor(count, train_slot);
+    } else {
+      for (int slot = 0; slot < count; ++slot) train_slot(slot);
+    }
   }
   // Bookkeeping and upload screening on the calling thread, in job order,
   // so accounting is race-free and independent of the parallel schedule.
+  PhaseScope phase(*this, RoundPhase::kScreen);
   bool screen = config_.screening.Enabled();
   for (int slot = 0; slot < count; ++slot) {
     LocalTrainResult& result = results_[slot];
@@ -157,6 +306,7 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
         continue;
       }
     }
+    Metrics().uploads_accepted.Add(1);
     round_loss_sum_ += result.mean_loss;
     ++round_loss_count_;
   }
@@ -249,21 +399,31 @@ void FlAlgorithm::AverageInto(const std::vector<const FlatParams*>& models,
 void FlAlgorithm::Aggregate(const std::vector<const FlatParams*>& models,
                             const std::vector<double>& weights,
                             const FlatParams& reference, FlatParams& out) {
+  PhaseScope phase(*this, RoundPhase::kAggregate);
   switch (config_.aggregator.kind) {
     case AggregatorKind::kWeightedMean:
       WeightedAverageInto(models, weights, out);
       return;
-    case AggregatorKind::kTrimmedMean:
+    case AggregatorKind::kTrimmedMean: {
+      FC_TRACE_SPAN("agg.trimmed_mean");
+      Metrics().robust_aggregations.Add(1);
       TrimmedMeanInto(models, config_.aggregator.trim_ratio, agg_column_, out);
       return;
-    case AggregatorKind::kCoordinateMedian:
+    }
+    case AggregatorKind::kCoordinateMedian: {
+      FC_TRACE_SPAN("agg.coordinate_median");
+      Metrics().robust_aggregations.Add(1);
       CoordinateMedianInto(models, agg_column_, out);
       return;
-    case AggregatorKind::kNormClippedMean:
+    }
+    case AggregatorKind::kNormClippedMean: {
+      FC_TRACE_SPAN("agg.norm_clipped_mean");
+      Metrics().robust_aggregations.Add(1);
       NormClippedWeightedAverageInto(models, weights, reference,
                                      config_.aggregator.clip_norm,
                                      agg_scratch_, out);
       return;
+    }
   }
   FC_CHECK(false) << "unreachable";
 }
@@ -291,6 +451,9 @@ std::uint64_t FlAlgorithm::ConfigFingerprint() const {
 }
 
 util::Status FlAlgorithm::SaveCheckpoint(const std::string& path) {
+  FC_TRACE_SPAN("checkpoint.save");
+  const std::int64_t start_us =
+      obs::MetricsEnabled() ? obs::TraceNowMicros() : 0;
   StateWriter writer;
   writer.WriteU64(ConfigFingerprint());
   writer.WriteI64(completed_rounds_);
@@ -320,10 +483,18 @@ util::Status FlAlgorithm::SaveCheckpoint(const std::string& path) {
   }
 
   SaveExtraState(writer);
-  return WriteStateFile(path, writer);
+  util::Status status = WriteStateFile(path, writer);
+  if (obs::MetricsEnabled()) {
+    Metrics().checkpoint_save_ms.Observe(
+        static_cast<double>(obs::TraceNowMicros() - start_us) / 1000.0);
+  }
+  return status;
 }
 
 util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
+  FC_TRACE_SPAN("checkpoint.load");
+  const std::int64_t start_us =
+      obs::MetricsEnabled() ? obs::TraceNowMicros() : 0;
   util::StatusOr<StateReader> reader_or = ReadStateFile(path);
   if (!reader_or.ok()) return reader_or.status();
   StateReader reader = std::move(reader_or).value();
@@ -388,6 +559,10 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
   comm_.Restore(total_down, total_up);
   fault_stats_ = stats;
   history_ = std::move(restored);
+  if (obs::MetricsEnabled()) {
+    Metrics().checkpoint_load_ms.Observe(
+        static_cast<double>(obs::TraceNowMicros() - start_us) / 1000.0);
+  }
   return util::Status::Ok();
 }
 

@@ -1,6 +1,7 @@
 #ifndef FEDCROSS_FL_ALGORITHM_H_
 #define FEDCROSS_FL_ALGORITHM_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -122,6 +123,40 @@ class FlAlgorithm {
   util::Rng& rng() { return rng_; }
   const FlClient& client(int id) const { return clients_[id]; }
 
+  // The phases a round decomposes into for observability. The base class
+  // times kTrain/kScreen (TrainClients), kAggregate (Aggregate), kEval and
+  // kCheckpoint (Run); subclasses wrap their sampling / job construction in
+  // a kDispatch scope, and bespoke aggregation (FedCross's cross-aggregation)
+  // in a kAggregate scope.
+  enum class RoundPhase {
+    kDispatch = 0,
+    kTrain,
+    kScreen,
+    kAggregate,
+    kEval,
+    kCheckpoint,
+  };
+  static constexpr int kNumRoundPhases = 6;
+
+  // RAII phase timer: accumulates elapsed wall-ms into the current round's
+  // per-phase totals (exported in the round event) and, when tracing is on,
+  // records a span named after the phase. When no observability sink is
+  // active the constructor reduces to three relaxed atomic loads and the
+  // destructor to one branch — no clock reads on unobserved runs.
+  class PhaseScope {
+   public:
+    PhaseScope(FlAlgorithm& algo, RoundPhase phase);
+    ~PhaseScope();
+
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    FlAlgorithm* algo_ = nullptr;  // null: observability off, dtor no-ops
+    RoundPhase phase_ = RoundPhase::kDispatch;
+    std::int64_t start_us_ = 0;
+  };
+
   // Samples K distinct client ids uniformly (the paper's random selection),
   // plus faults.over_provision extras (capped at N) when over-provisioned
   // selection is enabled.
@@ -206,6 +241,14 @@ class FlAlgorithm {
   // options); a checkpoint only restores into a matching configuration.
   std::uint64_t ConfigFingerprint() const;
 
+  // End-of-round export: emits the structured round event (phase wall times,
+  // accuracy, comm bytes, this round's fault increments) and folds the
+  // CommTracker totals and cumulative FaultStats into the metrics registry
+  // as gauges. Called from Run() only when a sink is active.
+  void RecordRoundObservations(int round, std::int64_t round_start_us,
+                               const FaultStats& faults_before, bool evaluated,
+                               const EvalResult& eval, double mean_client_loss);
+
   std::string name_;
   AlgorithmConfig config_;
   models::ModelFactory factory_;
@@ -226,6 +269,7 @@ class FlAlgorithm {
   int checkpoint_every_ = 0;
   double round_loss_sum_ = 0.0;
   int round_loss_count_ = 0;
+  double phase_ms_[kNumRoundPhases] = {};  // current round, reset by Run()
 };
 
 }  // namespace fedcross::fl

@@ -4,6 +4,7 @@
 
 #include "data/dataloader.h"
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "optim/sgd.h"
 
 namespace fedcross::fl {
@@ -45,6 +46,7 @@ FlClient::FlClient(int id, std::shared_ptr<const data::Dataset> dataset)
 void FlClient::Train(ModelPool& pool, const FlatParams& init_params,
                      const ClientTrainSpec& spec, util::Rng& rng,
                      LocalTrainResult& result) const {
+  FC_TRACE_SPAN_ARG("client.train", id_);
   ModelPool::Lease lease = pool.Acquire();
   ModelPool::Replica& replica = *lease;
   nn::Sequential& model = replica.model;

@@ -103,21 +103,25 @@ void CluSamp::UpdateClusters() {
 }
 
 void CluSamp::RunRound(int round) {
-  UpdateClusters();
   int k = config().clients_per_round;
-
-  // One uniformly sampled client per cluster (sampled on the run rng, on
-  // the calling thread, before the parallel fan-out).
-  std::vector<std::vector<int>> members(k);
-  for (int i = 0; i < num_clients(); ++i) members[assignment_[i]].push_back(i);
-
   ClientTrainSpec spec;
   spec.options = config().train;
   std::vector<ClientJob> jobs(k);
-  for (int c = 0; c < k; ++c) {
-    FC_CHECK(!members[c].empty());
-    jobs[c] = {members[c][rng().UniformInt(members[c].size())], &global_,
-               &spec};
+  {
+    PhaseScope phase(*this, RoundPhase::kDispatch);
+    UpdateClusters();
+
+    // One uniformly sampled client per cluster (sampled on the run rng, on
+    // the calling thread, before the parallel fan-out).
+    std::vector<std::vector<int>> members(k);
+    for (int i = 0; i < num_clients(); ++i) {
+      members[assignment_[i]].push_back(i);
+    }
+    for (int c = 0; c < k; ++c) {
+      FC_CHECK(!members[c].empty());
+      jobs[c] = {members[c][rng().UniformInt(members[c].size())], &global_,
+                 &spec};
+    }
   }
   const std::vector<LocalTrainResult>& results =
       TrainClients(round, /*salt=*/0, jobs);

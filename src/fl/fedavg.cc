@@ -16,11 +16,16 @@ ClientTrainSpec FedAvg::MakeClientSpec() const {
 }
 
 void FedAvg::RunRound(int round) {
-  std::vector<int> selected = SampleClients();
+  std::vector<int> selected;
   ClientTrainSpec spec = MakeClientSpec();
-  std::vector<ClientJob> jobs(selected.size());
-  for (std::size_t i = 0; i < selected.size(); ++i) {
-    jobs[i] = {selected[i], &global_, &spec};
+  std::vector<ClientJob> jobs;
+  {
+    PhaseScope phase(*this, RoundPhase::kDispatch);
+    selected = SampleClients();
+    jobs.resize(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      jobs[i] = {selected[i], &global_, &spec};
+    }
   }
   const std::vector<LocalTrainResult>& results =
       TrainClients(round, /*salt=*/0, jobs);

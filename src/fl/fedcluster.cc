@@ -41,11 +41,16 @@ void FedCluster::RunRound(int round) {
     int take = std::min<int>(per_cluster, static_cast<int>(cluster.size()));
     if (take == 0) continue;
 
-    std::vector<int> picks = rng().SampleWithoutReplacement(
-        static_cast<int>(cluster.size()), take);
-    std::vector<ClientJob> jobs(picks.size());
-    for (std::size_t i = 0; i < picks.size(); ++i) {
-      jobs[i] = {cluster[picks[i]], &global_, &spec};
+    std::vector<int> picks;
+    std::vector<ClientJob> jobs;
+    {
+      PhaseScope phase(*this, RoundPhase::kDispatch);
+      picks = rng().SampleWithoutReplacement(static_cast<int>(cluster.size()),
+                                             take);
+      jobs.resize(picks.size());
+      for (std::size_t i = 0; i < picks.size(); ++i) {
+        jobs[i] = {cluster[picks[i]], &global_, &spec};
+      }
     }
     const std::vector<LocalTrainResult>& results =
         TrainClients(round, /*salt=*/step, jobs);

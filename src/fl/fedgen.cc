@@ -7,6 +7,7 @@
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "optim/sgd.h"
 
 namespace fedcross::fl {
@@ -126,18 +127,23 @@ void FedGen::RegenerateSyntheticSet() {
 }
 
 void FedGen::RunRound(int round) {
-  std::vector<int> selected = SampleClients();
+  std::vector<int> selected;
   std::vector<double> new_label_weights(num_classes_, 1e-3);
 
   ClientTrainSpec spec;
-  spec.options = config().train;
-  spec.augment_data = synthetic_.get();  // null in round 0
-  spec.augment_weight = options_.augment_weight;
-  spec.augment_batches_per_epoch = options_.augment_batches_per_epoch;
+  std::vector<ClientJob> jobs;
+  {
+    PhaseScope phase(*this, RoundPhase::kDispatch);
+    selected = SampleClients();
+    spec.options = config().train;
+    spec.augment_data = synthetic_.get();  // null in round 0
+    spec.augment_weight = options_.augment_weight;
+    spec.augment_batches_per_epoch = options_.augment_batches_per_epoch;
 
-  std::vector<ClientJob> jobs(selected.size());
-  for (std::size_t i = 0; i < selected.size(); ++i) {
-    jobs[i] = {selected[i], &global_, &spec};
+    jobs.resize(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      jobs[i] = {selected[i], &global_, &spec};
+    }
   }
   const std::vector<LocalTrainResult>& results =
       TrainClients(round, /*salt=*/0, jobs);
@@ -161,8 +167,14 @@ void FedGen::RunRound(int round) {
   if (local_models.empty()) return;  // every client dropped
   Aggregate(local_models, weights, global_, global_);
   label_weights_ = std::move(new_label_weights);
-  TrainGenerator();
-  RegenerateSyntheticSet();
+  {
+    FC_TRACE_SPAN("fedgen.train_generator");
+    TrainGenerator();
+  }
+  {
+    FC_TRACE_SPAN("fedgen.regenerate_synthetic");
+    RegenerateSyntheticSet();
+  }
 }
 
 void FedGen::SaveExtraState(StateWriter& writer) {

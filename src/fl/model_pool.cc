@@ -2,9 +2,25 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace fedcross::fl {
+namespace {
+
+struct PoolCheckoutMetrics {
+  obs::Counter& hits =
+      obs::MetricsRegistry::Global().GetCounter("fl.pool.checkout.hit");
+  obs::Counter& misses =
+      obs::MetricsRegistry::Global().GetCounter("fl.pool.checkout.miss");
+};
+
+PoolCheckoutMetrics& CheckoutMetrics() {
+  static PoolCheckoutMetrics* metrics = new PoolCheckoutMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 void ModelPool::Lease::Reset() {
   if (replica_ != nullptr && pool_ != nullptr) {
@@ -29,6 +45,13 @@ ModelPool::Lease ModelPool::Acquire() {
     } else {
       ++created_;
     }
+  }
+  // Checkout accounting (outside the lock): a miss is a full model build, so
+  // the hit/miss ratio is the pool's whole value proposition.
+  if (replica != nullptr) {
+    CheckoutMetrics().hits.Add(1);
+  } else {
+    CheckoutMetrics().misses.Add(1);
   }
   if (replica == nullptr) {
     // Construct outside the lock: factory() builds a full model.

@@ -13,22 +13,30 @@ Scaffold::Scaffold(AlgorithmConfig config, data::FederatedDataset data,
 }
 
 void Scaffold::RunRound(int round) {
-  std::vector<int> selected = SampleClients();
-  int count = static_cast<int>(selected.size());
+  std::vector<int> selected;
+  std::vector<FlatParams> corrections;
+  std::vector<ClientTrainSpec> specs;
+  std::vector<ClientJob> jobs;
+  int count = 0;
+  {
+    PhaseScope phase(*this, RoundPhase::kDispatch);
+    selected = SampleClients();
+    count = static_cast<int>(selected.size());
 
-  // Materialise every client's per-step correction c - c_i before the
-  // (possibly parallel) training fan-out; the buffers must stay stable for
-  // its whole duration.
-  std::vector<FlatParams> corrections(count);
-  std::vector<ClientTrainSpec> specs(count);
-  std::vector<ClientJob> jobs(count);
-  for (int i = 0; i < count; ++i) {
-    FlatParams& c_i = client_c_[selected[i]];
-    if (c_i.empty()) c_i.assign(global_.size(), 0.0f);
-    flat_ops::Subtract(server_c_, c_i, corrections[i]);
-    specs[i].options = config().train;
-    specs[i].scaffold_correction = &corrections[i];
-    jobs[i] = {selected[i], &global_, &specs[i]};
+    // Materialise every client's per-step correction c - c_i before the
+    // (possibly parallel) training fan-out; the buffers must stay stable for
+    // its whole duration.
+    corrections.resize(count);
+    specs.resize(count);
+    jobs.resize(count);
+    for (int i = 0; i < count; ++i) {
+      FlatParams& c_i = client_c_[selected[i]];
+      if (c_i.empty()) c_i.assign(global_.size(), 0.0f);
+      flat_ops::Subtract(server_c_, c_i, corrections[i]);
+      specs[i].options = config().train;
+      specs[i].scaffold_correction = &corrections[i];
+      jobs[i] = {selected[i], &global_, &specs[i]};
+    }
   }
   const std::vector<LocalTrainResult>& results =
       TrainClients(round, /*salt=*/0, jobs);

@@ -1,0 +1,75 @@
+#include "obs/events.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace fedcross::obs {
+namespace {
+
+std::mutex g_events_mutex;
+std::FILE* g_events_file = nullptr;
+std::int64_t g_events_emitted = 0;
+std::atomic<bool> g_events_enabled{false};
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+bool SetEventsPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_events_mutex);
+  if (g_events_file != nullptr) {
+    std::fclose(g_events_file);
+    g_events_file = nullptr;
+  }
+  g_events_enabled.store(false, std::memory_order_relaxed);
+  g_events_emitted = 0;
+  if (path.empty()) return true;
+  g_events_file = std::fopen(path.c_str(), "w");
+  if (g_events_file == nullptr) return false;
+  g_events_enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool EventsEnabled() {
+  return g_events_enabled.load(std::memory_order_relaxed);
+}
+
+void EmitRoundEvent(const RoundEvent& e) {
+  std::lock_guard<std::mutex> lock(g_events_mutex);
+  if (g_events_file == nullptr) return;
+  std::string algo;
+  AppendEscaped(algo, e.algorithm);
+  std::fprintf(
+      g_events_file,
+      "{\"algo\":\"%s\",\"round\":%d"
+      ",\"round_ms\":%.3f,\"dispatch_ms\":%.3f,\"train_ms\":%.3f"
+      ",\"screen_ms\":%.3f,\"aggregate_ms\":%.3f,\"eval_ms\":%.3f"
+      ",\"checkpoint_ms\":%.3f,\"evaluated\":%s"
+      ",\"test_accuracy\":%.9g,\"test_loss\":%.9g,\"mean_client_loss\":%.9g"
+      ",\"bytes_down\":%.0f,\"bytes_up\":%.0f"
+      ",\"dropouts\":%lld,\"stragglers\":%lld,\"corrupted\":%lld"
+      ",\"rejected\":%lld}\n",
+      algo.c_str(), e.round, e.round_ms, e.dispatch_ms, e.train_ms,
+      e.screen_ms, e.aggregate_ms, e.eval_ms, e.checkpoint_ms,
+      e.evaluated ? "true" : "false", e.test_accuracy, e.test_loss,
+      e.mean_client_loss, e.bytes_down, e.bytes_up,
+      static_cast<long long>(e.dropouts),
+      static_cast<long long>(e.stragglers),
+      static_cast<long long>(e.corrupted),
+      static_cast<long long>(e.rejected));
+  std::fflush(g_events_file);
+  ++g_events_emitted;
+}
+
+std::int64_t EventsEmitted() {
+  std::lock_guard<std::mutex> lock(g_events_mutex);
+  return g_events_emitted;
+}
+
+}  // namespace fedcross::obs

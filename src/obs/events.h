@@ -1,0 +1,65 @@
+#ifndef FEDCROSS_OBS_EVENTS_H_
+#define FEDCROSS_OBS_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+
+// Structured round-event export: one flat JSON record per completed FL
+// round, streamed to a JSONL file. The record unifies what previously lived
+// in three unrelated structs — phase wall times (this file's producer,
+// FlAlgorithm::Run), CommTracker byte counts, and FaultStats tallies — so a
+// single `--events_out` file reconstructs the whole round timeline.
+// scripts/events_to_csv.sh renders it as the per-round phase-time table in
+// EXPERIMENTS.md.
+
+namespace fedcross::obs {
+
+// Everything known about one completed round. Times are wall milliseconds
+// on the monotonic clock; fault counts are this round's increments, not the
+// run totals. `evaluated` marks rounds where the global model was scored
+// (Run's eval_every cadence); accuracy/loss are only meaningful then.
+struct RoundEvent {
+  std::string algorithm;
+  int round = 0;  // 1-based, matching MetricsHistory records
+
+  double round_ms = 0.0;
+  double dispatch_ms = 0.0;   // sampling + job building (subclass scope)
+  double train_ms = 0.0;      // parallel local-training fan-out
+  double screen_ms = 0.0;     // upload accounting + server-side screening
+  double aggregate_ms = 0.0;  // server aggregation (incl. robust rules)
+  double eval_ms = 0.0;       // test-set evaluation, when scheduled
+  double checkpoint_ms = 0.0; // autosave, when scheduled
+
+  bool evaluated = false;
+  double test_accuracy = 0.0;
+  double test_loss = 0.0;
+  double mean_client_loss = 0.0;
+
+  double bytes_down = 0.0;  // this round's dispatched bytes
+  double bytes_up = 0.0;    // this round's uploaded bytes
+
+  std::int64_t dropouts = 0;
+  std::int64_t stragglers = 0;
+  std::int64_t corrupted = 0;
+  std::int64_t rejected = 0;
+};
+
+// Opens (truncating) the JSONL sink at `path`; an empty path flushes and
+// closes the current sink. Returns false when the file cannot be opened
+// (the sink is then disabled).
+bool SetEventsPath(const std::string& path);
+
+// True while a sink is open. One relaxed atomic load.
+bool EventsEnabled();
+
+// Appends one record as a single JSON line (mutex-serialised, flushed per
+// line so a crash loses at most the in-progress record). No-op when no sink
+// is open.
+void EmitRoundEvent(const RoundEvent& event);
+
+// Records emitted since the sink was last opened.
+std::int64_t EventsEmitted();
+
+}  // namespace fedcross::obs
+
+#endif  // FEDCROSS_OBS_EVENTS_H_

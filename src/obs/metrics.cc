@@ -1,0 +1,236 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fedcross::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+[[noreturn]] void Die(const char* what, const std::string& name) {
+  std::fprintf(stderr, "obs::MetricsRegistry: %s: %s\n", what, name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+int ThreadShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local int shard = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards);
+  return shard;
+}
+
+std::int64_t Counter::Value() const {
+  std::int64_t total = 0;
+  for (const internal::CountShard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::CountShard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultMsBuckets();
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    Die("histogram bounds must be ascending", name_);
+  }
+  counts_ = std::vector<internal::CountShard>((bounds_.size() + 1) *
+                                              kMetricShards);
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  // First bucket whose upper edge admits the value; the extra slot past the
+  // last edge is the overflow bucket.
+  std::size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  int shard = ThreadShardIndex();
+  counts_[bucket * kMetricShards + shard].value.fetch_add(
+      1, std::memory_order_relaxed);
+  sums_[shard].value.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::TotalCount() const {
+  std::int64_t total = 0;
+  for (const internal::CountShard& shard : counts_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  // Fixed shard order: the float merge is reproducible run-over-run.
+  double total = 0.0;
+  for (const internal::SumShard& shard : sums_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::int64_t> Histogram::BucketCounts() const {
+  std::vector<std::int64_t> merged(bounds_.size() + 1, 0);
+  for (std::size_t bucket = 0; bucket < merged.size(); ++bucket) {
+    for (int shard = 0; shard < kMetricShards; ++shard) {
+      merged[bucket] += counts_[bucket * kMetricShards + shard].value.load(
+          std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+void Histogram::Reset() {
+  for (internal::CountShard& shard : counts_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+  for (internal::SumShard& shard : sums_) {
+    shard.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& DefaultMsBuckets() {
+  static const std::vector<double> buckets = {
+      0.1, 0.25, 0.5, 1.0,    2.5,    5.0,    10.0,   25.0,
+      50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return buckets;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[name];
+  if (entry.gauge != nullptr || entry.histogram != nullptr) {
+    Die("metric already registered with a different kind", name);
+  }
+  if (entry.counter == nullptr) entry.counter.reset(new Counter(name));
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[name];
+  if (entry.counter != nullptr || entry.histogram != nullptr) {
+    Die("metric already registered with a different kind", name);
+  }
+  if (entry.gauge == nullptr) entry.gauge.reset(new Gauge(name));
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[name];
+  if (entry.counter != nullptr || entry.gauge != nullptr) {
+    Die("metric already registered with a different kind", name);
+  }
+  if (entry.histogram == nullptr) {
+    entry.histogram.reset(new Histogram(name, std::move(bounds)));
+  }
+  return *entry.histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> snapshots;
+  snapshots.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {  // map order == sorted names
+    MetricSnapshot snapshot;
+    snapshot.name = name;
+    if (entry.counter != nullptr) {
+      snapshot.kind = MetricSnapshot::Kind::kCounter;
+      snapshot.count = entry.counter->Value();
+    } else if (entry.gauge != nullptr) {
+      snapshot.kind = MetricSnapshot::Kind::kGauge;
+      snapshot.value = entry.gauge->Value();
+    } else if (entry.histogram != nullptr) {
+      snapshot.kind = MetricSnapshot::Kind::kHistogram;
+      snapshot.count = entry.histogram->TotalCount();
+      snapshot.value = entry.histogram->Sum();
+      snapshot.bounds = entry.histogram->bounds();
+      snapshot.bucket_counts = entry.histogram->BucketCounts();
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  std::vector<MetricSnapshot> snapshots = Snapshot();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fputs("{\"metrics\":[", file);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const MetricSnapshot& m = snapshots[i];
+    if (i > 0) std::fputc(',', file);
+    std::fputs("\n", file);
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        std::fprintf(file, "{\"name\":\"%s\",\"kind\":\"counter\",\"value\":%lld}",
+                     m.name.c_str(), static_cast<long long>(m.count));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        std::fprintf(file, "{\"name\":\"%s\",\"kind\":\"gauge\",\"value\":%.10g}",
+                     m.name.c_str(), m.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        std::fprintf(
+            file,
+            "{\"name\":\"%s\",\"kind\":\"histogram\",\"count\":%lld,"
+            "\"sum\":%.10g,\"buckets\":[",
+            m.name.c_str(), static_cast<long long>(m.count), m.value);
+        for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+          if (b > 0) std::fputc(',', file);
+          if (b < m.bounds.size()) {
+            std::fprintf(file, "{\"le\":%.10g,\"count\":%lld}", m.bounds[b],
+                         static_cast<long long>(m.bucket_counts[b]));
+          } else {
+            std::fprintf(file, "{\"le\":\"inf\",\"count\":%lld}",
+                         static_cast<long long>(m.bucket_counts[b]));
+          }
+        }
+        std::fputs("]}", file);
+        break;
+      }
+    }
+  }
+  std::fputs("\n]}\n", file);
+  bool ok = std::fflush(file) == 0;
+  return std::fclose(file) == 0 && ok;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : metrics_) {
+    if (entry.counter != nullptr) entry.counter->Reset();
+    if (entry.gauge != nullptr) entry.gauge->Reset();
+    if (entry.histogram != nullptr) entry.histogram->Reset();
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+}  // namespace fedcross::obs

@@ -1,0 +1,181 @@
+#ifndef FEDCROSS_OBS_METRICS_H_
+#define FEDCROSS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms, sharded per thread so the hot path is one relaxed atomic add
+// with no lock and no allocation. Snapshots merge the shards in a fixed
+// order and list metrics in stable (sorted-name) order, so deterministic
+// quantities — event counts, byte totals, fault tallies — are identical for
+// every thread count and schedule.
+//
+// The whole subsystem is runtime-toggleable: with metrics disabled (the
+// default) every mutator is a no-op behind a single relaxed atomic load, so
+// instrumented code never perturbs an un-observed run. This library depends
+// on nothing else in the repository; util and fl layer on top of it.
+
+namespace fedcross::obs {
+
+// Number of per-thread shards per metric. Threads hash onto shards by a
+// process-wide sequential thread index, so contention is rare at the pool
+// sizes this simulator uses; collisions only cost an extra cache bounce,
+// never correctness.
+inline constexpr int kMetricShards = 16;
+
+// Master switch. Disabled metrics perform zero registry mutations.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+// Stable per-thread shard index in [0, kMetricShards).
+int ThreadShardIndex();
+
+namespace internal {
+
+// One cache line per shard so concurrent writers never false-share.
+struct alignas(64) CountShard {
+  std::atomic<std::int64_t> value{0};
+};
+
+struct alignas(64) SumShard {
+  std::atomic<double> value{0.0};
+};
+
+}  // namespace internal
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Add(std::int64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    shards_[ThreadShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  // Merged value (sum over shards; integer, so order-independent).
+  std::int64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Reset();
+
+  std::string name_;
+  std::array<internal::CountShard, kMetricShards> shards_;
+};
+
+// Last-write-wins instantaneous value (set from one thread at a time, e.g.
+// at round end on the driver thread).
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!MetricsEnabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i], plus
+// one overflow bucket. Bucket counts are integers and merge order-free;
+// the sum is a double merged in fixed shard order.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  std::int64_t TotalCount() const;
+  double Sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Merged per-bucket counts, size bounds().size() + 1 (last = overflow).
+  std::vector<std::int64_t> BucketCounts() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  void Reset();
+
+  std::string name_;
+  std::vector<double> bounds_;  // ascending upper edges
+  // Bucket-major: counts_[bucket * kMetricShards + shard].
+  std::vector<internal::CountShard> counts_;
+  std::array<internal::SumShard, kMetricShards> sums_;
+};
+
+// Default duration buckets (milliseconds), 100us .. 10s.
+const std::vector<double>& DefaultMsBuckets();
+
+// One metric's merged state, as produced by MetricsRegistry::Snapshot.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t count = 0;  // counter value / histogram total count
+  double value = 0.0;      // gauge value / histogram sum
+  std::vector<double> bounds;              // histograms only
+  std::vector<std::int64_t> bucket_counts; // histograms only (size bounds+1)
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every instrumentation site uses.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration is idempotent: the first call creates the metric, later
+  // calls return the same object (stable address for the process lifetime,
+  // surviving Reset). Registering one name as two different kinds aborts.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  // Deterministic snapshot: metrics sorted by name, shards merged in fixed
+  // order. Thread-count-invariant for deterministic quantities.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  // Writes the snapshot as {"metrics":[...]} JSON. False on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  // Zeroes every metric's value; registrations (and handles) survive.
+  void Reset();
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> metrics_;  // sorted => stable snapshot order
+};
+
+}  // namespace fedcross::obs
+
+#endif  // FEDCROSS_OBS_METRICS_H_

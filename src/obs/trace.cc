@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace fedcross::obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+// Minimal escaping for span names (instrumentation passes literals, but a
+// stray quote must not corrupt the JSON).
+void WriteEscaped(std::FILE* file, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') std::fputc('\\', file);
+    std::fputc(*s, file);
+  }
+}
+
+}  // namespace
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+std::int64_t TraceNowMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadRing* TraceRecorder::RingForThisThread() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    auto owned = std::make_unique<ThreadRing>();
+    owned->slots.resize(kRingCapacity);
+    ring = owned.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    owned->tid = static_cast<std::uint32_t>(rings_.size());
+    rings_.push_back(std::move(owned));
+  }
+  return ring;
+}
+
+void TraceRecorder::RecordComplete(const char* name, std::int64_t ts_us,
+                                   std::int64_t dur_us, std::int64_t arg,
+                                   bool has_arg) {
+  ThreadRing* ring = RingForThisThread();
+  std::uint64_t n = ring->count.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring->slots[n % kRingCapacity];
+  slot.name = name;
+  slot.ts_us = ts_us;
+  slot.dur_us = dur_us;
+  slot.arg = arg;
+  slot.has_arg = has_arg;
+  // Release: an exporter that acquires `count` sees the completed slot.
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+bool TraceRecorder::WriteJson(const std::string& path) const {
+  // Gather (event, tid) pairs under the lock, then sort by timestamp so the
+  // file replays in wall order regardless of which ring held the span.
+  struct Row {
+    TraceEvent event;
+    std::uint32_t tid;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::unique_ptr<ThreadRing>& ring : rings_) {
+      std::uint64_t n = ring->count.load(std::memory_order_acquire);
+      std::uint64_t keep = std::min<std::uint64_t>(n, kRingCapacity);
+      for (std::uint64_t i = n - keep; i < n; ++i) {
+        rows.push_back({ring->slots[i % kRingCapacity], ring->tid});
+      }
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.event.ts_us < b.event.ts_us;
+  });
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", file);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    if (i > 0) std::fputc(',', file);
+    std::fputs("\n{\"name\":\"", file);
+    WriteEscaped(file, row.event.name);
+    std::fprintf(file, "\",\"cat\":\"fedcross\",\"ph\":\"X\",\"ts\":%lld,"
+                       "\"dur\":%lld,\"pid\":0,\"tid\":%u",
+                 static_cast<long long>(row.event.ts_us),
+                 static_cast<long long>(row.event.dur_us), row.tid);
+    if (row.event.has_arg) {
+      std::fprintf(file, ",\"args\":{\"v\":%lld}",
+                   static_cast<long long>(row.event.arg));
+    }
+    std::fputc('}', file);
+  }
+  std::fputs("\n]}\n", file);
+  bool ok = std::fflush(file) == 0;
+  return std::fclose(file) == 0 && ok;
+}
+
+std::size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const std::unique_ptr<ThreadRing>& ring : rings_) {
+    total += static_cast<std::size_t>(std::min<std::uint64_t>(
+        ring->count.load(std::memory_order_acquire), kRingCapacity));
+  }
+  return total;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<ThreadRing>& ring : rings_) {
+    ring->count.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace fedcross::obs

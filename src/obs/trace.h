@@ -1,0 +1,129 @@
+#ifndef FEDCROSS_OBS_TRACE_H_
+#define FEDCROSS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Scoped tracing over a monotonic clock. Spans are recorded into per-thread
+// ring buffers — a fixed-size slot write plus one release store, no lock and
+// no allocation on the measured path — and exported as Chrome trace-event
+// JSON (loadable in Perfetto / chrome://tracing).
+//
+// Determinism contract: recording reads the clock and writes the ring; it
+// never draws randomness, allocates, or synchronises with other recording
+// threads, so enabling tracing cannot change training results. Export is
+// meant for quiescent moments (end of run / between rounds); spans still in
+// flight on other threads are simply not included.
+
+namespace fedcross::obs {
+
+// Master switch. Disabled spans compile to one relaxed atomic load.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+// Microseconds on the monotonic clock, measured from a process-wide epoch
+// captured at first use. Shared by tracing and the round-phase timers.
+std::int64_t TraceNowMicros();
+
+// One completed span. `name` must be a string with static storage duration
+// (instrumentation sites pass literals) — the ring stores the pointer.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::int64_t arg = 0;
+  bool has_arg = false;
+};
+
+class TraceRecorder {
+ public:
+  // Ring capacity per thread; the newest spans win when a thread overflows.
+  static constexpr std::size_t kRingCapacity = 8192;
+
+  static TraceRecorder& Global();
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Records one completed span on the calling thread's ring buffer.
+  void RecordComplete(const char* name, std::int64_t ts_us,
+                      std::int64_t dur_us, std::int64_t arg = 0,
+                      bool has_arg = false);
+
+  // Writes every retained span, sorted by timestamp, in Chrome trace-event
+  // format: {"displayTimeUnit":"ms","traceEvents":[...]}. False on I/O
+  // failure.
+  bool WriteJson(const std::string& path) const;
+
+  // Spans currently retained across all rings (capped at kRingCapacity per
+  // thread).
+  std::size_t EventCount() const;
+
+  // Drops all retained spans; thread rings stay registered.
+  void Clear();
+
+ private:
+  struct ThreadRing {
+    std::vector<TraceEvent> slots;       // kRingCapacity, allocated once
+    std::atomic<std::uint64_t> count{0}; // total pushed; owner-thread writes
+    std::uint32_t tid = 0;               // sequential registration id
+  };
+
+  ThreadRing* RingForThisThread();
+
+  mutable std::mutex mutex_;  // guards ring registration and export
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+};
+
+// RAII span: captures the clock on construction, records on destruction.
+// A default-constructed (or disabled-at-construction) span records nothing.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  explicit ScopedSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_us_ = TraceNowMicros();
+    }
+  }
+  ScopedSpan(const char* name, std::int64_t arg) : ScopedSpan(name) {
+    arg_ = arg;
+    has_arg_ = true;
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().RecordComplete(
+          name_, start_us_, TraceNowMicros() - start_us_, arg_, has_arg_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null: span disabled, destructor is a no-op
+  std::int64_t start_us_ = 0;
+  std::int64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+}  // namespace fedcross::obs
+
+#define FC_TRACE_CONCAT_IMPL(a, b) a##b
+#define FC_TRACE_CONCAT(a, b) FC_TRACE_CONCAT_IMPL(a, b)
+
+// Traces the enclosing scope under `name` (a string literal).
+#define FC_TRACE_SPAN(name) \
+  ::fedcross::obs::ScopedSpan FC_TRACE_CONCAT(fc_trace_span_, __COUNTER__)(name)
+
+// Same, attaching one integer argument (shown as args.v in the viewer).
+#define FC_TRACE_SPAN_ARG(name, arg)                                    \
+  ::fedcross::obs::ScopedSpan FC_TRACE_CONCAT(fc_trace_span_,           \
+                                              __COUNTER__)(name, (arg))
+
+#endif  // FEDCROSS_OBS_TRACE_H_

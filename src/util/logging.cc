@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,19 +31,74 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "d") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "i") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "w") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "e") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
+  // The prefix is streamed into the same buffer as the message so the final
+  // write is one contiguous fwrite; an early level check here would save the
+  // formatting cost but FC_LOG sites below the threshold are rare and cheap.
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%02d%02d %02d:%02d:%02d.%03d",
+                tm_utc.tm_mon + 1, tm_utc.tm_mday, tm_utc.tm_hour,
+                tm_utc.tm_min, tm_utc.tm_sec, millis);
   const char* base = std::strrchr(file, '/');
-  stream_ << "[" << LevelTag(level) << " " << (base ? base + 1 : file) << ":"
-          << line << "] ";
+  stream_ << "[" << LevelTag(level) << stamp << " "
+          << (base ? base + 1 : file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ < GetLogLevel()) return;
+  stream_ << '\n';
   std::string line = stream_.str();
-  std::fprintf(stderr, "%s\n", line.c_str());
+  // Single fwrite: POSIX stdio streams lock per call, so whole lines from
+  // concurrent threads cannot interleave (unlike the old printf of a
+  // separately-appended "\n").
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

@@ -12,10 +12,20 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// "debug" / "info" / "warning" / "error" (case-insensitive; single-letter
+// abbreviations d/i/w/e also accepted, matching the line tags). Returns
+// false — leaving *out untouched — on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+// Lowercase canonical name, inverse of ParseLogLevel.
+const char* LogLevelName(LogLevel level);
+
 namespace internal {
 
-// One log line; flushed to stderr (with timestamp and level tag) on
-// destruction if `level` passes the global threshold.
+// One log line. The destructor assembles the complete line — wall-clock
+// timestamp, level tag, file:line, message, trailing newline — into a single
+// buffer and hands it to stderr with one fwrite, so concurrent FC_LOG calls
+// from pool workers never interleave mid-line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -1,0 +1,39 @@
+#ifndef FEDCROSS_UTIL_OBS_INIT_H_
+#define FEDCROSS_UTIL_OBS_INIT_H_
+
+#include <string>
+
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace fedcross::util {
+
+// Default output paths a binary wants when the user passes no explicit
+// flags. Empty string = that subsystem stays off.
+struct ObsOptions {
+  std::string metrics_out;
+  std::string trace_out;
+  std::string events_out;
+};
+
+// Wires the shared observability flags into the obs library:
+//
+//   --metrics_out=PATH   enable the metrics registry; write a JSON snapshot
+//                        of all counters/gauges/histograms on Flush
+//   --trace_out=PATH     enable scoped tracing; write Chrome trace-event
+//                        JSON (chrome://tracing / Perfetto) on Flush
+//   --events_out=PATH    stream one JSONL record per FL round as it ends
+//   --log_level=LEVEL    debug|info|warning|error (default info)
+//
+// Flag values override `defaults`; "-" or "none" turns a default off.
+// Returns InvalidArgument on an unparseable --log_level or an events path
+// that cannot be opened. Call once near the top of main().
+Status InitObservability(FlagParser& flags, const ObsOptions& defaults = {});
+
+// Writes the metrics snapshot and trace file configured at Init time and
+// closes the events sink. Idempotent; call once before exit.
+Status FlushObservability();
+
+}  // namespace fedcross::util
+
+#endif  // FEDCROSS_UTIL_OBS_INIT_H_

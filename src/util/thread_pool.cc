@@ -5,9 +5,30 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fedcross::util {
+namespace {
+
+// Handles are resolved once; registration survives MetricsRegistry::Reset so
+// the addresses stay valid for the process lifetime.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::MetricsRegistry::Global().GetCounter(
+      "util.pool.tasks");
+  obs::Gauge& queue_depth = obs::MetricsRegistry::Global().GetGauge(
+      "util.pool.queue_depth");
+  obs::Histogram& task_ms = obs::MetricsRegistry::Global().GetHistogram(
+      "util.pool.task_ms");
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -32,12 +53,19 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> task) {
   FC_CHECK(task != nullptr);
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     FC_CHECK(!shutting_down_) << "Schedule after shutdown";
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   work_available_.notify_one();
+  if (obs::MetricsEnabled()) {
+    PoolMetrics& metrics = GetPoolMetrics();
+    metrics.tasks.Add(1);
+    metrics.queue_depth.Set(static_cast<double>(depth));
+  }
 }
 
 void ThreadPool::Wait() {
@@ -92,7 +120,18 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    if (obs::MetricsEnabled()) {
+      std::int64_t start_us = obs::TraceNowMicros();
+      {
+        FC_TRACE_SPAN("pool.task");
+        task();
+      }
+      GetPoolMetrics().task_ms.Observe(
+          static_cast<double>(obs::TraceNowMicros() - start_us) / 1000.0);
+    } else {
+      FC_TRACE_SPAN("pool.task");
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
