@@ -167,6 +167,7 @@ util::StatusOr<RunResult> RunMethod(const RunSpec& spec) {
   config.train.lr = spec.lr;
   config.train.momentum = spec.momentum;
   config.seed = spec.seed;
+  config.codec = spec.codec;
 
   std::unique_ptr<fl::FlAlgorithm> algorithm;
   if (spec.method == "fedavg") {
@@ -200,7 +201,13 @@ util::StatusOr<RunResult> RunMethod(const RunSpec& spec) {
   if (!result.history.records().empty()) {
     result.round_bytes_up = result.history.records().back().bytes_up;
     result.round_bytes_down = result.history.records().back().bytes_down;
+    result.final_accuracy = result.history.records().back().test_accuracy;
   }
+  result.total_wire_bytes_up = algorithm->comm().total_wire_upload_bytes();
+  result.total_wire_bytes_down =
+      algorithm->comm().total_wire_download_bytes();
+  result.total_raw_bytes_up = algorithm->comm().total_upload_bytes();
+  result.total_raw_bytes_down = algorithm->comm().total_download_bytes();
   return result;
 }
 

@@ -57,6 +57,8 @@ struct RunSpec {
   core::FedCrossOptions fedcross;
   // FedProx mu.
   float prox_mu = 0.01f;
+  // Wire codec for the run's comm path (comm/wire.h).
+  comm::CodecOptions codec;
 };
 
 // Builds the federated dataset for a spec.
@@ -70,8 +72,15 @@ util::StatusOr<models::ModelFactory> BuildModel(const DataSpec& data,
 // On error (unknown method/arch/dataset) returns the status.
 struct RunResult {
   fl::MetricsHistory history;
-  double round_bytes_up = 0.0;
+  double round_bytes_up = 0.0;    // last round, raw payload bytes
   double round_bytes_down = 0.0;
+  // Measured wire-frame bytes of the whole run (CommTracker totals) — the
+  // quantity the codec compresses.
+  std::uint64_t total_wire_bytes_up = 0;
+  std::uint64_t total_wire_bytes_down = 0;
+  std::uint64_t total_raw_bytes_up = 0;
+  std::uint64_t total_raw_bytes_down = 0;
+  double final_accuracy = 0.0;
   std::int64_t model_size = 0;
 };
 util::StatusOr<RunResult> RunMethod(const RunSpec& spec);

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/wire.h"
 #include "core/fedcross.h"
 #include "fl/evaluator.h"
 #include "fl/fedavg.h"
@@ -266,6 +267,77 @@ void BM_Evaluate(benchmark::State& state) {
   fl::SetFlThreads(1);
 }
 BENCHMARK(BM_Evaluate)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// --- Wire codec (comm/wire.h) ----------------------------------------------
+// Encode/decode cost per upload at a realistic model size, per scheme (the
+// benchmark arg indexes kCodecSchemes). Bytes processed = the raw payload,
+// so the reported GB/s is payload throughput, not frame throughput.
+
+constexpr comm::Scheme kCodecSchemes[] = {
+    comm::Scheme::kIdentity, comm::Scheme::kDelta, comm::Scheme::kInt8,
+    comm::Scheme::kTopK, comm::Scheme::kInt8TopK};
+
+struct CodecFixture {
+  comm::ShapeTable shapes;
+  std::vector<float> reference;
+  std::vector<float> trained;
+
+  CodecFixture() {
+    nn::Sequential model = ZooModel(2);
+    for (const nn::Param* param : model.Params()) {
+      shapes.push_back(static_cast<std::uint32_t>(param->value.numel()));
+    }
+    reference = model.ParamsToFlat();
+    trained = reference;
+    util::Rng rng(5);
+    // A plausible local update: small perturbation of every coordinate.
+    for (float& v : trained) {
+      v += 0.01f * static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+  }
+};
+
+void BM_Encode(benchmark::State& state) {
+  CodecFixture fx;
+  comm::CodecOptions options;
+  options.scheme = kCodecSchemes[state.range(0)];
+  std::vector<float> residual;
+  std::vector<std::uint8_t> frame;
+  util::Rng rng(6);
+  for (auto _ : state) {
+    comm::EncodeUpload(options, fx.trained, fx.reference, fx.shapes, residual,
+                       rng, frame);
+    benchmark::DoNotOptimize(frame.data());
+  }
+  state.SetLabel(comm::SchemeName(options.scheme));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.trained.size()) *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_Encode)->DenseRange(0, 4);
+
+void BM_Decode(benchmark::State& state) {
+  CodecFixture fx;
+  comm::CodecOptions options;
+  options.scheme = kCodecSchemes[state.range(0)];
+  std::vector<float> residual;
+  std::vector<std::uint8_t> frame;
+  util::Rng rng(6);
+  comm::EncodeUpload(options, fx.trained, fx.reference, fx.shapes, residual,
+                     rng, frame);
+  std::vector<float> decoded;
+  for (auto _ : state) {
+    util::Status status =
+        comm::DecodeUpload(frame, fx.reference, fx.shapes, decoded);
+    benchmark::DoNotOptimize(status.ok());
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetLabel(comm::SchemeName(options.scheme));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.trained.size()) *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_Decode)->DenseRange(0, 4);
 
 void BM_LossForwardBackward(benchmark::State& state) {
   util::Rng rng(4);

@@ -5,6 +5,7 @@
 //   ./quickstart [--algo fedcross|fedavg] [--rounds 40] [--clients 20]
 //                [--k 4] [--beta 0.5] [--alpha 0.9]
 //                [--strategy lowest-similarity]
+//                [--codec identity|delta|int8|topk|int8_topk] [--topk 0.1]
 //                [--fl_threads 0]   (0 = all cores, 1 = sequential)
 //                [--trace_out t.json] [--metrics_out m.json]
 //                [--events_out e.jsonl] [--log_level info]
@@ -17,6 +18,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "comm/wire.h"
 #include "core/fedcross.h"
 #include "data/partition.h"
 #include "data/synthetic_image.h"
@@ -40,6 +42,8 @@ int Run(int argc, char** argv) {
   double alpha = flags.GetDouble("alpha", 0.9);
   std::string strategy_name =
       flags.GetString("strategy", "lowest-similarity");
+  std::string codec_name = flags.GetString("codec", "identity");
+  double topk = flags.GetDouble("topk", 0.1);
   util::Status obs_status = util::InitObservability(flags);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -82,6 +86,13 @@ int Run(int argc, char** argv) {
   config.train.batch_size = 20;
   config.train.lr = 0.03f;
   config.train.momentum = 0.5f;
+  util::StatusOr<comm::Scheme> scheme = comm::ParseScheme(codec_name);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+    return 1;
+  }
+  config.codec.scheme = scheme.value();
+  config.codec.topk_fraction = topk;
 
   std::unique_ptr<fl::FlAlgorithm> server;
   if (algo == "fedavg") {
@@ -104,9 +115,11 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%s quickstart: %d clients, K=%d, beta=%s, alpha=%.2f\n",
+  std::printf("%s quickstart: %d clients, K=%d, beta=%s, alpha=%.2f"
+              ", codec=%s\n",
               server->name().c_str(), num_clients, k,
-              beta > 0 ? "non-IID" : "IID", alpha);
+              beta > 0 ? "non-IID" : "IID", alpha,
+              comm::SchemeName(config.codec.scheme));
   std::printf("model: %s\n", factory().Summary().c_str());
 
   // Run() drives the rounds, evaluates every 5th, and feeds every enabled

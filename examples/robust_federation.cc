@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "comm/wire.h"
 #include "core/fedcross.h"
 #include "data/partition.h"
 #include "data/synthetic_image.h"
@@ -109,6 +110,11 @@ std::vector<Condition> MakeConditions() {
   return conditions;
 }
 
+// Wire codec applied to every cell of the sweep (set once from --codec):
+// fault corruption and screening interact with the codec path, so the whole
+// table can be re-measured under a compressed uplink.
+fedcross::comm::CodecOptions g_codec;
+
 fl::AlgorithmConfig MakeConfig(int k, const Condition& condition) {
   fl::AlgorithmConfig config;
   config.clients_per_round = k;
@@ -119,6 +125,7 @@ fl::AlgorithmConfig MakeConfig(int k, const Condition& condition) {
   config.faults = condition.faults;
   config.screening = condition.screening;
   config.aggregator = condition.aggregator;
+  config.codec = g_codec;
   return config;
 }
 
@@ -196,6 +203,8 @@ int Run(int argc, char** argv) {
   int rounds = flags.GetInt("rounds", 40);
   int num_clients = flags.GetInt("clients", 20);
   int k = flags.GetInt("k", 4);
+  std::string codec_name = flags.GetString("codec", "identity");
+  double topk = flags.GetDouble("topk", 0.1);
   util::ObsOptions obs_defaults;
   obs_defaults.events_out = "events.jsonl";
   obs_defaults.trace_out = "trace.json";
@@ -208,6 +217,13 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", obs_status.ToString().c_str());
     return 1;
   }
+  util::StatusOr<comm::Scheme> scheme = comm::ParseScheme(codec_name);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+    return 1;
+  }
+  g_codec.scheme = scheme.value();
+  g_codec.topk_fraction = topk;
 
   models::CnnConfig cnn;
   cnn.height = cnn.width = 8;

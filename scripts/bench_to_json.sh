@@ -11,6 +11,9 @@
 #   BENCH_obs.json     BM_FedRoundObs/{1,2,4} (metrics + tracing + round
 #                      events all enabled; delta vs BENCH_round is the
 #                      observability overhead, budgeted at <= 5%)
+#   BENCH_comm.json    BM_Encode/BM_Decode per wire-codec scheme (identity,
+#                      delta, int8, topk, int8_topk); bytes_per_second is
+#                      raw payload throughput through the codec
 #
 # Usage: scripts/bench_to_json.sh [build_dir] [output_dir]
 # Defaults: build_dir=build, output_dir=. — run from the repo root.
@@ -47,3 +50,4 @@ run_filter '^BM_FedRound/' "${out_dir}/BENCH_round.json"
 run_filter '^BM_Evaluate/' "${out_dir}/BENCH_eval.json"
 run_filter '^BM_FedRoundRobust/' "${out_dir}/BENCH_robust.json"
 run_filter '^BM_FedRoundObs/' "${out_dir}/BENCH_obs.json"
+run_filter '^BM_(Encode|Decode)/' "${out_dir}/BENCH_comm.json"

@@ -37,6 +37,8 @@ struct FlMetrics {
   obs::Counter& robust_aggregations = reg.GetCounter("fl.agg.robust");
   obs::Gauge& comm_down = reg.GetGauge("fl.comm.total_down_bytes");
   obs::Gauge& comm_up = reg.GetGauge("fl.comm.total_up_bytes");
+  obs::Gauge& comm_wire_down = reg.GetGauge("fl.comm.total_wire_down_bytes");
+  obs::Gauge& comm_wire_up = reg.GetGauge("fl.comm.total_wire_up_bytes");
   obs::Gauge& faults_dropouts = reg.GetGauge("fl.faults.dropouts");
   obs::Gauge& faults_stragglers = reg.GetGauge("fl.faults.stragglers");
   obs::Gauge& faults_corrupted = reg.GetGauge("fl.faults.corrupted");
@@ -67,6 +69,17 @@ std::uint64_t MixSeed(std::uint64_t x) {
 std::uint64_t ClientJobSeed(std::uint64_t seed, int round, int salt,
                             int slot) {
   std::uint64_t h = MixSeed(seed ^ 0x636c69656e74ULL);  // "client"
+  h = MixSeed(h + static_cast<std::uint64_t>(round));
+  h = MixSeed(h + static_cast<std::uint64_t>(salt));
+  return MixSeed(h + static_cast<std::uint64_t>(slot));
+}
+
+// Seed for the codec's stochastic-rounding stream. Independent of both the
+// training and the fault streams, so switching codecs never perturbs a
+// client's training trajectory, and the identity codec (which draws
+// nothing) is bit-identical to pre-codec runs.
+std::uint64_t CodecSeed(std::uint64_t seed, int round, int salt, int slot) {
+  std::uint64_t h = MixSeed(seed ^ 0x636f646563ULL);  // "codec"
   h = MixSeed(h + static_cast<std::uint64_t>(round));
   h = MixSeed(h + static_cast<std::uint64_t>(salt));
   return MixSeed(h + static_cast<std::uint64_t>(slot));
@@ -121,6 +134,13 @@ FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
   ModelPool::Lease probe = pool_.Acquire();
   model_size_ = probe->model.NumParams();
   initial_params_ = probe->model.ParamsToFlat();
+  // The wire shape table: per-tensor lengths of the flattened model, in
+  // flattening order. Every frame carries and validates it.
+  for (const nn::Param* param : probe->model.Params()) {
+    shape_table_.push_back(static_cast<std::uint32_t>(param->value.numel()));
+  }
+  dispatch_wire_bytes_ = comm::DispatchWireBytes(
+      static_cast<std::uint64_t>(model_size_), shape_table_);
 }
 
 const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
@@ -164,8 +184,8 @@ const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
         record.round = round + 1;
         record.test_loss = eval.loss;
         record.test_accuracy = eval.accuracy;
-        record.bytes_up = comm_.round_upload_bytes();
-        record.bytes_down = comm_.round_download_bytes();
+        record.bytes_up = static_cast<double>(comm_.round_upload_bytes());
+        record.bytes_down = static_cast<double>(comm_.round_download_bytes());
         record.mean_client_loss = TakeRoundClientLoss();
         history_.Add(record);
         if (verbose) {
@@ -207,8 +227,11 @@ void FlAlgorithm::RecordRoundObservations(int round,
     // Satellite fold: communication totals and cumulative fault stats become
     // gauges, so one metrics snapshot carries the whole run's accounting.
     // CommTracker itself stays the source of truth for Table I.
-    m.comm_down.Set(comm_.total_download_bytes());
-    m.comm_up.Set(comm_.total_upload_bytes());
+    m.comm_down.Set(static_cast<double>(comm_.total_download_bytes()));
+    m.comm_up.Set(static_cast<double>(comm_.total_upload_bytes()));
+    m.comm_wire_down.Set(
+        static_cast<double>(comm_.total_wire_download_bytes()));
+    m.comm_wire_up.Set(static_cast<double>(comm_.total_wire_upload_bytes()));
     m.faults_dropouts.Set(static_cast<double>(fault_stats_.dropouts));
     m.faults_stragglers.Set(static_cast<double>(fault_stats_.stragglers));
     m.faults_corrupted.Set(static_cast<double>(fault_stats_.corrupted));
@@ -231,8 +254,11 @@ void FlAlgorithm::RecordRoundObservations(int round,
     event.test_accuracy = evaluated ? eval.accuracy : 0.0;
     event.test_loss = evaluated ? eval.loss : 0.0;
     event.mean_client_loss = mean_client_loss;
-    event.bytes_down = comm_.round_download_bytes();
-    event.bytes_up = comm_.round_upload_bytes();
+    event.bytes_down = static_cast<double>(comm_.round_download_bytes());
+    event.bytes_up = static_cast<double>(comm_.round_upload_bytes());
+    event.wire_bytes_down =
+        static_cast<double>(comm_.round_wire_download_bytes());
+    event.wire_bytes_up = static_cast<double>(comm_.round_wire_upload_bytes());
     event.dropouts = fault_stats_.dropouts - faults_before.dropouts;
     event.stragglers = fault_stats_.stragglers - faults_before.stragglers;
     event.corrupted = fault_stats_.corrupted - faults_before.corrupted;
@@ -264,12 +290,20 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
   Metrics().client_jobs.Add(count);
   // resize keeps surviving elements' params capacity from the last round.
   results_.resize(count);
+  if (static_cast<int>(wire_scratch_.size()) < count) {
+    wire_scratch_.resize(count);
+  }
+  if (codec_residuals_.empty() && comm::SchemeIsLossy(config_.codec.scheme)) {
+    codec_residuals_.resize(clients_.size());
+  }
   auto train_slot = [&](int slot) {
     util::Rng job_rng(ClientJobSeed(config_.seed, round, salt, slot));
     // The fault stream is derived independently of the training stream, so
     // fault draws can never perturb a surviving client's trajectory.
     util::Rng fault_rng(FaultSeed(config_.seed, round, salt, slot));
-    TrainClientJob(jobs[slot], job_rng, fault_rng, results_[slot]);
+    util::Rng codec_rng(CodecSeed(config_.seed, round, salt, slot));
+    TrainClientJob(jobs[slot], job_rng, fault_rng, codec_rng,
+                   wire_scratch_[slot], results_[slot]);
   };
   {
     PhaseScope phase(*this, RoundPhase::kTrain);
@@ -286,11 +320,13 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
   bool screen = config_.screening.Enabled();
   for (int slot = 0; slot < count; ++slot) {
     LocalTrainResult& result = results_[slot];
-    comm_.AddDownload(CommTracker::FloatBytes(model_size_));
+    comm_.AddDownload(CommTracker::FloatBytes(model_size_),
+                      result.wire_bytes_down);
     if (result.fault == FaultKind::kDropout) ++fault_stats_.dropouts;
     if (result.fault == FaultKind::kStraggler) ++fault_stats_.stragglers;
     if (result.dropped) continue;  // the device never uploads
-    comm_.AddUpload(CommTracker::FloatBytes(model_size_));
+    comm_.AddUpload(CommTracker::FloatBytes(model_size_),
+                    result.wire_bytes_up);
     if (result.fault == FaultKind::kCorrupted) ++fault_stats_.corrupted;
     if (screen) {
       util::Status verdict = ScreenUpload(*jobs[slot].init_params,
@@ -314,8 +350,8 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
 }
 
 void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
-                                 util::Rng& fault_rng,
-                                 LocalTrainResult& result) {
+                                 util::Rng& fault_rng, util::Rng& codec_rng,
+                                 WireScratch& wire, LocalTrainResult& result) {
   FC_CHECK_GE(job.client_id, 0);
   FC_CHECK_LT(job.client_id, num_clients());
   FC_CHECK(job.init_params != nullptr);
@@ -325,31 +361,58 @@ void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
   FaultDecision decision =
       DrawFaults(profile, config_.faults.round_deadline, fault_rng);
 
-  // Dropout / straggler timeout: the device received the model but its
-  // upload never reaches the round. params echo the dispatch so FedCross
-  // keeps its middleware copy.
+  // Dropout / straggler timeout: the device received the model (the
+  // dispatch frame still crossed the wire) but its upload never reaches the
+  // round. params echo the dispatch so FedCross keeps its middleware copy.
   if (decision.dropped || decision.timed_out) {
     result.params = *job.init_params;  // copy-assign recycles the buffer
     result.num_samples = clients_[job.client_id].num_samples();
     result.num_steps = 0;
     result.lr = 0.0f;
     result.mean_loss = 0.0;
+    result.wire_bytes_down = dispatch_wire_bytes_;
+    result.wire_bytes_up = 0;
     result.dropped = true;
     result.fault =
         decision.dropped ? FaultKind::kDropout : FaultKind::kStraggler;
     return;
   }
 
-  clients_[job.client_id].Train(pool_, *job.init_params, *job.spec, rng,
+  // Dispatch round trip: the client trains on the decoded frame, never on
+  // the server's in-process pointer. Dispatch frames are identity-coded, so
+  // the decoded params are bit-identical to *job.init_params.
+  comm::EncodeDispatch(*job.init_params, shape_table_, wire.frame);
+  result.wire_bytes_down = wire.frame.size();
+  util::Status dispatched =
+      comm::DecodeDispatch(wire.frame, shape_table_, wire.dispatched);
+  FC_CHECK(dispatched.ok()) << dispatched.ToString();
+
+  clients_[job.client_id].Train(pool_, wire.dispatched, *job.spec, rng,
                                 result);
   if (config_.dp.clip_norm > 0.0f) {
     result.params =
-        SanitizeUpdate(*job.init_params, result.params, config_.dp, rng);
+        SanitizeUpdate(wire.dispatched, result.params, config_.dp, rng);
   }
   if (decision.corrupt) {
-    CorruptUpload(profile, *job.init_params, result.params, fault_rng);
+    CorruptUpload(profile, wire.dispatched, result.params, fault_rng);
     result.fault = FaultKind::kCorrupted;
   }
+
+  // Upload round trip under the configured scheme: what enters aggregation
+  // (and server-side screening) is the decoded frame, so lossy compression
+  // noise — and corrupted payloads — reach the server exactly as the wire
+  // carries them. The error-feedback residual belongs to the client and is
+  // touched by at most one job per batch.
+  FlatParams* residual = codec_residuals_.empty()
+                             ? &wire.decoded  // unused by lossless schemes
+                             : &codec_residuals_[job.client_id];
+  comm::EncodeUpload(config_.codec, result.params, wire.dispatched,
+                     shape_table_, *residual, codec_rng, wire.frame);
+  result.wire_bytes_up = wire.frame.size();
+  util::Status uploaded = comm::DecodeUpload(wire.frame, wire.dispatched,
+                                             shape_table_, wire.decoded);
+  FC_CHECK(uploaded.ok()) << uploaded.ToString();
+  result.params.swap(wire.decoded);
 }
 
 FlatParams FlAlgorithm::WeightedAverage(const std::vector<FlatParams>& models,
@@ -447,6 +510,13 @@ std::uint64_t FlAlgorithm::ConfigFingerprint() const {
   h = mix_float(h, config_.train.weight_decay);
   h = mix_float(h, config_.train.grad_clip_norm);
   h = MixSeed(h ^ static_cast<std::uint64_t>(config_.eval_batch_size));
+  // Only a non-default codec perturbs the fingerprint, so checkpoints from
+  // builds that predate the wire codec (implicitly identity) keep loading.
+  if (config_.codec.scheme != comm::Scheme::kIdentity) {
+    h = MixSeed(h ^ (0x636f646563ULL +
+                     static_cast<std::uint64_t>(config_.codec.scheme)));
+    h = mix_float(h, static_cast<float>(config_.codec.topk_fraction));
+  }
   return h;
 }
 
@@ -463,8 +533,10 @@ util::Status FlAlgorithm::SaveCheckpoint(const std::string& path) {
   writer.WriteBool(rng_state.has_cached_normal);
   writer.WriteF64(rng_state.cached_normal);
 
-  writer.WriteF64(comm_.total_download_bytes());
-  writer.WriteF64(comm_.total_upload_bytes());
+  writer.WriteU64(comm_.total_download_bytes());
+  writer.WriteU64(comm_.total_upload_bytes());
+  writer.WriteU64(comm_.total_wire_download_bytes());
+  writer.WriteU64(comm_.total_wire_upload_bytes());
 
   writer.WriteI64(fault_stats_.dropouts);
   writer.WriteI64(fault_stats_.stragglers);
@@ -480,6 +552,14 @@ util::Status FlAlgorithm::SaveCheckpoint(const std::string& path) {
     writer.WriteF64(record.bytes_up);
     writer.WriteF64(record.bytes_down);
     writer.WriteF64(record.mean_client_loss);
+  }
+
+  // Error-feedback residuals (v2): without them a resumed lossy-codec run
+  // would re-quantise against zeroed residuals and diverge from the
+  // uninterrupted run. Clients that never uploaded store an empty vector.
+  writer.WriteU64(codec_residuals_.size());
+  for (const FlatParams& residual : codec_residuals_) {
+    writer.WriteFloats(residual);
   }
 
   SaveExtraState(writer);
@@ -520,10 +600,30 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
   FC_RETURN_IF_ERROR(reader.ReadBool(rng_state.has_cached_normal));
   FC_RETURN_IF_ERROR(reader.ReadF64(rng_state.cached_normal));
 
-  double total_down = 0.0;
-  double total_up = 0.0;
-  FC_RETURN_IF_ERROR(reader.ReadF64(total_down));
-  FC_RETURN_IF_ERROR(reader.ReadF64(total_up));
+  std::uint64_t total_down = 0;
+  std::uint64_t total_up = 0;
+  std::uint64_t total_wire_down = 0;
+  std::uint64_t total_wire_up = 0;
+  if (reader.version() >= 2) {
+    FC_RETURN_IF_ERROR(reader.ReadU64(total_down));
+    FC_RETURN_IF_ERROR(reader.ReadU64(total_up));
+    FC_RETURN_IF_ERROR(reader.ReadU64(total_wire_down));
+    FC_RETURN_IF_ERROR(reader.ReadU64(total_wire_up));
+  } else {
+    // v1 stored the totals as doubles and predates wire accounting; the
+    // integers are exact below 2^53 and wire falls back to raw.
+    double down = 0.0;
+    double up = 0.0;
+    FC_RETURN_IF_ERROR(reader.ReadF64(down));
+    FC_RETURN_IF_ERROR(reader.ReadF64(up));
+    if (down < 0.0 || up < 0.0) {
+      return util::Status::InvalidArgument("negative checkpoint byte totals");
+    }
+    total_down = static_cast<std::uint64_t>(down);
+    total_up = static_cast<std::uint64_t>(up);
+    total_wire_down = total_down;
+    total_wire_up = total_up;
+  }
 
   FaultStats stats;
   FC_RETURN_IF_ERROR(reader.ReadI64(stats.dropouts));
@@ -547,6 +647,26 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
     restored.Add(record);
   }
 
+  std::vector<FlatParams> residuals;
+  if (reader.version() >= 2) {
+    std::uint64_t residual_count = 0;
+    FC_RETURN_IF_ERROR(reader.ReadU64(residual_count));
+    if (residual_count != 0 && residual_count != clients_.size()) {
+      return util::Status::InvalidArgument(
+          "checkpoint residual table has " + std::to_string(residual_count) +
+          " clients, expected " + std::to_string(clients_.size()));
+    }
+    residuals.resize(static_cast<std::size_t>(residual_count));
+    for (FlatParams& residual : residuals) {
+      FC_RETURN_IF_ERROR(reader.ReadFloats(residual));
+      if (!residual.empty() &&
+          residual.size() != static_cast<std::size_t>(model_size_)) {
+        return util::Status::InvalidArgument(
+            "checkpoint residual does not match the model size");
+      }
+    }
+  }
+
   FC_RETURN_IF_ERROR(LoadExtraState(reader));
   if (!reader.AtEnd()) {
     return util::Status::InvalidArgument("trailing bytes in checkpoint");
@@ -556,9 +676,10 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
   // state) succeeded.
   completed_rounds_ = static_cast<int>(completed);
   rng_.SetState(rng_state);
-  comm_.Restore(total_down, total_up);
+  comm_.Restore(total_down, total_up, total_wire_down, total_wire_up);
   fault_stats_ = stats;
   history_ = std::move(restored);
+  codec_residuals_ = std::move(residuals);
   if (obs::MetricsEnabled()) {
     Metrics().checkpoint_load_ms.Observe(
         static_cast<double>(obs::TraceNowMicros() - start_us) / 1000.0);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/wire.h"
 #include "data/dataset.h"
 #include "fl/aggregators.h"
 #include "fl/checkpoint.h"
@@ -52,6 +53,15 @@ struct AlgorithmConfig {
   // Differential privacy: clip-and-noise applied to every client upload
   // (see fl/privacy.h). clip_norm <= 0 disables.
   DpOptions dp;
+
+  // Wire codec for the communication path (see comm/wire.h). Every
+  // dispatch and upload round-trips through the framed codec; the default
+  // identity scheme is bit-identical to uncoded training, while the lossy
+  // schemes (int8 / topk / int8_topk) compress the uplink under per-client
+  // error feedback. Stochastic rounding draws come from a dedicated
+  // per-(round, client) RNG stream, so every scheme stays bit-identical
+  // across --fl_threads values.
+  comm::CodecOptions codec;
 };
 
 // Base class of every FL algorithm in the repository (the five baselines in
@@ -110,6 +120,9 @@ class FlAlgorithm {
   const std::string& name() const { return name_; }
   int num_clients() const { return static_cast<int>(clients_.size()); }
   std::int64_t model_size() const { return model_size_; }
+  // Per-tensor element counts of the flattened model — what every wire
+  // frame carries and validates.
+  const comm::ShapeTable& shape_table() const { return shape_table_; }
   const MetricsHistory& history() const { return history_; }
   CommTracker& comm() { return comm_; }
   const data::Dataset& test_set() const { return *test_; }
@@ -230,12 +243,23 @@ class FlAlgorithm {
   }
 
  private:
-  // Body of one ClientJob: fault draws (dedicated fault stream), local SGD,
-  // DP sanitisation, upload corruption — all driven by the job's own rngs
-  // so jobs are order- and thread-independent. Writes into `result`,
-  // recycling its buffers.
+  // Per-slot wire-codec scratch: the encoded frame plus the decode targets,
+  // recycled round-over-round so the codec path adds no steady-state
+  // allocations.
+  struct WireScratch {
+    std::vector<std::uint8_t> frame;
+    FlatParams dispatched;  // dispatch frame decoded client-side
+    FlatParams decoded;     // upload frame decoded server-side
+  };
+
+  // Body of one ClientJob: dispatch-frame round trip, fault draws
+  // (dedicated fault stream), local SGD, DP sanitisation, upload
+  // corruption, and the upload-frame round trip — all driven by the job's
+  // own rngs so jobs are order- and thread-independent. Writes into
+  // `result`, recycling its buffers.
   void TrainClientJob(const ClientJob& job, util::Rng& rng,
-                      util::Rng& fault_rng, LocalTrainResult& result);
+                      util::Rng& fault_rng, util::Rng& codec_rng,
+                      WireScratch& wire, LocalTrainResult& result);
 
   // Deterministic fingerprint of (name, seed, K, N, model size, train
   // options); a checkpoint only restores into a matching configuration.
@@ -257,10 +281,18 @@ class FlAlgorithm {
   std::shared_ptr<data::Dataset> test_;
   std::int64_t model_size_;
   FlatParams initial_params_;  // factory init, captured once
+  comm::ShapeTable shape_table_;  // per-tensor lengths, captured once
+  std::uint64_t dispatch_wire_bytes_ = 0;  // identity-framed model size
   util::Rng rng_;
   CommTracker comm_;
   MetricsHistory history_;
   std::vector<LocalTrainResult> results_;  // recycled across TrainClients
+  std::vector<WireScratch> wire_scratch_;  // per-slot, recycled
+  // Per-client error-feedback residuals for the lossy codecs (empty until a
+  // client's first lossy upload). A client trains at most once per
+  // TrainClients batch in every algorithm, so parallel jobs touch disjoint
+  // entries.
+  std::vector<FlatParams> codec_residuals_;
   FlatParams agg_scratch_;   // robust-aggregator scratch, recycled
   FlatParams agg_column_;    // per-coordinate gather scratch, recycled
   FaultStats fault_stats_;

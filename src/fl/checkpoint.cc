@@ -8,7 +8,7 @@ namespace fedcross::fl {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x46435253;  // "FCRS"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMinVersion = 1;  // still readable
 
 // Length prefixes are validated against the remaining buffer before any
 // allocation, so a corrupted count cannot trigger a huge resize.
@@ -163,7 +163,7 @@ util::Status WriteStateFile(const std::string& path,
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out.good()) return util::Status::Internal("cannot open " + tmp);
-    std::uint32_t header[2] = {kMagic, kVersion};
+    std::uint32_t header[2] = {kMagic, kCheckpointVersion};
     out.write(reinterpret_cast<const char*>(header), sizeof(header));
     out.write(reinterpret_cast<const char*>(writer.bytes().data()),
               static_cast<std::streamsize>(writer.bytes().size()));
@@ -196,12 +196,12 @@ util::StatusOr<StateReader> ReadStateFile(const std::string& path) {
   if (magic != kMagic) {
     return util::Status::InvalidArgument("not a FedCross training checkpoint");
   }
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kCheckpointVersion) {
     return util::Status::InvalidArgument(
         "unsupported training checkpoint version " + std::to_string(version));
   }
   bytes.erase(bytes.begin(), bytes.begin() + 2 * sizeof(std::uint32_t));
-  return StateReader(std::move(bytes));
+  return StateReader(std::move(bytes), version);
 }
 
 }  // namespace fedcross::fl

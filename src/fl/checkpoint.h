@@ -24,6 +24,15 @@ namespace fedcross::fl {
 // `path + ".tmp"` and are renamed into place so a crash mid-write can never
 // clobber the previous good checkpoint. All reads are bounds-checked and
 // return util::Status on truncated or malformed input.
+//
+// Format versions: v2 (current) stores communication totals as four exact
+// u64 counters (raw + wire, both directions) followed by the per-client
+// codec error-feedback residual table; v1 stored two f64 totals and no
+// residuals. Readers accept both — StateReader::version() lets load paths
+// branch on what the file actually contains.
+
+// The version WriteStateFile stamps on new checkpoints.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 // Appends little-endian POD values to a byte buffer.
 class StateWriter {
@@ -50,8 +59,13 @@ class StateWriter {
 class StateReader {
  public:
   StateReader() = default;
-  explicit StateReader(std::vector<std::uint8_t> bytes)
-      : bytes_(std::move(bytes)) {}
+  explicit StateReader(std::vector<std::uint8_t> bytes,
+                       std::uint32_t version = kCheckpointVersion)
+      : bytes_(std::move(bytes)), version_(version) {}
+
+  // The format version of the file this body came from (see the header
+  // comment); ReadStateFile fills it in.
+  std::uint32_t version() const { return version_; }
 
   util::Status ReadU32(std::uint32_t& value);
   util::Status ReadU64(std::uint64_t& value);
@@ -70,6 +84,7 @@ class StateReader {
 
   std::vector<std::uint8_t> bytes_;
   std::size_t offset_ = 0;
+  std::uint32_t version_ = kCheckpointVersion;
 };
 
 // Atomically writes header + body to `path` (tmp file + rename).

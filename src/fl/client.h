@@ -39,6 +39,11 @@ struct LocalTrainResult {
   int num_steps = 0;        // SGD steps taken (used by SCAFFOLD's c_i update)
   float lr = 0.0f;          // learning rate used
   double mean_loss = 0.0;   // mean training loss over all steps
+  // Measured wire-frame sizes for this client's round (comm/wire.h codec):
+  // the dispatch frame it received and the upload frame it produced (0 when
+  // the upload never happened). Filled by FlAlgorithm::TrainClientJob.
+  std::uint64_t wire_bytes_down = 0;
+  std::uint64_t wire_bytes_up = 0;
   // True if the round produced no usable upload (dropout, straggler
   // timeout, or server-side rejection): params echo the dispatched model
   // and the client is excluded from aggregation.

@@ -9,39 +9,71 @@ namespace fedcross::fl {
 // backing the paper's Table I / Section IV-C3 communication analysis.
 // Algorithms call AddDownload for each dispatch (model, control variate,
 // generator, ...) and AddUpload for each client upload.
+//
+// Each direction keeps two exact integer counters: `raw` is the logical
+// payload (float count x 4 — what the paper's analysis compares), `wire` is
+// the encoded frame size actually produced by the comm/wire.h codec. With
+// the identity codec wire exceeds raw only by the frame header; the lossy
+// codecs push wire far below raw, and wire/raw is the measured compression
+// ratio reported by table1_comm_overhead and the obs round events.
 class CommTracker {
  public:
-  void AddDownload(double bytes) { round_down_ += bytes; total_down_ += bytes; }
-  void AddUpload(double bytes) { round_up_ += bytes; total_up_ += bytes; }
+  void AddDownload(std::uint64_t raw_bytes, std::uint64_t wire_bytes) {
+    round_down_ += raw_bytes;
+    total_down_ += raw_bytes;
+    round_wire_down_ += wire_bytes;
+    total_wire_down_ += wire_bytes;
+  }
+  void AddUpload(std::uint64_t raw_bytes, std::uint64_t wire_bytes) {
+    round_up_ += raw_bytes;
+    total_up_ += raw_bytes;
+    round_wire_up_ += wire_bytes;
+    total_wire_up_ += wire_bytes;
+  }
 
   // Convenience: a payload of `floats` float32 values.
-  static double FloatBytes(std::int64_t floats) {
-    return static_cast<double>(floats) * sizeof(float);
+  static std::uint64_t FloatBytes(std::int64_t floats) {
+    return static_cast<std::uint64_t>(floats) * sizeof(float);
   }
 
   // Per-round counters; reset at round start.
-  void BeginRound() { round_down_ = 0.0; round_up_ = 0.0; }
-  double round_download_bytes() const { return round_down_; }
-  double round_upload_bytes() const { return round_up_; }
+  void BeginRound() {
+    round_down_ = 0;
+    round_up_ = 0;
+    round_wire_down_ = 0;
+    round_wire_up_ = 0;
+  }
+  std::uint64_t round_download_bytes() const { return round_down_; }
+  std::uint64_t round_upload_bytes() const { return round_up_; }
+  std::uint64_t round_wire_download_bytes() const { return round_wire_down_; }
+  std::uint64_t round_wire_upload_bytes() const { return round_wire_up_; }
 
   // Cumulative counters.
-  double total_download_bytes() const { return total_down_; }
-  double total_upload_bytes() const { return total_up_; }
+  std::uint64_t total_download_bytes() const { return total_down_; }
+  std::uint64_t total_upload_bytes() const { return total_up_; }
+  std::uint64_t total_wire_download_bytes() const { return total_wire_down_; }
+  std::uint64_t total_wire_upload_bytes() const { return total_wire_up_; }
 
   // Checkpoint restore: resets to the given cumulative totals with the
   // per-round counters cleared.
-  void Restore(double total_down, double total_up) {
+  void Restore(std::uint64_t total_down, std::uint64_t total_up,
+               std::uint64_t total_wire_down, std::uint64_t total_wire_up) {
     total_down_ = total_down;
     total_up_ = total_up;
-    round_down_ = 0.0;
-    round_up_ = 0.0;
+    total_wire_down_ = total_wire_down;
+    total_wire_up_ = total_wire_up;
+    BeginRound();
   }
 
  private:
-  double round_down_ = 0.0;
-  double round_up_ = 0.0;
-  double total_down_ = 0.0;
-  double total_up_ = 0.0;
+  std::uint64_t round_down_ = 0;
+  std::uint64_t round_up_ = 0;
+  std::uint64_t round_wire_down_ = 0;
+  std::uint64_t round_wire_up_ = 0;
+  std::uint64_t total_down_ = 0;
+  std::uint64_t total_up_ = 0;
+  std::uint64_t total_wire_down_ = 0;
+  std::uint64_t total_wire_up_ = 0;
 };
 
 }  // namespace fedcross::fl

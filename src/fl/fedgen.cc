@@ -151,9 +151,11 @@ void FedGen::RunRound(int round) {
   std::vector<const FlatParams*> local_models;
   std::vector<double> weights;
   for (std::size_t i = 0; i < results.size(); ++i) {
-    // Generator payload rides along with the model dispatch.
+    // Generator payload rides along with the model dispatch, outside the
+    // model codec (wire == raw).
     if (synthetic_ != nullptr) {
-      comm().AddDownload(CommTracker::FloatBytes(generator_size_));
+      comm().AddDownload(CommTracker::FloatBytes(generator_size_),
+                         CommTracker::FloatBytes(generator_size_));
     }
     const LocalTrainResult& result = results[i];
     if (result.dropped) continue;  // device failed before uploading

@@ -47,9 +47,12 @@ void Scaffold::RunRound(int round) {
   for (int i = 0; i < count; ++i) {
     const LocalTrainResult& result = results[i];
     if (result.dropped) continue;  // no upload, no variate update
-    // Variate traffic: one variate down (c), one up (c_i+).
-    comm().AddDownload(CommTracker::FloatBytes(model_size()));
-    comm().AddUpload(CommTracker::FloatBytes(model_size()));
+    // Variate traffic: one variate down (c), one up (c_i+). Variates move
+    // outside the model codec, so wire == raw for this side channel.
+    comm().AddDownload(CommTracker::FloatBytes(model_size()),
+                       CommTracker::FloatBytes(model_size()));
+    comm().AddUpload(CommTracker::FloatBytes(model_size()),
+                     CommTracker::FloatBytes(model_size()));
 
     // Option II variate update.
     FlatParams& c_i = client_c_[selected[i]];

@@ -53,12 +53,14 @@ void EmitRoundEvent(const RoundEvent& e) {
       ",\"checkpoint_ms\":%.3f,\"evaluated\":%s"
       ",\"test_accuracy\":%.9g,\"test_loss\":%.9g,\"mean_client_loss\":%.9g"
       ",\"bytes_down\":%.0f,\"bytes_up\":%.0f"
+      ",\"wire_bytes_down\":%.0f,\"wire_bytes_up\":%.0f"
       ",\"dropouts\":%lld,\"stragglers\":%lld,\"corrupted\":%lld"
       ",\"rejected\":%lld}\n",
       algo.c_str(), e.round, e.round_ms, e.dispatch_ms, e.train_ms,
       e.screen_ms, e.aggregate_ms, e.eval_ms, e.checkpoint_ms,
       e.evaluated ? "true" : "false", e.test_accuracy, e.test_loss,
-      e.mean_client_loss, e.bytes_down, e.bytes_up,
+      e.mean_client_loss, e.bytes_down, e.bytes_up, e.wire_bytes_down,
+      e.wire_bytes_up,
       static_cast<long long>(e.dropouts),
       static_cast<long long>(e.stragglers),
       static_cast<long long>(e.corrupted),

@@ -35,8 +35,12 @@ struct RoundEvent {
   double test_loss = 0.0;
   double mean_client_loss = 0.0;
 
-  double bytes_down = 0.0;  // this round's dispatched bytes
-  double bytes_up = 0.0;    // this round's uploaded bytes
+  double bytes_down = 0.0;  // this round's dispatched bytes (raw payload)
+  double bytes_up = 0.0;    // this round's uploaded bytes (raw payload)
+  // Encoded frame bytes the comm/wire.h codec actually produced; the
+  // wire/raw quotient is the round's measured compression ratio.
+  double wire_bytes_down = 0.0;
+  double wire_bytes_up = 0.0;
 
   std::int64_t dropouts = 0;
   std::int64_t stragglers = 0;

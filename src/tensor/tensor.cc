@@ -243,10 +243,13 @@ bool Tensor::DeserializeFrom(const std::vector<std::uint8_t>& in,
     shape[i] = d;
     numel *= d;
   }
-  std::vector<float> values(numel);
-  if (!read(values.data(), numel * sizeof(float))) return false;
-  result = Tensor::FromVector(std::move(shape), std::move(values));
-  return true;
+  // Bounds-check before touching `result`, so a truncated buffer leaves it
+  // untouched; then deserialize straight into its (possibly recycled)
+  // storage instead of staging through a temporary vector.
+  std::size_t payload = static_cast<std::size_t>(numel) * sizeof(float);
+  if (offset + payload > in.size()) return false;
+  result.ResizeTo(shape);
+  return read(result.data(), payload);
 }
 
 Tensor operator+(const Tensor& a, const Tensor& b) {

@@ -196,18 +196,42 @@ TEST(EvaluatorTest, RandomModelNearChance) {
 TEST(CommTrackerTest, RoundAndTotalCounters) {
   CommTracker tracker;
   tracker.BeginRound();
-  tracker.AddDownload(100.0);
-  tracker.AddUpload(50.0);
-  EXPECT_EQ(tracker.round_download_bytes(), 100.0);
-  EXPECT_EQ(tracker.round_upload_bytes(), 50.0);
+  tracker.AddDownload(/*raw_bytes=*/100, /*wire_bytes=*/80);
+  tracker.AddUpload(/*raw_bytes=*/50, /*wire_bytes=*/10);
+  EXPECT_EQ(tracker.round_download_bytes(), 100u);
+  EXPECT_EQ(tracker.round_upload_bytes(), 50u);
+  EXPECT_EQ(tracker.round_wire_download_bytes(), 80u);
+  EXPECT_EQ(tracker.round_wire_upload_bytes(), 10u);
   tracker.BeginRound();
-  EXPECT_EQ(tracker.round_download_bytes(), 0.0);
-  EXPECT_EQ(tracker.total_download_bytes(), 100.0);
-  EXPECT_EQ(tracker.total_upload_bytes(), 50.0);
+  EXPECT_EQ(tracker.round_download_bytes(), 0u);
+  EXPECT_EQ(tracker.round_wire_upload_bytes(), 0u);
+  EXPECT_EQ(tracker.total_download_bytes(), 100u);
+  EXPECT_EQ(tracker.total_upload_bytes(), 50u);
+  EXPECT_EQ(tracker.total_wire_download_bytes(), 80u);
+  EXPECT_EQ(tracker.total_wire_upload_bytes(), 10u);
+}
+
+TEST(CommTrackerTest, CountsStayExactPastDoublePrecision) {
+  // 2^53 + 1 is where double-backed counters used to silently round.
+  CommTracker tracker;
+  tracker.AddDownload((1ULL << 53) + 1, 0);
+  tracker.AddDownload(1, 0);
+  EXPECT_EQ(tracker.total_download_bytes(), (1ULL << 53) + 2);
+}
+
+TEST(CommTrackerTest, RestoreResetsRoundCounters) {
+  CommTracker tracker;
+  tracker.AddUpload(7, 3);
+  tracker.Restore(1000, 2000, 800, 400);
+  EXPECT_EQ(tracker.round_upload_bytes(), 0u);
+  EXPECT_EQ(tracker.total_download_bytes(), 1000u);
+  EXPECT_EQ(tracker.total_upload_bytes(), 2000u);
+  EXPECT_EQ(tracker.total_wire_download_bytes(), 800u);
+  EXPECT_EQ(tracker.total_wire_upload_bytes(), 400u);
 }
 
 TEST(CommTrackerTest, FloatBytes) {
-  EXPECT_EQ(CommTracker::FloatBytes(10), 40.0);
+  EXPECT_EQ(CommTracker::FloatBytes(10), 40u);
 }
 
 // ---------------------------------------------------------------- History

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/wire.h"
 #include "core/fedcross.h"
 #include "fl/algorithm.h"
 #include "fl/fedavg.h"
@@ -216,6 +217,50 @@ TEST(ParallelDeterminismTest, FaultyFedCrossIsThreadCountInvariant) {
   FlatParams four = run(4);
   ExpectBitIdentical(one, two);
   ExpectBitIdentical(one, four);
+}
+
+// --------------------------------------------------------------------------
+// Wire codec determinism
+// --------------------------------------------------------------------------
+
+FlatParams RunFedCrossWithCodec(int threads, int rounds,
+                                comm::Scheme scheme) {
+  SetFlThreads(threads);
+  AlgorithmConfig config = ToyConfig();
+  config.codec.scheme = scheme;
+  config.codec.topk_fraction = 0.25;
+  core::FedCrossOptions options;
+  options.alpha = 0.9;
+  core::FedCross fedcross(config, MakeToyFederated(8, 40, 4, 41),
+                          LinearFactory(4), options);
+  for (int r = 0; r < rounds; ++r) fedcross.RunRound(r);
+  return fedcross.GlobalParams();
+}
+
+TEST(ParallelDeterminismTest, EveryCodecSchemeIsThreadCountInvariant) {
+  // The stochastic rounding draws come from the per-(round, client) codec
+  // stream and the error-feedback residuals are indexed by client id, so a
+  // lossy uplink must not reintroduce schedule sensitivity.
+  FlThreadsGuard guard;
+  for (comm::Scheme scheme :
+       {comm::Scheme::kDelta, comm::Scheme::kInt8, comm::Scheme::kTopK,
+        comm::Scheme::kInt8TopK}) {
+    SCOPED_TRACE(comm::SchemeName(scheme));
+    FlatParams sequential = RunFedCrossWithCodec(1, /*rounds=*/4, scheme);
+    FlatParams parallel = RunFedCrossWithCodec(4, /*rounds=*/4, scheme);
+    ExpectBitIdentical(sequential, parallel);
+  }
+}
+
+TEST(ParallelDeterminismTest, DeltaCodecTrainsIdenticallyToIdentity) {
+  // The delta codec is lossless, so the entire federation must be
+  // bit-identical to the uncoded run -- only the wire bytes differ.
+  FlThreadsGuard guard;
+  FlatParams identity =
+      RunFedCrossWithCodec(2, /*rounds=*/4, comm::Scheme::kIdentity);
+  FlatParams delta =
+      RunFedCrossWithCodec(2, /*rounds=*/4, comm::Scheme::kDelta);
+  ExpectBitIdentical(identity, delta);
 }
 
 }  // namespace

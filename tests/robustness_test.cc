@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/wire.h"
 #include "core/fedcross.h"
 #include "fl/aggregators.h"
 #include "fl/algorithm.h"
@@ -708,6 +709,124 @@ TEST(CheckpointTest, MissingFileIsNotFound) {
   std::unique_ptr<FlAlgorithm> algo = MakeAlgorithm("FedAvg", ToyConfig());
   EXPECT_EQ(algo->LoadCheckpoint("definitely_missing.bin").code(),
             util::StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, ResumeUnderLossyCodecIsBitIdentical) {
+  // The v2 checkpoint carries the per-client error-feedback residuals: a
+  // resumed int8_topk run must re-quantise against the same residual state
+  // the killed run held, or it diverges from the uninterrupted one.
+  const std::string path = "robustness_ckpt_codec.bin";
+  AlgorithmConfig config = ToyConfig();
+  config.codec.scheme = comm::Scheme::kInt8TopK;
+  config.codec.topk_fraction = 0.25;
+
+  std::unique_ptr<FlAlgorithm> full = MakeAlgorithm("FedCross", config);
+  full->Run(6, /*eval_every=*/1);
+
+  {
+    std::unique_ptr<FlAlgorithm> first = MakeAlgorithm("FedCross", config);
+    first->Run(3, /*eval_every=*/1);
+    ASSERT_TRUE(first->SaveCheckpoint(path).ok());
+  }
+  std::unique_ptr<FlAlgorithm> resumed = MakeAlgorithm("FedCross", config);
+  ASSERT_TRUE(resumed->LoadCheckpoint(path).ok());
+  resumed->Run(6, /*eval_every=*/1);
+
+  ExpectBitIdentical(full->GlobalParams(), resumed->GlobalParams());
+  ExpectSameHistory(full->history(), resumed->history());
+  EXPECT_EQ(full->comm().total_wire_upload_bytes(),
+            resumed->comm().total_wire_upload_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CodecConfigPerturbsTheFingerprint) {
+  // A checkpoint from a lossy-codec run must not resume into an uncoded
+  // configuration (or vice versa): the residual state only makes sense
+  // under the codec that produced it.
+  const std::string path = "robustness_ckpt_codec_fp.bin";
+  AlgorithmConfig coded = ToyConfig();
+  coded.codec.scheme = comm::Scheme::kInt8;
+  {
+    std::unique_ptr<FlAlgorithm> algo = MakeAlgorithm("FedAvg", coded);
+    algo->Run(1, /*eval_every=*/1);
+    ASSERT_TRUE(algo->SaveCheckpoint(path).ok());
+  }
+  std::unique_ptr<FlAlgorithm> uncoded =
+      MakeAlgorithm("FedAvg", ToyConfig());
+  EXPECT_EQ(uncoded->LoadCheckpoint(path).code(),
+            util::StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, Version1CheckpointStillLoads) {
+  // Builds a real v1 file out of a v2 one by inverting the format bump:
+  // the four u64 comm counters become the two f64 totals v1 stored, the
+  // residual-table count disappears, and the header version drops to 1.
+  // Everything the old format did carry must keep resuming exactly.
+  const std::string path = "robustness_ckpt_v1.bin";
+  AlgorithmConfig config = ToyConfig();
+
+  std::unique_ptr<FlAlgorithm> full = MakeAlgorithm("FedAvg", config);
+  full->Run(4, /*eval_every=*/1);
+
+  {
+    std::unique_ptr<FlAlgorithm> first = MakeAlgorithm("FedAvg", config);
+    first->Run(2, /*eval_every=*/1);
+    ASSERT_TRUE(first->SaveCheckpoint(path).ok());
+  }
+
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in.good());
+    bytes.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  }
+  // Body layout up to the comm block: fingerprint u64, completed i64, four
+  // RNG words, the cached-normal bool + f64. File header is 8 bytes.
+  const std::size_t comm_at = 8 + 8 + 8 + 4 * 8 + 1 + 8;
+  std::uint64_t total_down = 0;
+  std::uint64_t total_up = 0;
+  std::memcpy(&total_down, bytes.data() + comm_at, 8);
+  std::memcpy(&total_up, bytes.data() + comm_at + 8, 8);
+  double as_f64[2] = {static_cast<double>(total_down),
+                      static_cast<double>(total_up)};
+  // 4 x u64 -> 2 x f64: the comm block shrinks by 16 bytes.
+  std::memcpy(bytes.data() + comm_at, as_f64, 16);
+  bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(comm_at + 16),
+              bytes.begin() + static_cast<std::ptrdiff_t>(comm_at + 32));
+  // Drop the residual-table count (empty for an identity run): it sits
+  // after the fault stats and the history records.
+  std::uint64_t record_count = 0;
+  const std::size_t records_at = comm_at + 16 + 4 * 8;
+  std::memcpy(&record_count, bytes.data() + records_at, 8);
+  ASSERT_EQ(record_count, 2u);
+  const std::size_t residuals_at = records_at + 8 + record_count * 40;
+  std::uint64_t residual_count = 0;
+  std::memcpy(&residual_count, bytes.data() + residuals_at, 8);
+  ASSERT_EQ(residual_count, 0u);
+  bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(residuals_at),
+              bytes.begin() + static_cast<std::ptrdiff_t>(residuals_at + 8));
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 4, &v1, 4);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::unique_ptr<FlAlgorithm> resumed = MakeAlgorithm("FedAvg", config);
+  ASSERT_TRUE(resumed->LoadCheckpoint(path).ok());
+  EXPECT_EQ(resumed->completed_rounds(), 2);
+  // v1 predates wire accounting: wire totals fall back to the raw totals.
+  EXPECT_EQ(resumed->comm().total_upload_bytes(), total_up);
+  EXPECT_EQ(resumed->comm().total_wire_upload_bytes(), total_up);
+  resumed->Run(4, /*eval_every=*/1);
+  ExpectBitIdentical(full->GlobalParams(), resumed->GlobalParams());
+  ExpectSameHistory(full->history(), resumed->history());
+  std::remove(path.c_str());
 }
 
 }  // namespace

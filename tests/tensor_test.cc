@@ -153,6 +153,24 @@ TEST(TensorTest, DeserializeRejectsTruncated) {
   EXPECT_FALSE(Tensor::DeserializeFrom(bytes, offset, restored));
 }
 
+TEST(TensorTest, DeserializeIntoRecycledTensorAllocatesNothing) {
+  // DeserializeFrom reads straight into the destination's storage via
+  // ResizeTo, so deserializing into a tensor that already has the capacity
+  // must not touch the heap (no staging copy, no reallocation).
+  Tensor original = Tensor::Full({8, 4}, 3.5f);
+  std::vector<std::uint8_t> bytes;
+  original.SerializeTo(bytes);
+
+  Tensor recycled = Tensor::Zeros({8, 4});
+  std::size_t offset = 0;
+  Tensor::ResetHeapAllocations();
+  ASSERT_TRUE(Tensor::DeserializeFrom(bytes, offset, recycled));
+  EXPECT_EQ(Tensor::HeapAllocations(), 0u);
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    EXPECT_EQ(recycled.at(i), 3.5f);
+  }
+}
+
 // -------------------------------------------------------------- ops::Gemm
 
 TEST(GemmTest, PlainMatMul) {
