@@ -42,6 +42,47 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
+// Cross-replica batched GEMM (the plan executor's fusion primitive) vs the
+// same small per-replica shapes dispatched one Gemm call at a time. The
+// shape is deliberately under the grouped-kernel threshold so the
+// replica-interleaved microkernel engages; the arg is the replica count.
+void RunSmallGemmLoop(benchmark::State& state, bool grouped) {
+  const int count = static_cast<int>(state.range(0));
+  constexpr int m = 20, n = 32, k = 16;
+  util::Rng rng(3);
+  std::vector<std::vector<float>> a(count), b(count), c(count);
+  std::vector<ops::GemmGroup> groups(count);
+  for (int r = 0; r < count; ++r) {
+    a[r].resize(m * k);
+    b[r].resize(k * n);
+    c[r].resize(m * n);
+    for (float& x : a[r]) x = static_cast<float>(rng.Normal(0.0, 1.0));
+    for (float& x : b[r]) x = static_cast<float>(rng.Normal(0.0, 1.0));
+    groups[r] = {a[r].data(), b[r].data(), c[r].data()};
+  }
+  for (auto _ : state) {
+    if (grouped) {
+      ops::GemmGrouped(false, false, m, n, k, 1.0f, k, n, 0.0f, n,
+                       groups.data(), count);
+    } else {
+      for (int r = 0; r < count; ++r) {
+        ops::Gemm(false, false, m, n, k, 1.0f, a[r].data(), k, b[r].data(), n,
+                  0.0f, c[r].data(), n);
+      }
+    }
+    benchmark::DoNotOptimize(c[0][0]);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+
+void BM_GemmSmallLooped(benchmark::State& state) {
+  RunSmallGemmLoop(state, false);
+}
+BENCHMARK(BM_GemmSmallLooped)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_GemmGrouped(benchmark::State& state) { RunSmallGemmLoop(state, true); }
+BENCHMARK(BM_GemmGrouped)->Arg(5)->Arg(10)->Arg(20);
+
 void BM_ConvForward(benchmark::State& state) {
   int channels = static_cast<int>(state.range(0));
   util::Rng rng(2);
@@ -121,7 +162,7 @@ constexpr int kFedRoundDim = 64;
 
 constexpr int kFedRoundClients = 8;
 
-data::FederatedDataset MakeFedRoundData() {
+data::FederatedDataset MakeFedRoundData(int num_clients = kFedRoundClients) {
   constexpr int kDim = kFedRoundDim;
   util::Rng rng(7);
   data::FederatedDataset federated;
@@ -137,7 +178,7 @@ data::FederatedDataset MakeFedRoundData() {
       labels.push_back(k);
     }
   };
-  for (int c = 0; c < kFedRoundClients; ++c) {
+  for (int c = 0; c < num_clients; ++c) {
     std::vector<float> features;
     std::vector<int> labels;
     fill(200, features, labels);
@@ -226,6 +267,40 @@ void BM_FedRoundObs(benchmark::State& state) {
   obs::MetricsRegistry::Global().Reset();
 }
 BENCHMARK(BM_FedRoundObs)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// A full FedCross round sweeping the middleware-model count K, under both
+// execution backends. K middleware models train on K sampled clients per
+// round, so K is both the replica count the plan executor can fuse across
+// and the cross-aggregation fan-in. Args: {K, exec} with exec 0 = layers,
+// 1 = plan; the layers/plan delta at fixed K is the batched-executor
+// speedup reported in EXPERIMENTS.md.
+void BM_FedCrossRound(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  fl::SetFlThreads(1);
+  fl::AlgorithmConfig config = MakeFedRoundConfig();
+  config.clients_per_round = k;
+  config.train.exec =
+      state.range(1) == 1 ? fl::ExecMode::kPlan : fl::ExecMode::kLayers;
+  core::FedCrossOptions options;
+  options.alpha = 0.9;
+  core::FedCross server(config, MakeFedRoundData(2 * k),
+                        MakeFedRoundFactory(), options);
+  int round = 0;
+  for (auto _ : state) {
+    server.RunRound(round++);
+    benchmark::DoNotOptimize(round);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_FedCrossRound)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->ArgNames({"K", "plan"})
+    ->UseRealTime();
 
 // Parallel deterministic evaluation: EvaluateParams fans test batches over
 // the FL pool, one pooled replica per worker slot, and reduces per-batch

@@ -6,6 +6,7 @@
 //                [--k 4] [--beta 0.5] [--alpha 0.9]
 //                [--strategy lowest-similarity]
 //                [--codec identity|delta|int8|topk|int8_topk] [--topk 0.1]
+//                [--exec layers|plan]  (plan = batched execution-plan runtime)
 //                [--fl_threads 0]   (0 = all cores, 1 = sequential)
 //                [--trace_out t.json] [--metrics_out m.json]
 //                [--events_out e.jsonl] [--log_level info]
@@ -44,6 +45,7 @@ int Run(int argc, char** argv) {
       flags.GetString("strategy", "lowest-similarity");
   std::string codec_name = flags.GetString("codec", "identity");
   double topk = flags.GetDouble("topk", 0.1);
+  std::string exec_name = flags.GetString("exec", "layers");
   util::Status obs_status = util::InitObservability(flags);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -93,6 +95,11 @@ int Run(int argc, char** argv) {
   }
   config.codec.scheme = scheme.value();
   config.codec.topk_fraction = topk;
+  if (!fl::ParseExecMode(exec_name, &config.train.exec)) {
+    std::fprintf(stderr, "unknown --exec '%s' (want layers|plan)\n",
+                 exec_name.c_str());
+    return 1;
+  }
 
   std::unique_ptr<fl::FlAlgorithm> server;
   if (algo == "fedavg") {
@@ -116,10 +123,11 @@ int Run(int argc, char** argv) {
   }
 
   std::printf("%s quickstart: %d clients, K=%d, beta=%s, alpha=%.2f"
-              ", codec=%s\n",
+              ", codec=%s, exec=%s\n",
               server->name().c_str(), num_clients, k,
               beta > 0 ? "non-IID" : "IID", alpha,
-              comm::SchemeName(config.codec.scheme));
+              comm::SchemeName(config.codec.scheme),
+              fl::ExecModeName(config.train.exec));
   std::printf("model: %s\n", factory().Summary().c_str());
 
   // Run() drives the rounds, evaluates every 5th, and feeds every enabled

@@ -12,6 +12,7 @@
 // --events_out none / --trace_out none.
 //
 //   ./robust_federation [--rounds 40] [--clients 20] [--k 4]
+//                       [--exec layers|plan]
 //                       [--events_out events.jsonl] [--trace_out trace.json]
 //                       [--metrics_out m.json] [--log_level info]
 #include <cmath>
@@ -115,6 +116,10 @@ std::vector<Condition> MakeConditions() {
 // table can be re-measured under a compressed uplink.
 fedcross::comm::CodecOptions g_codec;
 
+// Local-training executor for every cell (set once from --exec); the fault
+// and screening paths are exercised identically under both runtimes.
+fl::ExecMode g_exec = fl::ExecMode::kLayers;
+
 fl::AlgorithmConfig MakeConfig(int k, const Condition& condition) {
   fl::AlgorithmConfig config;
   config.clients_per_round = k;
@@ -122,6 +127,7 @@ fl::AlgorithmConfig MakeConfig(int k, const Condition& condition) {
   config.train.batch_size = 20;
   config.train.lr = 0.03f;
   config.train.momentum = 0.5f;
+  config.train.exec = g_exec;
   config.faults = condition.faults;
   config.screening = condition.screening;
   config.aggregator = condition.aggregator;
@@ -205,6 +211,7 @@ int Run(int argc, char** argv) {
   int k = flags.GetInt("k", 4);
   std::string codec_name = flags.GetString("codec", "identity");
   double topk = flags.GetDouble("topk", 0.1);
+  std::string exec_name = flags.GetString("exec", "layers");
   util::ObsOptions obs_defaults;
   obs_defaults.events_out = "events.jsonl";
   obs_defaults.trace_out = "trace.json";
@@ -224,6 +231,11 @@ int Run(int argc, char** argv) {
   }
   g_codec.scheme = scheme.value();
   g_codec.topk_fraction = topk;
+  if (!fl::ParseExecMode(exec_name, &g_exec)) {
+    std::fprintf(stderr, "unknown --exec '%s' (want layers|plan)\n",
+                 exec_name.c_str());
+    return 1;
+  }
 
   models::CnnConfig cnn;
   cnn.height = cnn.width = 8;

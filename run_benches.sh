@@ -1,4 +1,37 @@
 #!/bin/bash
+# Runs the full benchmark suite (paper figures/tables plus the micro
+# benchmarks) and tees everything into bench_output.txt. The bench
+# executables are listed explicitly so CMake artifacts under build/bench
+# (e.g. the CMakeFiles directory) never sneak into the run, and so
+# micro_ops — which carries the GEMM, round, codec, observability and
+# execution-plan benches — is always included.
 cd /root/repo
-for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt
+
+benches=(
+  fig1_motivating_toy
+  fig3_data_distributions
+  fig4_loss_landscape
+  fig5_learning_curves
+  fig6_activated_clients
+  fig7_total_clients
+  fig8_alpha_curves
+  fig9_acceleration
+  table1_comm_overhead
+  table2_accuracy
+  table3_alpha_selection
+  theory_convergence
+  micro_ops
+)
+
+{
+  for b in "${benches[@]}"; do
+    bin="build/bench/${b}"
+    if [[ -x "${bin}" ]]; then
+      echo "=== ${b} ==="
+      "${bin}"
+    else
+      echo "=== ${b} (missing: ${bin} — build first) ==="
+    fi
+  done
+} 2>&1 | tee /root/repo/bench_output.txt
 echo "BENCH_SUITE_DONE" >> /root/repo/bench_output.txt

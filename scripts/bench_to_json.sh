@@ -14,6 +14,12 @@
 #   BENCH_comm.json    BM_Encode/BM_Decode per wire-codec scheme (identity,
 #                      delta, int8, topk, int8_topk); bytes_per_second is
 #                      raw payload throughput through the codec
+#   BENCH_plan.json    BM_FedCrossRound/{K,plan} (full FedCross round
+#                      sweeping middleware-model count K at both execution
+#                      backends; the plan:1 vs plan:0 delta at fixed K is
+#                      the batched-executor speedup) plus
+#                      BM_GemmGrouped/BM_GemmSmallLooped (the cross-replica
+#                      fusion primitive vs per-replica dispatch)
 #
 # Usage: scripts/bench_to_json.sh [build_dir] [output_dir]
 # Defaults: build_dir=build, output_dir=. — run from the repo root.
@@ -51,3 +57,4 @@ run_filter '^BM_Evaluate/' "${out_dir}/BENCH_eval.json"
 run_filter '^BM_FedRoundRobust/' "${out_dir}/BENCH_robust.json"
 run_filter '^BM_FedRoundObs/' "${out_dir}/BENCH_obs.json"
 run_filter '^BM_(Encode|Decode)/' "${out_dir}/BENCH_comm.json"
+run_filter '^BM_(FedCrossRound|GemmGrouped|GemmSmallLooped)/' "${out_dir}/BENCH_plan.json"

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh google-benchmark JSON run against
+the committed baseline JSONs.
+
+Usage:
+    scripts/check_bench_regression.py --baseline-dir . --current-dir bench_out \
+        [--threshold 0.15] [--files BENCH_gemm.json BENCH_round.json ...]
+
+For every benchmark name present in both the baseline and the current file,
+the gate fails if current_time > baseline_time * (1 + threshold). Benchmarks
+missing on either side are reported but do not fail the gate (the set of
+benchmarks is allowed to grow); a baseline file with no overlap at all fails,
+since that usually means a renamed benchmark silently escaped the gate.
+
+Wall-clock benches on shared CI runners are noisy, so the default threshold
+is deliberately wide (15%) and aggregate entries (_mean/_median/_stddev) are
+skipped in favour of the raw iterations entry.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+AGGREGATE_SUFFIXES = ("_mean", "_median", "_stddev", "_cv", "_min", "_max")
+
+
+def load_times(path):
+    """Returns {benchmark name: real_time in ns} for a benchmark JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name or name.endswith(AGGREGATE_SUFFIXES):
+            continue
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"warning: {name}: unknown time unit {unit!r}, skipped")
+            continue
+        times[name] = float(bench["real_time"]) * scale
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--current-dir", required=True,
+                        help="directory holding the freshly generated JSONs")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional slowdown (default 0.15)")
+    parser.add_argument("--files", nargs="+",
+                        default=["BENCH_gemm.json", "BENCH_round.json",
+                                 "BENCH_comm.json"],
+                        help="baseline files to compare")
+    args = parser.parse_args()
+
+    failures = []
+    compared = 0
+    for name in args.files:
+        baseline_path = os.path.join(args.baseline_dir, name)
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"error: baseline {baseline_path} missing")
+            return 1
+        if not os.path.exists(current_path):
+            print(f"error: current run {current_path} missing")
+            return 1
+        baseline = load_times(baseline_path)
+        current = load_times(current_path)
+        overlap = sorted(set(baseline) & set(current))
+        if not overlap:
+            print(f"error: {name}: no overlapping benchmarks between "
+                  f"baseline and current run")
+            return 1
+        for missing in sorted(set(baseline) - set(current)):
+            print(f"note: {name}: {missing} only in baseline (renamed?)")
+        for bench in overlap:
+            compared += 1
+            ratio = current[bench] / baseline[bench]
+            status = "ok"
+            if ratio > 1.0 + args.threshold:
+                status = "REGRESSION"
+                failures.append((bench, ratio))
+            print(f"{status:>10}  {bench}: {baseline[bench]:.0f} ns -> "
+                  f"{current[bench]:.0f} ns  ({(ratio - 1.0) * 100:+.1f}%)")
+
+    print(f"\ncompared {compared} benchmarks, "
+          f"threshold +{args.threshold * 100:.0f}%")
+    if failures:
+        print(f"{len(failures)} regression(s):")
+        for bench, ratio in failures:
+            print(f"  {bench}: {(ratio - 1.0) * 100:+.1f}%")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

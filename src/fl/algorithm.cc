@@ -5,6 +5,7 @@
 
 #include "fl/flat_ops.h"
 #include "fl/parallel.h"
+#include "fl/plan_runner.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -305,13 +306,19 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     TrainClientJob(jobs[slot], job_rng, fault_rng, codec_rng,
                    wire_scratch_[slot], results_[slot]);
   };
+  bool use_plan = count > 0 && jobs[0].spec != nullptr &&
+                  jobs[0].spec->options.exec == ExecMode::kPlan;
   {
     PhaseScope phase(*this, RoundPhase::kTrain);
-    util::ThreadPool* pool = AcquireFlPool();
-    if (pool != nullptr && count > 1) {
-      pool->ParallelFor(count, train_slot);
+    if (use_plan) {
+      TrainClientsPlan(round, salt, jobs);
     } else {
-      for (int slot = 0; slot < count; ++slot) train_slot(slot);
+      util::ThreadPool* pool = AcquireFlPool();
+      if (pool != nullptr && count > 1) {
+        pool->ParallelFor(count, train_slot);
+      } else {
+        for (int slot = 0; slot < count; ++slot) train_slot(slot);
+      }
     }
   }
   // Bookkeeping and upload screening on the calling thread, in job order,
@@ -352,14 +359,23 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
 void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
                                  util::Rng& fault_rng, util::Rng& codec_rng,
                                  WireScratch& wire, LocalTrainResult& result) {
+  FaultDecision decision;
+  if (!PrepareClientJob(job, fault_rng, wire, result, decision)) return;
+  clients_[job.client_id].Train(pool_, wire.dispatched, *job.spec, rng,
+                                result);
+  FinishClientJob(job, decision, rng, fault_rng, codec_rng, wire, result);
+}
+
+bool FlAlgorithm::PrepareClientJob(const ClientJob& job, util::Rng& fault_rng,
+                                   WireScratch& wire, LocalTrainResult& result,
+                                   FaultDecision& decision) {
   FC_CHECK_GE(job.client_id, 0);
   FC_CHECK_LT(job.client_id, num_clients());
   FC_CHECK(job.init_params != nullptr);
   FC_CHECK(job.spec != nullptr);
 
   const FaultProfile& profile = config_.faults.ProfileFor(job.client_id);
-  FaultDecision decision =
-      DrawFaults(profile, config_.faults.round_deadline, fault_rng);
+  decision = DrawFaults(profile, config_.faults.round_deadline, fault_rng);
 
   // Dropout / straggler timeout: the device received the model (the
   // dispatch frame still crossed the wire) but its upload never reaches the
@@ -375,7 +391,7 @@ void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
     result.dropped = true;
     result.fault =
         decision.dropped ? FaultKind::kDropout : FaultKind::kStraggler;
-    return;
+    return false;
   }
 
   // Dispatch round trip: the client trains on the decoded frame, never on
@@ -386,14 +402,20 @@ void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
   util::Status dispatched =
       comm::DecodeDispatch(wire.frame, shape_table_, wire.dispatched);
   FC_CHECK(dispatched.ok()) << dispatched.ToString();
+  return true;
+}
 
-  clients_[job.client_id].Train(pool_, wire.dispatched, *job.spec, rng,
-                                result);
+void FlAlgorithm::FinishClientJob(const ClientJob& job,
+                                  const FaultDecision& decision,
+                                  util::Rng& rng, util::Rng& fault_rng,
+                                  util::Rng& codec_rng, WireScratch& wire,
+                                  LocalTrainResult& result) {
   if (config_.dp.clip_norm > 0.0f) {
     result.params =
         SanitizeUpdate(wire.dispatched, result.params, config_.dp, rng);
   }
   if (decision.corrupt) {
+    const FaultProfile& profile = config_.faults.ProfileFor(job.client_id);
     CorruptUpload(profile, wire.dispatched, result.params, fault_rng);
     result.fault = FaultKind::kCorrupted;
   }
@@ -413,6 +435,76 @@ void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
                                              shape_table_, wire.decoded);
   FC_CHECK(uploaded.ok()) << uploaded.ToString();
   result.params.swap(wire.decoded);
+}
+
+void FlAlgorithm::TrainClientsPlan(int round, int salt,
+                                   const std::vector<ClientJob>& jobs) {
+  int count = static_cast<int>(jobs.size());
+  struct SlotCtx {
+    util::Rng job_rng;
+    util::Rng fault_rng;
+    util::Rng codec_rng;
+    FaultDecision decision;
+    bool trains = false;
+  };
+  // Same per-slot streams as the layer path, constructed from the same
+  // seeds; Prepare/train/Finish consume each stream in the same order a
+  // monolithic TrainClientJob would.
+  std::vector<SlotCtx> ctx;
+  ctx.reserve(count);
+  for (int slot = 0; slot < count; ++slot) {
+    ctx.push_back(SlotCtx{
+        util::Rng(ClientJobSeed(config_.seed, round, salt, slot)),
+        util::Rng(FaultSeed(config_.seed, round, salt, slot)),
+        util::Rng(CodecSeed(config_.seed, round, salt, slot)),
+        FaultDecision{}, false});
+  }
+  std::vector<PlanJob> plan_jobs;
+  plan_jobs.reserve(count);
+  for (int slot = 0; slot < count; ++slot) {
+    if (!PrepareClientJob(jobs[slot], ctx[slot].fault_rng,
+                          wire_scratch_[slot], results_[slot],
+                          ctx[slot].decision)) {
+      continue;
+    }
+    ctx[slot].trains = true;
+    PlanJob pj;
+    pj.client = &clients_[jobs[slot].client_id];
+    pj.init_params = &wire_scratch_[slot].dispatched;
+    pj.spec = jobs[slot].spec;
+    pj.rng = &ctx[slot].job_rng;
+    pj.result = &results_[slot];
+    plan_jobs.push_back(pj);
+  }
+
+  int n = static_cast<int>(plan_jobs.size());
+  if (n > 0) {
+    util::ThreadPool* tp = AcquireFlPool();
+    if (tp != nullptr && n > 1) {
+      // One lockstep cohort per contiguous chunk. Chunking only changes how
+      // many replicas each fused GEMM spans; every job's bits come from its
+      // own per-slot streams, so the split is schedule-invariant.
+      int chunks = std::min(n, std::max(1, FlThreads()));
+      tp->ParallelFor(chunks, [&](int c) {
+        int begin =
+            static_cast<int>(static_cast<std::int64_t>(n) * c / chunks);
+        int end =
+            static_cast<int>(static_cast<std::int64_t>(n) * (c + 1) / chunks);
+        if (end > begin) {
+          RunPlanJobs(pool_, plan_jobs.data() + begin, end - begin);
+        }
+      });
+    } else {
+      RunPlanJobs(pool_, plan_jobs.data(), n);
+    }
+  }
+
+  for (int slot = 0; slot < count; ++slot) {
+    if (!ctx[slot].trains) continue;
+    FinishClientJob(jobs[slot], ctx[slot].decision, ctx[slot].job_rng,
+                    ctx[slot].fault_rng, ctx[slot].codec_rng,
+                    wire_scratch_[slot], results_[slot]);
+  }
 }
 
 FlatParams FlAlgorithm::WeightedAverage(const std::vector<FlatParams>& models,

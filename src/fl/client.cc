@@ -3,15 +3,14 @@
 #include <optional>
 
 #include "data/dataloader.h"
+#include "fl/plan_runner.h"
 #include "nn/loss.h"
 #include "obs/trace.h"
 #include "optim/sgd.h"
 
 namespace fedcross::fl {
-namespace {
+namespace detail {
 
-// Adds the FedProx proximal gradient and/or the SCAFFOLD correction to the
-// freshly computed model gradients, walking the flat-offset layout.
 void AdjustGradients(nn::Sequential& model, const ClientTrainSpec& spec) {
   if (spec.prox_anchor == nullptr && spec.scaffold_correction == nullptr) {
     return;
@@ -35,7 +34,7 @@ void AdjustGradients(nn::Sequential& model, const ClientTrainSpec& spec) {
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 FlClient::FlClient(int id, std::shared_ptr<const data::Dataset> dataset)
     : id_(id), dataset_(std::move(dataset)) {
@@ -47,6 +46,18 @@ void FlClient::Train(ModelPool& pool, const FlatParams& init_params,
                      const ClientTrainSpec& spec, util::Rng& rng,
                      LocalTrainResult& result) const {
   FC_TRACE_SPAN_ARG("client.train", id_);
+  if (spec.options.exec == ExecMode::kPlan) {
+    // Plan-mode single job: a lockstep batch of one. RunPlanJobs falls back
+    // here with exec rewritten to kLayers when the topology is unsupported.
+    PlanJob job;
+    job.client = this;
+    job.init_params = &init_params;
+    job.spec = &spec;
+    job.rng = &rng;
+    job.result = &result;
+    RunPlanJobs(pool, &job, 1);
+    return;
+  }
   ModelPool::Lease lease = pool.Acquire();
   ModelPool::Replica& replica = *lease;
   nn::Sequential& model = replica.model;
@@ -87,7 +98,7 @@ void FlClient::Train(ModelPool& pool, const FlatParams& init_params,
       const Tensor& logits = model.Forward(features, /*train=*/true);
       criterion.Compute(logits, labels, loss);
       model.Backward(loss.grad_logits);
-      AdjustGradients(model, spec);
+      detail::AdjustGradients(model, spec);
       sgd.Step();
       total_loss += loss.loss;
       ++steps;
@@ -107,7 +118,7 @@ void FlClient::Train(ModelPool& pool, const FlatParams& init_params,
         criterion.Compute(logits, labels, loss);
         loss.grad_logits.Scale(spec.augment_weight);
         model.Backward(loss.grad_logits);
-        AdjustGradients(model, spec);
+        detail::AdjustGradients(model, spec);
         sgd.Step();
       }
     }

@@ -85,6 +85,16 @@ class FlClient {
   std::shared_ptr<const data::Dataset> dataset_;
 };
 
+namespace detail {
+
+// Adds the FedProx proximal gradient and/or the SCAFFOLD correction to
+// freshly computed model gradients, walking the flat-offset layout. One
+// compiled definition shared by the layer-path trainer and the execution-
+// plan runner, so both paths apply bit-identical adjustments.
+void AdjustGradients(nn::Sequential& model, const ClientTrainSpec& spec);
+
+}  // namespace detail
+
 }  // namespace fedcross::fl
 
 #endif  // FEDCROSS_FL_CLIENT_H_

@@ -80,4 +80,22 @@ std::size_t ModelPool::available() const {
   return free_.size();
 }
 
+const nn::plan::Program* ModelPool::ProgramFor(const Tensor::Shape& input_shape,
+                                               nn::Sequential& probe) {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  auto it = programs_.find(input_shape);
+  if (it == programs_.end()) {
+    // Compile under the lock: a topology walk over one replica, cheap
+    // relative to any training step and done once per shape.
+    std::optional<nn::plan::Program> compiled =
+        nn::plan::Program::Compile(probe, input_shape);
+    std::unique_ptr<nn::plan::Program> slot;
+    if (compiled.has_value()) {
+      slot = std::make_unique<nn::plan::Program>(std::move(*compiled));
+    }
+    it = programs_.emplace(input_shape, std::move(slot)).first;
+  }
+  return it->second.get();
+}
+
 }  // namespace fedcross::fl

@@ -2,12 +2,14 @@
 #define FEDCROSS_FL_MODEL_POOL_H_
 
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "models/model_zoo.h"
 #include "nn/loss.h"
+#include "nn/plan.h"
 #include "nn/sequential.h"
 #include "optim/sgd.h"
 #include "tensor/tensor.h"
@@ -40,6 +42,10 @@ class ModelPool {
     Tensor features;                  // mini-batch features
     std::vector<int> labels;          // mini-batch labels
     std::vector<int> batch_indices;   // evaluator batch index scratch
+    // Execution-plan state per input shape (the epoch-tail short batch gets
+    // its own entry). Arenas ride along with the replica, so plan-mode
+    // rounds reuse them allocation-free once warm.
+    std::map<Tensor::Shape, nn::plan::PlanState> plan_states;
   };
 
   // RAII lease: returns the replica to the pool on destruction.
@@ -86,6 +92,15 @@ class ModelPool {
   // Replicas currently sitting in the free list.
   std::size_t available() const;
 
+  // The compiled execution plan for `input_shape`, or nullptr when the
+  // pooled topology is unsupported by the plan runtime. `probe` must be a
+  // replica of this pool's architecture; it is only inspected (dynamic
+  // casts and shape walks), never mutated. Programs compile once per
+  // distinct input shape and are cached for the pool's lifetime; returned
+  // pointers stay valid until the pool is destroyed. Thread-safe.
+  const nn::plan::Program* ProgramFor(const Tensor::Shape& input_shape,
+                                      nn::Sequential& probe);
+
  private:
   friend class Lease;
 
@@ -95,6 +110,10 @@ class ModelPool {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Replica>> free_;
   std::size_t created_ = 0;
+  // Plan cache: present-but-null marks a shape whose compile failed
+  // (unsupported topology), so the answer is memoised either way.
+  std::mutex plan_mutex_;
+  std::map<Tensor::Shape, std::unique_ptr<nn::plan::Program>> programs_;
 };
 
 }  // namespace fedcross::fl

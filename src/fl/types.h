@@ -2,6 +2,7 @@
 #define FEDCROSS_FL_TYPES_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fedcross::fl {
@@ -9,6 +10,33 @@ namespace fedcross::fl {
 // A model's parameters as one flat float vector — the unit that crosses the
 // (simulated) network and that all aggregation rules operate on.
 using FlatParams = std::vector<float>;
+
+// How local SGD executes. kLayers walks Layer::Forward/Backward per model
+// (the historical path). kPlan compiles the model once into a static
+// execution plan (nn/plan.h) and runs all of a round's replicas in
+// lockstep, fusing each GEMM across replicas into one grouped call. Both
+// modes train bit-identically at every --fl_threads value; kPlan falls
+// back to kLayers per job when the topology is unsupported (LSTM,
+// residual, batch-norm, embedding). Not part of the checkpoint
+// fingerprint: a run may switch modes across resume boundaries.
+enum class ExecMode { kLayers = 0, kPlan = 1 };
+
+// --exec flag plumbing for the example binaries.
+inline bool ParseExecMode(const std::string& name, ExecMode* out) {
+  if (name == "layers") {
+    *out = ExecMode::kLayers;
+    return true;
+  }
+  if (name == "plan") {
+    *out = ExecMode::kPlan;
+    return true;
+  }
+  return false;
+}
+
+inline const char* ExecModeName(ExecMode mode) {
+  return mode == ExecMode::kPlan ? "plan" : "layers";
+}
 
 // Client-side local training hyperparameters. Defaults follow the paper's
 // experimental settings (Section IV-A): B=50, E=5 epochs, SGD lr=0.01 with
@@ -20,6 +48,7 @@ struct TrainOptions {
   float momentum = 0.5f;
   float weight_decay = 0.0f;
   float grad_clip_norm = 5.0f;  // stabilises small-width CPU models
+  ExecMode exec = ExecMode::kLayers;
 };
 
 // Test-set metrics of one global model.

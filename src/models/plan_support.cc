@@ -1,0 +1,13 @@
+#include "models/plan_support.h"
+
+#include "nn/plan.h"
+
+namespace fedcross::models {
+
+bool SupportsExecutionPlan(const ModelFactory& factory,
+                           const Tensor::Shape& input_shape) {
+  nn::Sequential model = factory();
+  return nn::plan::Program::Compile(model, input_shape).has_value();
+}
+
+}  // namespace fedcross::models

@@ -1,0 +1,20 @@
+#ifndef FEDCROSS_MODELS_PLAN_SUPPORT_H_
+#define FEDCROSS_MODELS_PLAN_SUPPORT_H_
+
+#include "models/model_zoo.h"
+#include "tensor/tensor.h"
+
+namespace fedcross::models {
+
+// True when `factory`'s topology compiles under the execution-plan runtime
+// (nn/plan.h) for `input_shape` ([batch, ...example dims]). Plan-supported
+// models run ExecMode::kPlan natively; unsupported ones (LSTM, residual
+// stacks, batch-norm) fall back to the layer path per job. Builds one
+// throwaway model instance, so call it for capability checks, not in hot
+// paths — the FL layer itself uses ModelPool::ProgramFor's cache.
+bool SupportsExecutionPlan(const ModelFactory& factory,
+                           const Tensor::Shape& input_shape);
+
+}  // namespace fedcross::models
+
+#endif  // FEDCROSS_MODELS_PLAN_SUPPORT_H_

@@ -1,69 +1,54 @@
 #include "nn/activations.h"
 
-#include <cmath>
+#include "nn/kernels.h"
 
 namespace fedcross::nn {
 
+// The arithmetic lives in nn/kernels.cc so the execution-plan runtime and
+// this layer path share one compiled loop per op (bit-identical results).
+
 const Tensor& Relu::Forward(const Tensor& input, bool train) {
   (void)train;
-  output_ = input;  // capacity-reusing copy
-  float* data = output_.data();
-  for (std::int64_t i = 0; i < output_.numel(); ++i) {
-    if (data[i] < 0.0f) data[i] = 0.0f;
-  }
+  output_.ResizeTo(input.shape());
+  kernels::ReluForward(input.data(), output_.data(), output_.numel());
   return output_;
 }
 
 const Tensor& Relu::Backward(const Tensor& grad_output) {
   FC_CHECK(grad_output.SameShape(output_));
-  grad_input_ = grad_output;
-  float* grad = grad_input_.data();
-  const float* out = output_.data();
-  // out[i] <= 0 exactly when the forward input was <= 0 (ReLU maps
-  // positives to themselves and everything else to 0).
-  for (std::int64_t i = 0; i < grad_input_.numel(); ++i) {
-    if (out[i] <= 0.0f) grad[i] = 0.0f;
-  }
+  grad_input_.ResizeTo(grad_output.shape());
+  kernels::ReluBackward(output_.data(), grad_output.data(),
+                        grad_input_.data(), grad_input_.numel());
   return grad_input_;
 }
 
 const Tensor& Tanh::Forward(const Tensor& input, bool train) {
   (void)train;
-  output_ = input;
-  float* data = output_.data();
-  for (std::int64_t i = 0; i < output_.numel(); ++i) data[i] = std::tanh(data[i]);
+  output_.ResizeTo(input.shape());
+  kernels::TanhForward(input.data(), output_.data(), output_.numel());
   return output_;
 }
 
 const Tensor& Tanh::Backward(const Tensor& grad_output) {
   FC_CHECK(grad_output.SameShape(output_));
-  grad_input_ = grad_output;
-  float* grad = grad_input_.data();
-  const float* out = output_.data();
-  for (std::int64_t i = 0; i < grad_input_.numel(); ++i) {
-    grad[i] *= 1.0f - out[i] * out[i];
-  }
+  grad_input_.ResizeTo(grad_output.shape());
+  kernels::TanhBackward(output_.data(), grad_output.data(),
+                        grad_input_.data(), grad_input_.numel());
   return grad_input_;
 }
 
 const Tensor& Sigmoid::Forward(const Tensor& input, bool train) {
   (void)train;
-  output_ = input;
-  float* data = output_.data();
-  for (std::int64_t i = 0; i < output_.numel(); ++i) {
-    data[i] = 1.0f / (1.0f + std::exp(-data[i]));
-  }
+  output_.ResizeTo(input.shape());
+  kernels::SigmoidForward(input.data(), output_.data(), output_.numel());
   return output_;
 }
 
 const Tensor& Sigmoid::Backward(const Tensor& grad_output) {
   FC_CHECK(grad_output.SameShape(output_));
-  grad_input_ = grad_output;
-  float* grad = grad_input_.data();
-  const float* out = output_.data();
-  for (std::int64_t i = 0; i < grad_input_.numel(); ++i) {
-    grad[i] *= out[i] * (1.0f - out[i]);
-  }
+  grad_input_.ResizeTo(grad_output.shape());
+  kernels::SigmoidBackward(output_.data(), grad_output.data(),
+                           grad_input_.data(), grad_input_.numel());
   return grad_input_;
 }
 

@@ -1,6 +1,7 @@
 #include "nn/conv2d.h"
 
 #include "nn/init.h"
+#include "nn/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace fedcross::nn {
@@ -57,14 +58,8 @@ const Tensor& Conv2d::Forward(const Tensor& input, bool train) {
               weight_.value.data(), patch, columns.data(), out_area, 0.0f,
               output_.data() + b * out_stride, out_area);
   }
-  const float* bias = bias_.value.data();
-  float* out = output_.data();
-  for (int b = 0; b < batch; ++b) {
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      float* plane = out + b * out_stride + static_cast<std::int64_t>(oc) * out_area;
-      for (int i = 0; i < out_area; ++i) plane[i] += bias[oc];
-    }
-  }
+  kernels::ConvBiasAdd(output_.data(), bias_.value.data(), batch,
+                       out_channels_, out_area);
   return output_;
 }
 
@@ -99,12 +94,7 @@ const Tensor& Conv2d::Backward(const Tensor& grad_output) {
               out_area, cached_columns_[b].data(), out_area, 1.0f,
               weight_.grad.data(), patch);
     // db += spatial sums of dY_b
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      const float* plane = grad_b + static_cast<std::int64_t>(oc) * out_area;
-      double acc = 0.0;
-      for (int i = 0; i < out_area; ++i) acc += plane[i];
-      bias_grad[oc] += static_cast<float>(acc);
-    }
+    kernels::ConvBiasGradImage(grad_b, bias_grad, out_channels_, out_area);
     // dColumns = W^T(patch, out_channels) * dY_b(out_channels, out_area)
     ops::Gemm(true, false, patch, out_area, out_channels_, 1.0f,
               weight_.value.data(), patch, grad_b, out_area, 0.0f,

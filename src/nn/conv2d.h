@@ -24,7 +24,15 @@ class Conv2d : public Layer {
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "Conv2d"; }
 
+  int in_channels() const { return in_channels_; }
   int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+
+  // Direct parameter access for the execution-plan runtime.
+  Param& weight_param() { return weight_; }
+  Param& bias_param() { return bias_; }
 
  private:
   int in_channels_;

@@ -1,5 +1,7 @@
 #include "nn/dropout.h"
 
+#include "nn/kernels.h"
+
 namespace fedcross::nn {
 
 Dropout::Dropout(float rate, std::uint64_t seed)
@@ -13,19 +15,19 @@ const Tensor& Dropout::Forward(const Tensor& input, bool train) {
   if (!last_was_train_) return input;
   cached_mask_.ResizeTo(input.shape());
   float scale = 1.0f / (1.0f - rate_);
-  float* mask = cached_mask_.data();
-  for (std::int64_t i = 0; i < cached_mask_.numel(); ++i) {
-    mask[i] = rng_.Uniform() < rate_ ? 0.0f : scale;
-  }
-  output_ = input;
-  output_.MulInPlace(cached_mask_);
+  kernels::DropoutMask(rng_, rate_, scale, cached_mask_.data(),
+                       cached_mask_.numel());
+  output_.ResizeTo(input.shape());
+  kernels::DropoutApply(input.data(), cached_mask_.data(), output_.data(),
+                        output_.numel());
   return output_;
 }
 
 const Tensor& Dropout::Backward(const Tensor& grad_output) {
   if (!last_was_train_) return grad_output;
-  grad_input_ = grad_output;
-  grad_input_.MulInPlace(cached_mask_);
+  grad_input_.ResizeTo(grad_output.shape());
+  kernels::DropoutApply(grad_output.data(), cached_mask_.data(),
+                        grad_input_.data(), grad_input_.numel());
   return grad_input_;
 }
 

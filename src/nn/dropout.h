@@ -23,6 +23,11 @@ class Dropout : public Layer {
   void ResetState() override { rng_ = util::Rng(seed_); }
   std::string Name() const override { return "Dropout"; }
 
+  float rate() const { return rate_; }
+  // The mask stream. The plan executor draws from this same generator so a
+  // plan-mode step consumes exactly the masks a layer-mode step would.
+  util::Rng& mask_rng() { return rng_; }
+
  private:
   float rate_;
   std::uint64_t seed_;

@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include "nn/init.h"
+#include "nn/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace fedcross::nn {
@@ -24,13 +25,8 @@ const Tensor& Linear::Forward(const Tensor& input, bool train) {
   ops::Gemm(false, false, batch, out_features_, in_features_, 1.0f,
             input.data(), in_features_, weight_.value.data(), out_features_,
             0.0f, output_.data(), out_features_);
-  const float* bias = bias_.value.data();
-  float* out = output_.data();
-  for (int b = 0; b < batch; ++b) {
-    for (int j = 0; j < out_features_; ++j) {
-      out[static_cast<std::int64_t>(b) * out_features_ + j] += bias[j];
-    }
-  }
+  kernels::BiasAddRows(output_.data(), bias_.value.data(), batch,
+                       out_features_);
   return output_;
 }
 
@@ -45,13 +41,8 @@ const Tensor& Linear::Backward(const Tensor& grad_output) {
             cached_input_.data(), in_features_, grad_output.data(),
             out_features_, 1.0f, weight_.grad.data(), out_features_);
   // db += column sums of dY
-  float* bias_grad = bias_.grad.data();
-  const float* grad = grad_output.data();
-  for (int b = 0; b < batch; ++b) {
-    for (int j = 0; j < out_features_; ++j) {
-      bias_grad[j] += grad[static_cast<std::int64_t>(b) * out_features_ + j];
-    }
-  }
+  kernels::BiasGradRows(grad_output.data(), bias_.grad.data(), batch,
+                        out_features_);
   // dX = dY * W^T
   grad_input_.ResizeTo({batch, in_features_});
   ops::Gemm(false, true, batch, in_features_, out_features_, 1.0f,

@@ -26,6 +26,10 @@ class Linear : public Layer {
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }
 
+  // Direct parameter access for the execution-plan runtime.
+  Param& weight_param() { return weight_; }
+  Param& bias_param() { return bias_; }
+
  private:
   int in_features_;
   int out_features_;

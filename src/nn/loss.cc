@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -24,34 +25,12 @@ void CrossEntropyLoss::Compute(const Tensor& logits,
   FC_CHECK_EQ(batch, static_cast<int>(labels.size()));
 
   // Softmax in the caller-owned grad buffer: it doubles as probs scratch and
-  // (when compute_grad) becomes the gradient in place.
+  // (when compute_grad) becomes the gradient in place. The arithmetic lives
+  // in nn/kernels.cc, shared with the execution-plan runtime.
   Tensor& probs = result.grad_logits;
   probs = logits;  // capacity-reusing copy
-  ops::SoftmaxRows(probs);
-
-  result.loss = 0.0f;
-  result.correct = 0;
-  double total_loss = 0.0;
-  const float* p = probs.data();
-  for (int b = 0; b < batch; ++b) {
-    int label = labels[b];
-    FC_CHECK_GE(label, 0);
-    FC_CHECK_LT(label, classes);
-    const float* row = p + static_cast<std::int64_t>(b) * classes;
-    total_loss -= std::log(std::max(row[label], 1e-12f));
-    if (ops::ArgMaxRow(probs, b) == label) ++result.correct;
-  }
-  result.loss = static_cast<float>(total_loss / batch);
-
-  if (compute_grad) {
-    float* grad = probs.data();
-    float inv_batch = 1.0f / static_cast<float>(batch);
-    for (int b = 0; b < batch; ++b) {
-      float* row = grad + static_cast<std::int64_t>(b) * classes;
-      row[labels[b]] -= 1.0f;
-      for (int c = 0; c < classes; ++c) row[c] *= inv_batch;
-    }
-  }
+  kernels::CrossEntropyInPlace(probs.data(), batch, classes, labels.data(),
+                               compute_grad, &result.loss, &result.correct);
 }
 
 LossResult SoftCrossEntropyLoss::Compute(const Tensor& logits,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace fedcross::nn {
 
 GroupNorm::GroupNorm(int channels, int groups, float eps)
@@ -20,46 +22,15 @@ const Tensor& GroupNorm::Forward(const Tensor& input, bool train) {
   FC_CHECK_EQ(input.dim(1), channels_);
   int batch = input.dim(0);
   int area = input.dim(2) * input.dim(3);
-  int chans_per_group = channels_ / groups_;
-  std::int64_t group_size = static_cast<std::int64_t>(chans_per_group) * area;
 
   cached_xhat_.ResizeTo(input.shape());
   cached_inv_std_.assign(static_cast<std::size_t>(batch) * groups_, 0.0f);
-
   output_.ResizeTo(input.shape());
-  const float* in = input.data();
-  float* xhat = cached_xhat_.data();
-  float* out = output_.data();
-  const float* gamma = gamma_.value.data();
-  const float* beta = beta_.value.data();
 
-  for (int b = 0; b < batch; ++b) {
-    for (int g = 0; g < groups_; ++g) {
-      std::int64_t base =
-          (static_cast<std::int64_t>(b) * channels_ + g * chans_per_group) * area;
-      double mean = 0.0;
-      for (std::int64_t i = 0; i < group_size; ++i) mean += in[base + i];
-      mean /= group_size;
-      double var = 0.0;
-      for (std::int64_t i = 0; i < group_size; ++i) {
-        double d = in[base + i] - mean;
-        var += d * d;
-      }
-      var /= group_size;
-      float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
-      cached_inv_std_[static_cast<std::size_t>(b) * groups_ + g] = inv_std;
-      for (int c = 0; c < chans_per_group; ++c) {
-        int channel = g * chans_per_group + c;
-        std::int64_t offset = base + static_cast<std::int64_t>(c) * area;
-        for (int i = 0; i < area; ++i) {
-          float normalized =
-              (in[offset + i] - static_cast<float>(mean)) * inv_std;
-          xhat[offset + i] = normalized;
-          out[offset + i] = gamma[channel] * normalized + beta[channel];
-        }
-      }
-    }
-  }
+  kernels::GroupNormForward(input.data(), output_.data(), cached_xhat_.data(),
+                            cached_inv_std_.data(), gamma_.value.data(),
+                            beta_.value.data(), batch, channels_, groups_,
+                            area, eps_);
   return output_;
 }
 
@@ -67,53 +38,13 @@ const Tensor& GroupNorm::Backward(const Tensor& grad_output) {
   FC_CHECK(grad_output.SameShape(cached_xhat_));
   int batch = grad_output.dim(0);
   int area = grad_output.dim(2) * grad_output.dim(3);
-  int chans_per_group = channels_ / groups_;
-  std::int64_t group_size = static_cast<std::int64_t>(chans_per_group) * area;
 
   grad_input_.ResizeTo(grad_output.shape());
-  const float* grad_out = grad_output.data();
-  const float* xhat = cached_xhat_.data();
-  const float* gamma = gamma_.value.data();
-  float* gamma_grad = gamma_.grad.data();
-  float* beta_grad = beta_.grad.data();
-  float* grad_in = grad_input_.data();
-
-  for (int b = 0; b < batch; ++b) {
-    for (int g = 0; g < groups_; ++g) {
-      std::int64_t base =
-          (static_cast<std::int64_t>(b) * channels_ + g * chans_per_group) * area;
-      float inv_std = cached_inv_std_[static_cast<std::size_t>(b) * groups_ + g];
-
-      // Accumulate the two per-group reductions of dxhat = dy * gamma.
-      double sum_dxhat = 0.0;
-      double sum_dxhat_xhat = 0.0;
-      for (int c = 0; c < chans_per_group; ++c) {
-        int channel = g * chans_per_group + c;
-        std::int64_t offset = base + static_cast<std::int64_t>(c) * area;
-        for (int i = 0; i < area; ++i) {
-          float dxhat = grad_out[offset + i] * gamma[channel];
-          sum_dxhat += dxhat;
-          sum_dxhat_xhat += static_cast<double>(dxhat) * xhat[offset + i];
-        }
-      }
-      float mean_dxhat = static_cast<float>(sum_dxhat / group_size);
-      float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat / group_size);
-
-      for (int c = 0; c < chans_per_group; ++c) {
-        int channel = g * chans_per_group + c;
-        std::int64_t offset = base + static_cast<std::int64_t>(c) * area;
-        for (int i = 0; i < area; ++i) {
-          float dy = grad_out[offset + i];
-          float xh = xhat[offset + i];
-          gamma_grad[channel] += dy * xh;
-          beta_grad[channel] += dy;
-          float dxhat = dy * gamma[channel];
-          grad_in[offset + i] =
-              inv_std * (dxhat - mean_dxhat - xh * mean_dxhat_xhat);
-        }
-      }
-    }
-  }
+  kernels::GroupNormBackward(grad_output.data(), cached_xhat_.data(),
+                             cached_inv_std_.data(), gamma_.value.data(),
+                             gamma_.grad.data(), beta_.grad.data(),
+                             grad_input_.data(), batch, channels_, groups_,
+                             area);
   return grad_input_;
 }
 

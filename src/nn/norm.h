@@ -25,6 +25,14 @@ class GroupNorm : public Layer {
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "GroupNorm"; }
 
+  int channels() const { return channels_; }
+  int groups() const { return groups_; }
+  float eps() const { return eps_; }
+
+  // Direct parameter access for the execution-plan runtime.
+  Param& gamma_param() { return gamma_; }
+  Param& beta_param() { return beta_; }
+
  private:
   int channels_;
   int groups_;

@@ -1,0 +1,538 @@
+#include "nn/plan.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/flatten.h"
+#include "nn/kernels.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/pooling.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace fedcross::nn::plan {
+namespace {
+
+std::int64_t NumelOf(const Tensor::Shape& shape) {
+  std::int64_t n = 1;
+  for (int d : shape) n *= d;
+  return n;
+}
+
+// Scratch for the per-op GemmGrouped instance table. Thread-local so
+// concurrent plan runners never share it; capacity is retained, so the
+// steady state allocates nothing.
+std::vector<ops::GemmGroup>& GroupScratch() {
+  thread_local std::vector<ops::GemmGroup> groups;
+  return groups;
+}
+
+float* Resolve(PlanState& state, const BatchRef& batch, Ref ref) {
+  switch (ref.space) {
+    case Ref::Space::kArena:
+      return state.arena.data() + ref.offset;
+    case Ref::Space::kInput:
+      // The input is only ever read (skip_dx guarantees no gradient is
+      // written back into it); const_cast keeps Resolve's signature single.
+      return const_cast<float*>(batch.features + ref.offset);
+    case Ref::Space::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<Program> Program::Compile(Sequential& model,
+                                        const Tensor::Shape& input_shape) {
+  FC_CHECK_GE(static_cast<int>(input_shape.size()), 2);
+  Program p;
+  p.input_shape = input_shape;
+  p.batch = input_shape[0];
+  p.input_floats = NumelOf(input_shape);
+  FC_CHECK_GT(p.batch, 0);
+
+  auto alloc = [&p](std::int64_t n) {
+    Ref ref{Ref::Space::kArena, p.arena_floats};
+    p.arena_floats += n;
+    return ref;
+  };
+
+  Tensor::Shape shape = input_shape;  // current activation shape
+  Ref cur{Ref::Space::kInput, 0};
+  Ref cur_grad;  // kNone until the first compute op
+
+  for (int i = 0; i < model.num_layers(); ++i) {
+    Layer* layer = model.layer(i);
+    Op op;
+    op.layer = i;
+    op.x = cur;
+    op.dx = cur_grad;
+    op.skip_dx = cur_grad.space == Ref::Space::kNone;
+
+    if (auto* lin = dynamic_cast<Linear*>(layer)) {
+      if (shape.size() != 2 || shape[1] != lin->in_features()) return std::nullopt;
+      op.kind = OpKind::kLinear;
+      op.batch = shape[0];
+      op.cols_in = lin->in_features();
+      op.cols_out = lin->out_features();
+      shape = {op.batch, op.cols_out};
+    } else if (auto* conv = dynamic_cast<Conv2d*>(layer)) {
+      if (shape.size() != 4 || shape[1] != conv->in_channels()) return std::nullopt;
+      op.kind = OpKind::kConv;
+      op.batch = shape[0];
+      op.channels = shape[1];
+      op.height = shape[2];
+      op.width = shape[3];
+      op.out_channels = conv->out_channels();
+      op.kernel = conv->kernel();
+      op.stride = conv->stride();
+      op.pad = conv->pad();
+      op.out_h = ops::ConvOutSize(op.height, op.kernel, op.stride, op.pad);
+      op.out_w = ops::ConvOutSize(op.width, op.kernel, op.stride, op.pad);
+      std::int64_t patch =
+          static_cast<std::int64_t>(op.channels) * op.kernel * op.kernel;
+      std::int64_t out_area = static_cast<std::int64_t>(op.out_h) * op.out_w;
+      op.s0 = alloc(op.batch * patch * out_area);  // im2col, kept for backward
+      if (!op.skip_dx) op.s1 = alloc(patch * out_area);  // dColumns, per image
+      shape = {op.batch, op.out_channels, op.out_h, op.out_w};
+    } else if (dynamic_cast<Relu*>(layer) != nullptr) {
+      op.kind = OpKind::kRelu;
+      op.numel = NumelOf(shape);
+    } else if (dynamic_cast<Tanh*>(layer) != nullptr) {
+      op.kind = OpKind::kTanh;
+      op.numel = NumelOf(shape);
+    } else if (dynamic_cast<Sigmoid*>(layer) != nullptr) {
+      op.kind = OpKind::kSigmoid;
+      op.numel = NumelOf(shape);
+    } else if (auto* drop = dynamic_cast<Dropout*>(layer)) {
+      if (drop->rate() <= 0.0f) continue;  // identity under training too
+      op.kind = OpKind::kDropout;
+      op.numel = NumelOf(shape);
+      op.rate = drop->rate();
+      op.scale = 1.0f / (1.0f - drop->rate());
+      op.s0 = alloc(op.numel);  // mask, kept for backward
+    } else if (dynamic_cast<Flatten*>(layer) != nullptr) {
+      // Metadata-only on contiguous row-major buffers: alias, no op.
+      std::int64_t features = NumelOf(shape) / shape[0];
+      shape = {shape[0], static_cast<int>(features)};
+      continue;
+    } else if (auto* pool = dynamic_cast<MaxPool2d*>(layer)) {
+      if (shape.size() != 4) return std::nullopt;
+      op.kind = OpKind::kMaxPool;
+      op.batch = shape[0];
+      op.channels = shape[1];
+      op.height = shape[2];
+      op.width = shape[3];
+      op.kernel = pool->kernel();
+      op.stride = pool->stride();
+      op.out_h = ops::ConvOutSize(op.height, op.kernel, op.stride, /*pad=*/0);
+      op.out_w = ops::ConvOutSize(op.width, op.kernel, op.stride, /*pad=*/0);
+      op.argmax_slot = static_cast<int>(p.argmax_sizes.size());
+      p.argmax_sizes.push_back(static_cast<std::int64_t>(op.batch) *
+                               op.channels * op.out_h * op.out_w);
+      shape = {op.batch, op.channels, op.out_h, op.out_w};
+    } else if (dynamic_cast<GlobalAvgPool*>(layer) != nullptr) {
+      if (shape.size() != 4) return std::nullopt;
+      op.kind = OpKind::kGlobalAvgPool;
+      op.batch = shape[0];
+      op.channels = shape[1];
+      op.height = shape[2];
+      op.width = shape[3];
+      shape = {op.batch, op.channels};
+    } else if (auto* gn = dynamic_cast<GroupNorm*>(layer)) {
+      if (shape.size() != 4 || shape[1] != gn->channels()) return std::nullopt;
+      op.kind = OpKind::kGroupNorm;
+      op.batch = shape[0];
+      op.channels = shape[1];
+      op.height = shape[2];
+      op.width = shape[3];
+      op.groups = gn->groups();
+      op.eps = gn->eps();
+      op.numel = NumelOf(shape);
+      op.s0 = alloc(op.numel);                      // xhat
+      op.s1 = alloc(static_cast<std::int64_t>(op.batch) * op.groups);  // inv_std
+      // dgamma/dbeta always need the backward pass; give the kernel a dx
+      // buffer even when the input gradient itself is unused.
+      if (op.skip_dx) {
+        op.dx = alloc(op.numel);
+        op.skip_dx = false;
+      }
+    } else {
+      return std::nullopt;  // LSTM / Residual / BatchNorm / Embedding / ...
+    }
+
+    std::int64_t out_numel = NumelOf(shape);
+    op.y = alloc(out_numel);
+    op.dy = alloc(out_numel);
+    cur = op.y;
+    cur_grad = op.dy;
+    p.ops.push_back(op);
+  }
+
+  if (p.ops.empty() || cur.space != Ref::Space::kArena) return std::nullopt;
+  if (shape.size() != 2) return std::nullopt;  // loss wants [batch, classes]
+  p.classes = shape[1];
+  p.logits = cur;
+  p.dlogits = cur_grad;
+  return p;
+}
+
+void PlanState::Bind(const Program& prog, Sequential& m) {
+  program = &prog;
+  model = &m;
+  FC_CHECK_GT(prog.arena_floats, 0);
+  FC_CHECK_LE(prog.arena_floats, static_cast<std::int64_t>(1) << 31);
+  arena.ResizeTo({static_cast<int>(prog.arena_floats)});
+  if (argmax.size() != prog.argmax_sizes.size()) {
+    argmax.resize(prog.argmax_sizes.size());
+  }
+  for (std::size_t i = 0; i < prog.argmax_sizes.size(); ++i) {
+    if (static_cast<std::int64_t>(argmax[i].size()) != prog.argmax_sizes[i]) {
+      argmax[i].resize(prog.argmax_sizes[i]);
+    }
+  }
+  bindings.assign(prog.ops.size(), OpBinding{});
+  for (std::size_t j = 0; j < prog.ops.size(); ++j) {
+    const Op& op = prog.ops[j];
+    Layer* layer = m.layer(op.layer);
+    switch (op.kind) {
+      case OpKind::kLinear:
+        bindings[j].linear = dynamic_cast<Linear*>(layer);
+        FC_CHECK(bindings[j].linear != nullptr);
+        break;
+      case OpKind::kConv:
+        bindings[j].conv = dynamic_cast<Conv2d*>(layer);
+        FC_CHECK(bindings[j].conv != nullptr);
+        break;
+      case OpKind::kGroupNorm:
+        bindings[j].gn = dynamic_cast<GroupNorm*>(layer);
+        FC_CHECK(bindings[j].gn != nullptr);
+        break;
+      case OpKind::kDropout:
+        bindings[j].dropout = dynamic_cast<Dropout*>(layer);
+        FC_CHECK(bindings[j].dropout != nullptr);
+        break;
+      default:
+        break;  // paramless elementwise/pool ops need no binding
+    }
+  }
+}
+
+void ExecuteStep(const Program& p, PlanState* const* states,
+                 const BatchRef* batches, int count, float* loss,
+                 int* correct, const float* grad_scales) {
+  FC_CHECK_GT(count, 0);
+  auto& groups = GroupScratch();
+
+  // ---- Forward ----
+  for (std::size_t j = 0; j < p.ops.size(); ++j) {
+    const Op& op = p.ops[j];
+    switch (op.kind) {
+      case OpKind::kLinear: {
+        groups.resize(count);
+        for (int r = 0; r < count; ++r) {
+          Linear* lin = states[r]->bindings[j].linear;
+          groups[r] = {Resolve(*states[r], batches[r], op.x),
+                       lin->weight_param().value.data(),
+                       Resolve(*states[r], batches[r], op.y)};
+        }
+        ops::GemmGrouped(false, false, op.batch, op.cols_out, op.cols_in,
+                         1.0f, op.cols_in, op.cols_out, 0.0f, op.cols_out,
+                         groups.data(), count);
+        for (int r = 0; r < count; ++r) {
+          kernels::BiasAddRows(Resolve(*states[r], batches[r], op.y),
+                               states[r]->bindings[j].linear->bias_param()
+                                   .value.data(),
+                               op.batch, op.cols_out);
+        }
+        break;
+      }
+      case OpKind::kConv: {
+        int patch = op.channels * op.kernel * op.kernel;
+        int out_area = op.out_h * op.out_w;
+        std::int64_t in_stride =
+            static_cast<std::int64_t>(op.channels) * op.height * op.width;
+        std::int64_t out_stride =
+            static_cast<std::int64_t>(op.out_channels) * out_area;
+        std::int64_t col_size = static_cast<std::int64_t>(patch) * out_area;
+        groups.resize(count);
+        for (int b = 0; b < op.batch; ++b) {
+          for (int r = 0; r < count; ++r) {
+            ops::Im2Col(
+                Resolve(*states[r], batches[r], op.x) + b * in_stride,
+                op.channels, op.height, op.width, op.kernel, op.kernel,
+                op.stride, op.pad,
+                Resolve(*states[r], batches[r], op.s0) + b * col_size);
+          }
+          for (int r = 0; r < count; ++r) {
+            groups[r] = {
+                states[r]->bindings[j].conv->weight_param().value.data(),
+                Resolve(*states[r], batches[r], op.s0) + b * col_size,
+                Resolve(*states[r], batches[r], op.y) + b * out_stride};
+          }
+          ops::GemmGrouped(false, false, op.out_channels, out_area, patch,
+                           1.0f, patch, out_area, 0.0f, out_area,
+                           groups.data(), count);
+        }
+        for (int r = 0; r < count; ++r) {
+          kernels::ConvBiasAdd(
+              Resolve(*states[r], batches[r], op.y),
+              states[r]->bindings[j].conv->bias_param().value.data(),
+              op.batch, op.out_channels, out_area);
+        }
+        break;
+      }
+      case OpKind::kRelu:
+        for (int r = 0; r < count; ++r) {
+          kernels::ReluForward(Resolve(*states[r], batches[r], op.x),
+                               Resolve(*states[r], batches[r], op.y),
+                               op.numel);
+        }
+        break;
+      case OpKind::kTanh:
+        for (int r = 0; r < count; ++r) {
+          kernels::TanhForward(Resolve(*states[r], batches[r], op.x),
+                               Resolve(*states[r], batches[r], op.y),
+                               op.numel);
+        }
+        break;
+      case OpKind::kSigmoid:
+        for (int r = 0; r < count; ++r) {
+          kernels::SigmoidForward(Resolve(*states[r], batches[r], op.x),
+                                  Resolve(*states[r], batches[r], op.y),
+                                  op.numel);
+        }
+        break;
+      case OpKind::kDropout:
+        for (int r = 0; r < count; ++r) {
+          float* mask = Resolve(*states[r], batches[r], op.s0);
+          kernels::DropoutMask(states[r]->bindings[j].dropout->mask_rng(),
+                               op.rate, op.scale, mask, op.numel);
+          kernels::DropoutApply(Resolve(*states[r], batches[r], op.x), mask,
+                                Resolve(*states[r], batches[r], op.y),
+                                op.numel);
+        }
+        break;
+      case OpKind::kMaxPool:
+        for (int r = 0; r < count; ++r) {
+          kernels::MaxPoolForward(
+              Resolve(*states[r], batches[r], op.x),
+              Resolve(*states[r], batches[r], op.y),
+              states[r]->argmax[op.argmax_slot].data(), op.batch, op.channels,
+              op.height, op.width, op.out_h, op.out_w, op.kernel, op.stride);
+        }
+        break;
+      case OpKind::kGlobalAvgPool:
+        for (int r = 0; r < count; ++r) {
+          kernels::GlobalAvgPoolForward(
+              Resolve(*states[r], batches[r], op.x),
+              Resolve(*states[r], batches[r], op.y), op.batch, op.channels,
+              op.height * op.width);
+        }
+        break;
+      case OpKind::kGroupNorm:
+        for (int r = 0; r < count; ++r) {
+          GroupNorm* gn = states[r]->bindings[j].gn;
+          kernels::GroupNormForward(
+              Resolve(*states[r], batches[r], op.x),
+              Resolve(*states[r], batches[r], op.y),
+              Resolve(*states[r], batches[r], op.s0),
+              Resolve(*states[r], batches[r], op.s1),
+              gn->gamma_param().value.data(), gn->beta_param().value.data(),
+              op.batch, op.channels, op.groups, op.height * op.width, op.eps);
+        }
+        break;
+    }
+  }
+
+  // ---- Loss (softmax cross-entropy, grad written into dlogits) ----
+  for (int r = 0; r < count; ++r) {
+    float* logits = Resolve(*states[r], batches[r], p.logits);
+    float* dlogits = Resolve(*states[r], batches[r], p.dlogits);
+    std::memcpy(dlogits, logits,
+                static_cast<std::size_t>(p.batch) * p.classes *
+                    sizeof(float));
+    kernels::CrossEntropyInPlace(dlogits, p.batch, p.classes,
+                                 batches[r].labels, /*compute_grad=*/true,
+                                 &loss[r], &correct[r]);
+    if (grad_scales != nullptr && grad_scales[r] != 1.0f) {
+      std::int64_t n = static_cast<std::int64_t>(p.batch) * p.classes;
+      for (std::int64_t i = 0; i < n; ++i) dlogits[i] *= grad_scales[r];
+    }
+  }
+
+  // ---- Backward ----
+  for (std::size_t idx = p.ops.size(); idx-- > 0;) {
+    const Op& op = p.ops[idx];
+    std::size_t j = idx;
+    switch (op.kind) {
+      case OpKind::kLinear: {
+        groups.resize(count);
+        // dW += X^T * dY
+        for (int r = 0; r < count; ++r) {
+          groups[r] = {Resolve(*states[r], batches[r], op.x),
+                       Resolve(*states[r], batches[r], op.dy),
+                       states[r]->bindings[j].linear->weight_param()
+                           .grad.data()};
+        }
+        ops::GemmGrouped(true, false, op.cols_in, op.cols_out, op.batch, 1.0f,
+                         op.cols_in, op.cols_out, 1.0f, op.cols_out,
+                         groups.data(), count);
+        // db += column sums of dY
+        for (int r = 0; r < count; ++r) {
+          kernels::BiasGradRows(
+              Resolve(*states[r], batches[r], op.dy),
+              states[r]->bindings[j].linear->bias_param().grad.data(),
+              op.batch, op.cols_out);
+        }
+        // dX = dY * W^T — skipped for the first layer (nothing reads it)
+        if (!op.skip_dx) {
+          for (int r = 0; r < count; ++r) {
+            groups[r] = {
+                Resolve(*states[r], batches[r], op.dy),
+                states[r]->bindings[j].linear->weight_param().value.data(),
+                Resolve(*states[r], batches[r], op.dx)};
+          }
+          ops::GemmGrouped(false, true, op.batch, op.cols_in, op.cols_out,
+                           1.0f, op.cols_out, op.cols_out, 0.0f, op.cols_in,
+                           groups.data(), count);
+        }
+        break;
+      }
+      case OpKind::kConv: {
+        int patch = op.channels * op.kernel * op.kernel;
+        int out_area = op.out_h * op.out_w;
+        std::int64_t in_stride =
+            static_cast<std::int64_t>(op.channels) * op.height * op.width;
+        std::int64_t out_stride =
+            static_cast<std::int64_t>(op.out_channels) * out_area;
+        std::int64_t col_size = static_cast<std::int64_t>(patch) * out_area;
+        if (!op.skip_dx) {
+          for (int r = 0; r < count; ++r) {
+            float* dx = Resolve(*states[r], batches[r], op.dx);
+            std::fill(dx, dx + op.batch * in_stride, 0.0f);
+          }
+        }
+        groups.resize(count);
+        for (int b = 0; b < op.batch; ++b) {
+          // dW += dY_b * columns_b^T
+          for (int r = 0; r < count; ++r) {
+            groups[r] = {
+                Resolve(*states[r], batches[r], op.dy) + b * out_stride,
+                Resolve(*states[r], batches[r], op.s0) + b * col_size,
+                states[r]->bindings[j].conv->weight_param().grad.data()};
+          }
+          ops::GemmGrouped(false, true, op.out_channels, patch, out_area,
+                           1.0f, out_area, out_area, 1.0f, patch,
+                           groups.data(), count);
+          // db += spatial sums of dY_b
+          for (int r = 0; r < count; ++r) {
+            kernels::ConvBiasGradImage(
+                Resolve(*states[r], batches[r], op.dy) + b * out_stride,
+                states[r]->bindings[j].conv->bias_param().grad.data(),
+                op.out_channels, out_area);
+          }
+          if (!op.skip_dx) {
+            // dColumns = W^T * dY_b, scattered back by Col2Im
+            for (int r = 0; r < count; ++r) {
+              groups[r] = {
+                  states[r]->bindings[j].conv->weight_param().value.data(),
+                  Resolve(*states[r], batches[r], op.dy) + b * out_stride,
+                  Resolve(*states[r], batches[r], op.s1)};
+            }
+            ops::GemmGrouped(true, false, patch, out_area, op.out_channels,
+                             1.0f, patch, out_area, 0.0f, out_area,
+                             groups.data(), count);
+            for (int r = 0; r < count; ++r) {
+              ops::Col2Im(
+                  Resolve(*states[r], batches[r], op.s1), op.channels,
+                  op.height, op.width, op.kernel, op.kernel, op.stride,
+                  op.pad,
+                  Resolve(*states[r], batches[r], op.dx) + b * in_stride);
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kRelu:
+        if (op.skip_dx) break;
+        for (int r = 0; r < count; ++r) {
+          kernels::ReluBackward(Resolve(*states[r], batches[r], op.y),
+                                Resolve(*states[r], batches[r], op.dy),
+                                Resolve(*states[r], batches[r], op.dx),
+                                op.numel);
+        }
+        break;
+      case OpKind::kTanh:
+        if (op.skip_dx) break;
+        for (int r = 0; r < count; ++r) {
+          kernels::TanhBackward(Resolve(*states[r], batches[r], op.y),
+                                Resolve(*states[r], batches[r], op.dy),
+                                Resolve(*states[r], batches[r], op.dx),
+                                op.numel);
+        }
+        break;
+      case OpKind::kSigmoid:
+        if (op.skip_dx) break;
+        for (int r = 0; r < count; ++r) {
+          kernels::SigmoidBackward(Resolve(*states[r], batches[r], op.y),
+                                   Resolve(*states[r], batches[r], op.dy),
+                                   Resolve(*states[r], batches[r], op.dx),
+                                   op.numel);
+        }
+        break;
+      case OpKind::kDropout:
+        if (op.skip_dx) break;
+        for (int r = 0; r < count; ++r) {
+          kernels::DropoutApply(Resolve(*states[r], batches[r], op.dy),
+                                Resolve(*states[r], batches[r], op.s0),
+                                Resolve(*states[r], batches[r], op.dx),
+                                op.numel);
+        }
+        break;
+      case OpKind::kMaxPool:
+        if (op.skip_dx) break;
+        for (int r = 0; r < count; ++r) {
+          kernels::MaxPoolBackward(
+              Resolve(*states[r], batches[r], op.dy),
+              states[r]->argmax[op.argmax_slot].data(),
+              static_cast<std::int64_t>(op.batch) * op.channels * op.out_h *
+                  op.out_w,
+              Resolve(*states[r], batches[r], op.dx),
+              static_cast<std::int64_t>(op.batch) * op.channels * op.height *
+                  op.width);
+        }
+        break;
+      case OpKind::kGlobalAvgPool:
+        if (op.skip_dx) break;
+        for (int r = 0; r < count; ++r) {
+          kernels::GlobalAvgPoolBackward(
+              Resolve(*states[r], batches[r], op.dy),
+              Resolve(*states[r], batches[r], op.dx), op.batch, op.channels,
+              op.height * op.width);
+        }
+        break;
+      case OpKind::kGroupNorm:
+        // Never skipped: dgamma/dbeta ride on the same pass.
+        for (int r = 0; r < count; ++r) {
+          GroupNorm* gn = states[r]->bindings[j].gn;
+          kernels::GroupNormBackward(
+              Resolve(*states[r], batches[r], op.dy),
+              Resolve(*states[r], batches[r], op.s0),
+              Resolve(*states[r], batches[r], op.s1),
+              gn->gamma_param().value.data(), gn->gamma_param().grad.data(),
+              gn->beta_param().grad.data(),
+              Resolve(*states[r], batches[r], op.dx), op.batch, op.channels,
+              op.groups, op.height * op.width);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace fedcross::nn::plan

@@ -1,0 +1,151 @@
+#ifndef FEDCROSS_NN_PLAN_H_
+#define FEDCROSS_NN_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace fedcross::nn {
+
+class Conv2d;
+class Dropout;
+class GroupNorm;
+class Linear;
+
+namespace plan {
+
+// -----------------------------------------------------------------------
+// Execution plans: a Sequential model compiled, for one fixed input shape,
+// into a flat list of ops with pre-assigned offsets into a single
+// per-replica float arena. The plan executor then runs K same-topology
+// replicas in lockstep, fusing each GEMM across replicas into one
+// ops::GemmGrouped call (replica-interleaved SIMD lanes for small shapes).
+//
+// Invariant: a plan step is bit-identical to Layer::Forward / loss /
+// Layer::Backward on the same replica. Three mechanisms enforce this:
+//  * every GEMM goes through ops::Gemm / ops::GemmGrouped, whose grouped
+//    instances are bit-identical to standalone calls;
+//  * every non-GEMM arithmetic loop is a shared out-of-line kernel in
+//    nn/kernels.cc, called by both the layer classes and the executor, so
+//    no expression can be FP-contracted differently in two TUs;
+//  * dropout masks are drawn from the layer's own RNG in layer order, so
+//    both paths consume the same stream.
+// The plan also skips work the layer path wastes: the input gradient of
+// the first layer (nothing consumes it) and the copy-in/copy-out of
+// elementwise layers (ops read and write arena buffers out of place).
+// -----------------------------------------------------------------------
+
+// A float-buffer reference: either the mini-batch input tensor (read-only)
+// or an offset into the per-replica arena.
+struct Ref {
+  enum class Space : std::uint8_t { kNone, kInput, kArena };
+  Space space = Space::kNone;
+  std::int64_t offset = 0;
+};
+
+enum class OpKind : std::uint8_t {
+  kLinear,
+  kConv,
+  kRelu,
+  kTanh,
+  kSigmoid,
+  kDropout,
+  kMaxPool,
+  kGlobalAvgPool,
+  kGroupNorm,
+};
+
+// One compiled op. Offsets and geometry are shared by all replicas; the
+// per-replica parameter pointers come from PlanState bindings.
+struct Op {
+  OpKind kind;
+  int layer = -1;        // index into the source Sequential
+  bool skip_dx = false;  // input gradient provably unused: skip computing it
+
+  Ref x, y;    // input / output activations
+  Ref dx, dy;  // their gradients (dx may be kNone when skip_dx)
+  Ref s0, s1;  // float scratch: conv columns+dcolumns, dropout mask,
+               // groupnorm xhat+inv_std
+  int argmax_slot = -1;  // MaxPool: index into PlanState::argmax
+
+  // Geometry (fields unused by a kind stay zero).
+  std::int64_t numel = 0;             // elementwise ops
+  int batch = 0;
+  int cols_in = 0, cols_out = 0;      // linear
+  int channels = 0, height = 0, width = 0;  // conv/pool/groupnorm input
+  int out_channels = 0, out_h = 0, out_w = 0;
+  int kernel = 0, stride = 0, pad = 0;
+  int groups = 0;                     // groupnorm
+  float rate = 0.0f, scale = 0.0f;    // dropout
+  float eps = 0.0f;                   // groupnorm
+};
+
+// The compiled, topology-level plan. Shared (read-only) by every replica of
+// one architecture at one batch geometry.
+struct Program {
+  std::vector<Op> ops;
+  std::int64_t arena_floats = 0;           // per-replica arena size
+  std::vector<std::int64_t> argmax_sizes;  // per MaxPool slot
+  Tensor::Shape input_shape;               // includes the batch dim
+  std::int64_t input_floats = 0;
+  int batch = 0;
+  int classes = 0;    // final logits width
+  Ref logits, dlogits;
+
+  // Compiles `model` for `input_shape` (training semantics: dropout
+  // active). Returns nullopt when the topology contains a layer kind the
+  // plan runtime does not support (LSTM, Residual, BatchNorm, Embedding);
+  // callers then fall back to layer-by-layer execution.
+  static std::optional<Program> Compile(Sequential& model,
+                                        const Tensor::Shape& input_shape);
+};
+
+// Per-replica executor state: the arena, MaxPool argmax slots, and borrowed
+// layer pointers (parameters and the dropout RNG live in the model). Bind()
+// reuses storage capacity, so rebinding the same program is allocation-free
+// after the first call.
+struct PlanState {
+  struct OpBinding {
+    Linear* linear = nullptr;
+    Conv2d* conv = nullptr;
+    GroupNorm* gn = nullptr;
+    Dropout* dropout = nullptr;
+  };
+
+  const Program* program = nullptr;
+  Sequential* model = nullptr;
+  Tensor arena;
+  std::vector<std::vector<std::int64_t>> argmax;
+  std::vector<OpBinding> bindings;
+
+  // Binds `model`'s layers to `program`'s ops (type-checked) and sizes the
+  // arena. The program must outlive this state.
+  void Bind(const Program& prog, Sequential& m);
+};
+
+// One replica's mini-batch: borrowed pointers into the caller's feature
+// tensor ([batch, ...] row-major) and label array (batch ints).
+struct BatchRef {
+  const float* features = nullptr;
+  const int* labels = nullptr;
+};
+
+// Runs forward + softmax-cross-entropy + backward for `count` replicas in
+// lockstep on same-shape batches. Parameter gradients accumulate (+=) into
+// each replica's layers — the caller zeroes grads and applies the optimizer
+// step, exactly as with the layer path. loss[i]/correct[i] receive each
+// replica's mean batch loss and argmax-accuracy count. grad_scales, when
+// non-null, multiplies replica i's logits gradient by grad_scales[i] before
+// backprop (FedGen weights its augmentation batches this way). All states
+// must be bound to `program`. Allocation-free in steady state.
+void ExecuteStep(const Program& program, PlanState* const* states,
+                 const BatchRef* batches, int count, float* loss,
+                 int* correct, const float* grad_scales = nullptr);
+
+}  // namespace plan
+}  // namespace fedcross::nn
+
+#endif  // FEDCROSS_NN_PLAN_H_

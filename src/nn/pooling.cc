@@ -1,5 +1,6 @@
 #include "nn/pooling.h"
 
+#include "nn/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace fedcross::nn {
@@ -21,57 +22,22 @@ const Tensor& MaxPool2d::Forward(const Tensor& input, bool train) {
 
   cached_input_shape_ = input.shape();
   output_.ResizeTo({batch, channels, out_h, out_w});
-  argmax_.assign(output_.numel(), 0);
-
-  const float* in = input.data();
-  float* out = output_.data();
-  std::int64_t out_index = 0;
-  for (int b = 0; b < batch; ++b) {
-    for (int c = 0; c < channels; ++c) {
-      const float* plane =
-          in + (static_cast<std::int64_t>(b) * channels + c) * height * width;
-      std::int64_t plane_offset =
-          (static_cast<std::int64_t>(b) * channels + c) * height * width;
-      for (int oh = 0; oh < out_h; ++oh) {
-        for (int ow = 0; ow < out_w; ++ow) {
-          int h0 = oh * stride_;
-          int w0 = ow * stride_;
-          float best = plane[h0 * width + w0];
-          int best_h = h0;
-          int best_w = w0;
-          for (int kh = 0; kh < kernel_; ++kh) {
-            int ih = h0 + kh;
-            if (ih >= height) break;
-            for (int kw = 0; kw < kernel_; ++kw) {
-              int iw = w0 + kw;
-              if (iw >= width) break;
-              float value = plane[ih * width + iw];
-              if (value > best) {
-                best = value;
-                best_h = ih;
-                best_w = iw;
-              }
-            }
-          }
-          out[out_index] = best;
-          argmax_[out_index] = plane_offset + best_h * width + best_w;
-          ++out_index;
-        }
-      }
-    }
+  if (static_cast<std::int64_t>(argmax_.size()) != output_.numel()) {
+    argmax_.resize(output_.numel());
   }
+
+  kernels::MaxPoolForward(input.data(), output_.data(), argmax_.data(), batch,
+                          channels, height, width, out_h, out_w, kernel_,
+                          stride_);
   return output_;
 }
 
 const Tensor& MaxPool2d::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.numel(), static_cast<std::int64_t>(argmax_.size()));
   grad_input_.ResizeTo(cached_input_shape_);
-  grad_input_.Fill(0.0f);  // scatter-add below only touches argmax cells
-  float* grad_in = grad_input_.data();
-  const float* grad_out = grad_output.data();
-  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
-    grad_in[argmax_[i]] += grad_out[i];
-  }
+  kernels::MaxPoolBackward(grad_output.data(), argmax_.data(),
+                           grad_output.numel(), grad_input_.data(),
+                           grad_input_.numel());
   return grad_input_;
 }
 
@@ -84,17 +50,8 @@ const Tensor& GlobalAvgPool::Forward(const Tensor& input, bool train) {
   cached_input_shape_ = input.shape();
 
   output_.ResizeTo({batch, channels});
-  const float* in = input.data();
-  float* out = output_.data();
-  for (int b = 0; b < batch; ++b) {
-    for (int c = 0; c < channels; ++c) {
-      const float* plane = in + (static_cast<std::int64_t>(b) * channels + c) * area;
-      double acc = 0.0;
-      for (int i = 0; i < area; ++i) acc += plane[i];
-      out[static_cast<std::int64_t>(b) * channels + c] =
-          static_cast<float>(acc / area);
-    }
-  }
+  kernels::GlobalAvgPoolForward(input.data(), output_.data(), batch, channels,
+                                area);
   return output_;
 }
 
@@ -107,17 +64,8 @@ const Tensor& GlobalAvgPool::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.dim(1), channels);
 
   grad_input_.ResizeTo(cached_input_shape_);
-  float* grad_in = grad_input_.data();
-  const float* grad_out = grad_output.data();
-  float inv_area = 1.0f / static_cast<float>(area);
-  for (int b = 0; b < batch; ++b) {
-    for (int c = 0; c < channels; ++c) {
-      float g = grad_out[static_cast<std::int64_t>(b) * channels + c] * inv_area;
-      float* plane =
-          grad_in + (static_cast<std::int64_t>(b) * channels + c) * area;
-      for (int i = 0; i < area; ++i) plane[i] = g;
-    }
-  }
+  kernels::GlobalAvgPoolBackward(grad_output.data(), grad_input_.data(), batch,
+                                 channels, area);
   return grad_input_;
 }
 

@@ -18,6 +18,9 @@ class MaxPool2d : public Layer {
   const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "MaxPool2d"; }
 
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+
  private:
   int kernel_;
   int stride_;

@@ -44,6 +44,16 @@ class Sequential : public Layer {
   // ---- Model utilities ----------------------------------------------------
   int num_layers() const { return static_cast<int>(layers_.size()); }
 
+  // Borrowed pointer to layer `i` (0-based, registration order). Used by the
+  // execution-plan compiler to inspect the topology and by the plan state to
+  // bind per-replica parameters; the pointer stays valid for the model's
+  // lifetime.
+  Layer* layer(int i) {
+    FC_CHECK_GE(i, 0);
+    FC_CHECK_LT(i, num_layers());
+    return layers_[static_cast<std::size_t>(i)].get();
+  }
+
   // Stable parameter pointers (computed once, cached).
   const std::vector<Param*>& Params();
 

@@ -1,0 +1,14 @@
+// AVX2+FMA tier: CMake compiles this file with -march=x86-64-v3. When the
+// flag is unavailable (non-x86 target or an old compiler) the guard below
+// degrades the accessor to the generic tier.
+#include "tensor/gemm_kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define FEDCROSS_TIER_GETTER Avx2GemmKernels
+#define FEDCROSS_TIER_ENUM SimdTier::kAvx2
+#include "tensor/gemm_tiers.inc"
+#else
+namespace fedcross::ops::detail {
+const GemmKernels& Avx2GemmKernels() { return GenericGemmKernels(); }
+}  // namespace fedcross::ops::detail
+#endif

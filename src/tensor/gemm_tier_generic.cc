@@ -1,0 +1,7 @@
+// Generic tier: compiled with the project's default flags, so on a
+// portable (non -march=native) build this is exactly the pre-tier SSE2
+// code path, bit for bit. Always available; the dispatcher falls back here
+// when the CPU lacks AVX2/AVX-512 or FEDCROSS_SIMD=generic is set.
+#define FEDCROSS_TIER_GETTER GenericGemmKernels
+#define FEDCROSS_TIER_ENUM SimdTier::kGeneric
+#include "tensor/gemm_tiers.inc"

@@ -1,232 +1,74 @@
 #include "tensor/tensor_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
+
+#include "tensor/gemm_kernels.h"
 
 namespace fedcross::ops {
 namespace {
 
-// Cache-blocked GEMM (BLIS-style): op(A)/op(B) panels are packed into
-// contiguous, zero-padded strips so one micro-kernel serves all four trans
-// combinations, the inner loops are branch-free, and the compiler can keep
-// the kMr x kNr accumulator tile in vector registers.
-//
-// Blocking parameters: kMr x kNr is the register tile (4x16 floats = 8 YMM
-// accumulators under AVX2, 16 XMM under SSE2); kKc keeps an A strip
-// (kMr * kKc floats) plus a B strip (kNr * kKc floats) resident in L1/L2;
-// kMc x kKc bounds the packed A panel (~128 KiB); kNc bounds the packed B
-// panel (~2 MiB, L3-resident).
-constexpr int kMr = 4;
-constexpr int kNr = 16;
-constexpr int kMc = 128;
-constexpr int kKc = 256;
-constexpr int kNc = 2048;
+using detail::GemmKernels;
+using detail::kSmallGemmOps;
 
-// Below this op-count the packing overhead dominates; use the simple loops.
-constexpr std::int64_t kSmallGemmOps = 16 * 1024;
-
-constexpr int RoundUp(int value, int multiple) {
-  return (value + multiple - 1) / multiple * multiple;
-}
-
-inline float OpA(const float* a, int lda, bool trans_a, int i, int p) {
-  return trans_a ? a[static_cast<std::int64_t>(p) * lda + i]
-                 : a[static_cast<std::int64_t>(i) * lda + p];
-}
-
-inline float OpB(const float* b, int ldb, bool trans_b, int p, int j) {
-  return trans_b ? b[static_cast<std::int64_t>(j) * ldb + p]
-                 : b[static_cast<std::int64_t>(p) * ldb + j];
-}
-
-// Packs op(A)[i0:i0+mc, p0:p0+kc] into kMr-row strips, each strip stored
-// p-major (packed[p * kMr + r]), zero-padding partial strips so the
-// micro-kernel never needs a row mask.
-void PackA(bool trans_a, const float* a, int lda, int i0, int mc, int p0,
-           int kc, float* packed) {
-  for (int i = 0; i < mc; i += kMr) {
-    int rows = std::min(kMr, mc - i);
-    for (int p = 0; p < kc; ++p) {
-      for (int r = 0; r < rows; ++r) {
-        packed[p * kMr + r] = OpA(a, lda, trans_a, i0 + i + r, p0 + p);
-      }
-      for (int r = rows; r < kMr; ++r) packed[p * kMr + r] = 0.0f;
-    }
-    packed += static_cast<std::int64_t>(kc) * kMr;
-  }
-}
-
-// Packs op(B)[p0:p0+kc, j0:j0+nc] into kNr-column strips, each strip stored
-// p-major (packed[p * kNr + c]), zero-padded like PackA.
-void PackB(bool trans_b, const float* b, int ldb, int p0, int kc, int j0,
-           int nc, float* packed) {
-  for (int j = 0; j < nc; j += kNr) {
-    int cols = std::min(kNr, nc - j);
-    if (!trans_b && cols == kNr) {
-      // Full strip of an untransposed B: contiguous row copies.
-      for (int p = 0; p < kc; ++p) {
-        const float* src = b + static_cast<std::int64_t>(p0 + p) * ldb + j0 + j;
-        float* dst = packed + p * kNr;
-        for (int c = 0; c < kNr; ++c) dst[c] = src[c];
-      }
-    } else {
-      for (int p = 0; p < kc; ++p) {
-        for (int c = 0; c < cols; ++c) {
-          packed[p * kNr + c] = OpB(b, ldb, trans_b, p0 + p, j0 + j + c);
-        }
-        for (int c = cols; c < kNr; ++c) packed[p * kNr + c] = 0.0f;
-      }
-    }
-    packed += static_cast<std::int64_t>(kc) * kNr;
-  }
-}
-
-// acc[kMr][kNr] += sum_p a_strip[p][*] (outer) b_strip[p][*]. Both strips
-// are packed and padded, so the loops are fixed-trip and branch-free; the
-// accumulator tile stays in registers across the whole p loop.
-#if defined(__GNUC__) || defined(__clang__)
-// GNU vector extension: one logical kNr-wide lane per A row. The compiler
-// lowers it to however many native vectors the target ISA needs (4x SSE,
-// 2x AVX2, 1x AVX-512), keeping the B row broadcast-multiplied against all
-// four accumulator chains.
-typedef float VecNr __attribute__((vector_size(kNr * sizeof(float))));
-static_assert(kMr == 4, "micro-kernel unroll assumes kMr == 4");
-
-inline void MicroKernel(int kc, const float* __restrict__ a_strip,
-                        const float* __restrict__ b_strip,
-                        float* __restrict__ acc) {
-  VecNr acc0 = {}, acc1 = {}, acc2 = {}, acc3 = {};
-  for (int p = 0; p < kc; ++p) {
-    VecNr b_vec;
-    __builtin_memcpy(&b_vec, b_strip + p * kNr, sizeof(b_vec));
-    const float* a_col = a_strip + p * kMr;
-    acc0 += a_col[0] * b_vec;
-    acc1 += a_col[1] * b_vec;
-    acc2 += a_col[2] * b_vec;
-    acc3 += a_col[3] * b_vec;
-  }
-  __builtin_memcpy(acc + 0 * kNr, &acc0, sizeof(acc0));
-  __builtin_memcpy(acc + 1 * kNr, &acc1, sizeof(acc1));
-  __builtin_memcpy(acc + 2 * kNr, &acc2, sizeof(acc2));
-  __builtin_memcpy(acc + 3 * kNr, &acc3, sizeof(acc3));
-}
+// True when the running CPU can execute the given tier's code. The tier
+// translation units compile to the generic tier when their ISA flags are
+// unavailable, so a tier is usable iff it actually carries its own enum
+// (the build got the ISA) and the CPU supports it.
+bool TierSupported(const GemmKernels& kernels, SimdTier want) {
+  if (kernels.tier != want) return false;  // build fell back to generic
+  if (want == SimdTier::kGeneric) return true;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (want == SimdTier::kAvx2) return __builtin_cpu_supports("x86-64-v3");
+  if (want == SimdTier::kAvx512) return __builtin_cpu_supports("x86-64-v4");
+  return false;
 #else
-inline void MicroKernel(int kc, const float* __restrict__ a_strip,
-                        const float* __restrict__ b_strip,
-                        float* __restrict__ acc) {
-  for (int p = 0; p < kc; ++p) {
-    const float* a_col = a_strip + p * kMr;
-    const float* b_row = b_strip + p * kNr;
-    for (int r = 0; r < kMr; ++r) {
-      float a_val = a_col[r];
-      float* acc_row = acc + r * kNr;
-      for (int c = 0; c < kNr; ++c) acc_row[c] += a_val * b_row[c];
-    }
-  }
-}
+  return false;
 #endif
-
-void GemmBlocked(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
-                 const float* a, int lda, const float* b, int ldb, float* c,
-                 int ldc) {
-  // Packing scratch is reused across calls; thread_local keeps concurrent
-  // client-training threads from sharing buffers.
-  thread_local std::vector<float> a_pack;
-  thread_local std::vector<float> b_pack;
-
-  for (int jc = 0; jc < n; jc += kNc) {
-    int nc = std::min(kNc, n - jc);
-    int nc_padded = RoundUp(nc, kNr);
-    for (int pc = 0; pc < k; pc += kKc) {
-      int kc = std::min(kKc, k - pc);
-      b_pack.resize(static_cast<std::size_t>(nc_padded) * kc);
-      PackB(trans_b, b, ldb, pc, kc, jc, nc, b_pack.data());
-      for (int ic = 0; ic < m; ic += kMc) {
-        int mc = std::min(kMc, m - ic);
-        int mc_padded = RoundUp(mc, kMr);
-        a_pack.resize(static_cast<std::size_t>(mc_padded) * kc);
-        PackA(trans_a, a, lda, ic, mc, pc, kc, a_pack.data());
-        for (int jr = 0; jr < nc; jr += kNr) {
-          const float* b_strip =
-              b_pack.data() + static_cast<std::int64_t>(jr / kNr) * kc * kNr;
-          int cols = std::min(kNr, nc - jr);
-          for (int ir = 0; ir < mc; ir += kMr) {
-            const float* a_strip =
-                a_pack.data() + static_cast<std::int64_t>(ir / kMr) * kc * kMr;
-            int rows = std::min(kMr, mc - ir);
-            float acc[kMr * kNr] = {0.0f};
-            MicroKernel(kc, a_strip, b_strip, acc);
-            // Write back the valid region of the tile; alpha == 1 (the
-            // common case throughout the layers) skips the multiply.
-            for (int r = 0; r < rows; ++r) {
-              float* c_row =
-                  c + static_cast<std::int64_t>(ic + ir + r) * ldc + jc + jr;
-              const float* acc_row = acc + r * kNr;
-              if (alpha == 1.0f) {
-                for (int cc = 0; cc < cols; ++cc) c_row[cc] += acc_row[cc];
-              } else {
-                for (int cc = 0; cc < cols; ++cc) {
-                  c_row[cc] += alpha * acc_row[cc];
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-  }
 }
 
-// Reference loops for small problems, where packing costs more than it
-// saves. No zero-skip branch: it defeats vectorization on dense inputs.
-void GemmSmall(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
-               const float* a, int lda, const float* b, int ldb, float* c,
-               int ldc) {
-  if (!trans_b) {
-    // Inner loop walks contiguous rows of B: cache-friendly i-p-j order.
-    for (int i = 0; i < m; ++i) {
-      float* c_row = c + static_cast<std::int64_t>(i) * ldc;
-      for (int p = 0; p < k; ++p) {
-        float scaled = alpha * OpA(a, lda, trans_a, i, p);
-        const float* b_row = b + static_cast<std::int64_t>(p) * ldb;
-        for (int j = 0; j < n; ++j) c_row[j] += scaled * b_row[j];
-      }
+const GemmKernels* DetectKernels() {
+  // Explicit pin via the environment, used by benchmarks and CI to compare
+  // tiers; an unsupported request falls back to detection.
+  if (const char* env = std::getenv("FEDCROSS_SIMD")) {
+    if (std::strcmp(env, "generic") == 0 || std::strcmp(env, "scalar") == 0) {
+      return &detail::GenericGemmKernels();
     }
-  } else {
-    // B is transposed: dot products over contiguous rows of B.
-    for (int i = 0; i < m; ++i) {
-      float* c_row = c + static_cast<std::int64_t>(i) * ldc;
-      for (int j = 0; j < n; ++j) {
-        const float* b_row = b + static_cast<std::int64_t>(j) * ldb;
-        double acc = 0.0;
-        if (!trans_a) {
-          const float* a_row = a + static_cast<std::int64_t>(i) * lda;
-          for (int p = 0; p < k; ++p) {
-            acc += static_cast<double>(a_row[p]) * b_row[p];
-          }
-        } else {
-          for (int p = 0; p < k; ++p) {
-            acc += static_cast<double>(a[static_cast<std::int64_t>(p) * lda + i]) *
-                   b_row[p];
-          }
-        }
-        c_row[j] += alpha * static_cast<float>(acc);
-      }
+    if (std::strcmp(env, "avx2") == 0 &&
+        TierSupported(detail::Avx2GemmKernels(), SimdTier::kAvx2)) {
+      return &detail::Avx2GemmKernels();
+    }
+    if (std::strcmp(env, "avx512") == 0 &&
+        TierSupported(detail::Avx512GemmKernels(), SimdTier::kAvx512)) {
+      return &detail::Avx512GemmKernels();
     }
   }
+  if (TierSupported(detail::Avx512GemmKernels(), SimdTier::kAvx512)) {
+    return &detail::Avx512GemmKernels();
+  }
+  if (TierSupported(detail::Avx2GemmKernels(), SimdTier::kAvx2)) {
+    return &detail::Avx2GemmKernels();
+  }
+  return &detail::GenericGemmKernels();
 }
 
-}  // namespace
+// Test override; null means "use startup detection".
+std::atomic<const GemmKernels*> g_forced_kernels{nullptr};
 
-void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
-          const float* a, int lda, const float* b, int ldb, float beta,
-          float* c, int ldc) {
-  FC_CHECK_GE(m, 0);
-  FC_CHECK_GE(n, 0);
-  FC_CHECK_GE(k, 0);
-  // beta pass; beta == 1 (accumulating layers, e.g. Conv2d::Backward's dW)
-  // skips the traversal entirely.
+const GemmKernels& ActiveKernels() {
+  const GemmKernels* forced = g_forced_kernels.load(std::memory_order_relaxed);
+  if (forced != nullptr) return *forced;
+  static const GemmKernels* detected = DetectKernels();
+  return *detected;
+}
+
+// Shared beta pass: C = beta * C, with the beta == 1 fast path. Runs before
+// the kernels so every kernel is pure-accumulate.
+inline void ScaleC(int m, int n, float beta, float* c, int ldc) {
   if (beta == 0.0f) {
     for (int i = 0; i < m; ++i) {
       float* c_row = c + static_cast<std::int64_t>(i) * ldc;
@@ -238,12 +80,100 @@ void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
       for (int j = 0; j < n; ++j) c_row[j] *= beta;
     }
   }
+}
+
+}  // namespace
+
+SimdTier ActiveSimdTier() { return ActiveKernels().tier; }
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kGeneric: return "generic";
+    case SimdTier::kAvx2: return "avx2";
+    case SimdTier::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+namespace testing {
+
+bool ForceSimdTier(SimdTier tier) {
+  const GemmKernels* kernels = nullptr;
+  switch (tier) {
+    case SimdTier::kGeneric: kernels = &detail::GenericGemmKernels(); break;
+    case SimdTier::kAvx2: kernels = &detail::Avx2GemmKernels(); break;
+    case SimdTier::kAvx512: kernels = &detail::Avx512GemmKernels(); break;
+  }
+  if (kernels == nullptr || !TierSupported(*kernels, tier)) return false;
+  g_forced_kernels.store(kernels, std::memory_order_relaxed);
+  return true;
+}
+
+void ResetForcedSimdTier() {
+  g_forced_kernels.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace testing
+
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta,
+          float* c, int ldc) {
+  FC_CHECK_GE(m, 0);
+  FC_CHECK_GE(n, 0);
+  FC_CHECK_GE(k, 0);
+  // beta pass; beta == 1 (accumulating layers, e.g. Conv2d::Backward's dW)
+  // skips the traversal entirely.
+  ScaleC(m, n, beta, c, ldc);
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+  const GemmKernels& kernels = ActiveKernels();
   std::int64_t ops = static_cast<std::int64_t>(m) * n * k;
   if (ops <= kSmallGemmOps) {
-    GemmSmall(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    kernels.gemm_small(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c,
+                       ldc);
   } else {
-    GemmBlocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    kernels.gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c,
+                         ldc);
+  }
+}
+
+void GemmGrouped(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+                 int lda, int ldb, float beta, int ldc,
+                 const GemmGroup* groups, int count) {
+  FC_CHECK_GE(m, 0);
+  FC_CHECK_GE(n, 0);
+  FC_CHECK_GE(k, 0);
+  FC_CHECK_GE(count, 0);
+  for (int g = 0; g < count; ++g) ScaleC(m, n, beta, groups[g].c, ldc);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f || count == 0) return;
+  const GemmKernels& kernels = ActiveKernels();
+  std::int64_t ops = static_cast<std::int64_t>(m) * n * k;
+  if (ops <= kSmallGemmOps) {
+    // Same shape threshold as Gemm, so each instance runs the kernel the
+    // standalone call would have picked. The interleaved kernel pays an
+    // L-fold gather of every operand, which only earns its keep where the
+    // standalone loop serialises on FP latency: untransposed B with a
+    // narrow n (each output element is a long ascending-p chain). Wider
+    // shapes and transposed B vectorise fine standalone, so the gather is
+    // pure overhead there — measured crossover is n ~ 8-16. Both paths are
+    // bit-identical per instance, so this is purely a speed choice.
+    const bool interleave_pays = !trans_b && n <= 8;
+    if (kernels.gemm_grouped_small != nullptr && count > 1 &&
+        interleave_pays) {
+      kernels.gemm_grouped_small(trans_a, trans_b, m, n, k, alpha, lda, ldb,
+                                 ldc, groups, count);
+    } else {
+      for (int g = 0; g < count; ++g) {
+        kernels.gemm_small(trans_a, trans_b, m, n, k, alpha, groups[g].a, lda,
+                           groups[g].b, ldb, groups[g].c, ldc);
+      }
+    }
+  } else {
+    // Large instances are compute-bound in the blocked kernel already;
+    // batching would only re-pack shared-size panels without reuse.
+    for (int g = 0; g < count; ++g) {
+      kernels.gemm_blocked(trans_a, trans_b, m, n, k, alpha, groups[g].a, lda,
+                           groups[g].b, ldb, groups[g].c, ldc);
+    }
   }
 }
 
@@ -328,11 +258,7 @@ void Col2Im(const float* columns, int channels, int height, int width,
   }
 }
 
-void SoftmaxRows(Tensor& logits) {
-  FC_CHECK_EQ(logits.ndim(), 2);
-  int rows = logits.dim(0);
-  int cols = logits.dim(1);
-  float* data = logits.data();
+void SoftmaxRowsRaw(float* data, int rows, int cols) {
   for (int r = 0; r < rows; ++r) {
     float* row = data + static_cast<std::int64_t>(r) * cols;
     float max_value = row[0];
@@ -347,17 +273,25 @@ void SoftmaxRows(Tensor& logits) {
   }
 }
 
+void SoftmaxRows(Tensor& logits) {
+  FC_CHECK_EQ(logits.ndim(), 2);
+  SoftmaxRowsRaw(logits.data(), logits.dim(0), logits.dim(1));
+}
+
+int ArgMaxRowRaw(const float* row, int cols) {
+  int best = 0;
+  for (int c = 1; c < cols; ++c) {
+    if (row[c] > row[best]) best = c;
+  }
+  return best;
+}
+
 int ArgMaxRow(const Tensor& t, int row) {
   FC_CHECK_EQ(t.ndim(), 2);
   FC_CHECK_GE(row, 0);
   FC_CHECK_LT(row, t.dim(0));
   int cols = t.dim(1);
-  const float* data = t.data() + static_cast<std::int64_t>(row) * cols;
-  int best = 0;
-  for (int c = 1; c < cols; ++c) {
-    if (data[c] > data[best]) best = c;
-  }
-  return best;
+  return ArgMaxRowRaw(t.data() + static_cast<std::int64_t>(row) * cols, cols);
 }
 
 double CosineSimilarity(const std::vector<float>& x,

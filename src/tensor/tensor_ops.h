@@ -5,6 +5,32 @@
 
 namespace fedcross::ops {
 
+// ---------------------------------------------------------------------------
+// SIMD tier dispatch
+//
+// The GEMM kernels are compiled three times — generic (the project's
+// default flags), AVX2+FMA (-march=x86-64-v3) and AVX-512
+// (-march=x86-64-v4) — and the widest tier the CPU supports is selected
+// once at startup. The environment variable FEDCROSS_SIMD
+// (generic|avx2|avx512) pins a tier explicitly; requesting an unsupported
+// tier falls back to detection. The generic tier on a portable build is
+// bit-identical to the pre-tier code path.
+// ---------------------------------------------------------------------------
+enum class SimdTier { kGeneric = 0, kAvx2 = 1, kAvx512 = 2 };
+
+// The tier every Gemm/GemmGrouped call dispatches to.
+SimdTier ActiveSimdTier();
+const char* SimdTierName(SimdTier tier);
+
+namespace testing {
+// Pins the dispatch tier for equivalence tests. Returns false (and leaves
+// the dispatch unchanged) when the tier is not available on this
+// build/CPU. Not thread-safe; call only from single-threaded test setup.
+bool ForceSimdTier(SimdTier tier);
+// Restores startup detection (including the FEDCROSS_SIMD override).
+void ResetForcedSimdTier();
+}  // namespace testing
+
 // General matrix multiply on raw row-major buffers:
 //   C(m,n) = alpha * op(A)(m,k) * op(B)(k,n) + beta * C(m,n)
 // where op(X) is X or X^T as selected by trans_a / trans_b. Leading
@@ -12,6 +38,25 @@ namespace fedcross::ops {
 void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
           const float* a, int lda, const float* b, int ldb, float beta,
           float* c, int ldc);
+
+// One instance of a grouped GEMM: the per-replica operand pointers. All
+// instances of a group share shape, trans flags, leading dimensions, alpha
+// and beta.
+struct GemmGroup {
+  const float* a = nullptr;
+  const float* b = nullptr;
+  float* c = nullptr;
+};
+
+// Runs `count` independent GEMMs of one shape — the same-op-across-replicas
+// call the cross-replica batched executor makes. Guarantee: instance i's
+// output is bit-identical to Gemm() on (groups[i].a, groups[i].b,
+// groups[i].c) alone. Small problems run replica-interleaved across SIMD
+// lanes (on FMA tiers); large problems loop the blocked kernel, which is
+// already compute-bound per instance.
+void GemmGrouped(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+                 int lda, int ldb, float beta, int ldc,
+                 const GemmGroup* groups, int count);
 
 // 2-d tensor product: result(m,n) = a(m,k) * b(k,n).
 Tensor MatMul(const Tensor& a, const Tensor& b);
@@ -34,8 +79,16 @@ int ConvOutSize(int in_size, int kernel, int stride, int pad);
 // tensor (each row becomes a probability distribution).
 void SoftmaxRows(Tensor& logits);
 
+// Raw-buffer form of SoftmaxRows: `data` is rows x cols, row-major. The
+// Tensor overload forwards here, so arena-resident logits (the plan
+// executor) and Tensor logits (the layer path) take the same code path.
+void SoftmaxRowsRaw(float* data, int rows, int cols);
+
 // Index of the maximum element in `row` of a 2-d tensor.
 int ArgMaxRow(const Tensor& t, int row);
+
+// Raw-buffer form of ArgMaxRow over one row of `cols` floats.
+int ArgMaxRowRaw(const float* row, int cols);
 
 // Cosine similarity between two equally-sized flat vectors; 0 if either has
 // zero norm. This is the Similarity(.) measure of the paper (Section

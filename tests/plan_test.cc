@@ -1,0 +1,445 @@
+// Execution-plan runtime (nn/plan.h + fl/plan_runner.h): the grouped GEMM
+// primitive must be bit-identical to standalone calls on every dispatch
+// tier, and --exec=plan must train byte-for-byte like --exec=layers for
+// every algorithm, model topology (falling back where unsupported), and
+// --fl_threads value, while keeping the steady-state round free of tensor
+// heap allocations.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fedcross.h"
+#include "data/partition.h"
+#include "data/synthetic_image.h"
+#include "fl/clusamp.h"
+#include "fl/fedavg.h"
+#include "fl/fedgen.h"
+#include "fl/model_pool.h"
+#include "fl/scaffold.h"
+#include "models/model_zoo.h"
+#include "models/plan_support.h"
+#include "nn/activations.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/plan.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace fedcross::fl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GemmGrouped == Gemm, bitwise, on every available tier
+// ---------------------------------------------------------------------------
+
+struct GemmCase {
+  bool trans_a, trans_b;
+  int m, n, k;
+};
+
+void FillNormal(std::vector<float>& v, util::Rng& rng) {
+  for (float& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+}
+
+void CheckGroupedMatchesStandalone(ops::SimdTier tier) {
+  if (!ops::testing::ForceSimdTier(tier)) {
+    GTEST_SKIP() << "tier " << ops::SimdTierName(tier)
+                 << " unavailable on this CPU/build";
+  }
+  // Small shapes take the replica-interleaved grouped kernel; the large one
+  // exceeds kSmallGemmOps and exercises the loop-over-blocked path.
+  const GemmCase cases[] = {
+      {false, false, 4, 6, 5},   {true, false, 4, 6, 5},
+      {false, true, 4, 6, 5},    {true, true, 4, 6, 5},
+      {false, false, 7, 33, 9},  {false, true, 20, 5, 17},
+      {false, false, 24, 96, 64},  // blocked-kernel territory
+      {true, false, 48, 48, 40},
+  };
+  const int kCount = 5;
+  util::Rng rng(123);
+  for (const GemmCase& c : cases) {
+    int lda = c.trans_a ? c.m : c.k;
+    int ldb = c.trans_b ? c.k : c.n;
+    int ldc = c.n;
+    std::vector<std::vector<float>> a(kCount), b(kCount), grouped(kCount),
+        solo(kCount);
+    std::vector<ops::GemmGroup> groups(kCount);
+    for (int r = 0; r < kCount; ++r) {
+      a[r].resize(static_cast<std::size_t>(c.m) * c.k);
+      b[r].resize(static_cast<std::size_t>(c.k) * c.n);
+      grouped[r].resize(static_cast<std::size_t>(c.m) * c.n);
+      FillNormal(a[r], rng);
+      FillNormal(b[r], rng);
+      FillNormal(grouped[r], rng);  // beta != 0 exercises the C scaling
+      solo[r] = grouped[r];
+      groups[r] = {a[r].data(), b[r].data(), grouped[r].data()};
+    }
+    ops::GemmGrouped(c.trans_a, c.trans_b, c.m, c.n, c.k, 0.75f, lda, ldb,
+                     0.5f, ldc, groups.data(), kCount);
+    for (int r = 0; r < kCount; ++r) {
+      ops::Gemm(c.trans_a, c.trans_b, c.m, c.n, c.k, 0.75f, a[r].data(), lda,
+                b[r].data(), ldb, 0.5f, solo[r].data(), ldc);
+      EXPECT_EQ(std::memcmp(grouped[r].data(), solo[r].data(),
+                            grouped[r].size() * sizeof(float)),
+                0)
+          << ops::SimdTierName(tier) << " ta=" << c.trans_a
+          << " tb=" << c.trans_b << " m=" << c.m << " n=" << c.n
+          << " k=" << c.k << " replica " << r;
+    }
+  }
+  ops::testing::ResetForcedSimdTier();
+}
+
+struct SimdTierGuard {
+  ~SimdTierGuard() { ops::testing::ResetForcedSimdTier(); }
+};
+
+TEST(PlanGemmTest, GroupedBitIdenticalGenericTier) {
+  SimdTierGuard guard;
+  CheckGroupedMatchesStandalone(ops::SimdTier::kGeneric);
+}
+
+TEST(PlanGemmTest, GroupedBitIdenticalAvx2Tier) {
+  SimdTierGuard guard;
+  CheckGroupedMatchesStandalone(ops::SimdTier::kAvx2);
+}
+
+TEST(PlanGemmTest, GroupedBitIdenticalAvx512Tier) {
+  SimdTierGuard guard;
+  CheckGroupedMatchesStandalone(ops::SimdTier::kAvx512);
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixtures
+// ---------------------------------------------------------------------------
+
+// MLP with every plan-supported elementwise kind: linear, relu, dropout,
+// tanh, sigmoid.
+models::ModelFactory MlpFactory(int dim, int classes) {
+  return [dim, classes]() {
+    util::Rng rng(11);
+    nn::Sequential model;
+    model.Add(std::make_unique<nn::Linear>(dim, 16, rng));
+    model.Add(std::make_unique<nn::Relu>());
+    model.Add(std::make_unique<nn::Dropout>(0.25f, 99));
+    model.Add(std::make_unique<nn::Linear>(16, 12, rng));
+    model.Add(std::make_unique<nn::Tanh>());
+    model.Add(std::make_unique<nn::Linear>(12, classes, rng));
+    return model;
+  };
+}
+
+data::FederatedDataset MakeToyFederated(int num_clients, int per_client,
+                                        int dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::FederatedDataset federated;
+  federated.num_classes = 2;
+  auto gen_example = [&](int k, std::vector<float>& features) {
+    float mean = k == 0 ? -1.0f : 1.0f;
+    for (int d = 0; d < dim; ++d) {
+      features.push_back(mean + static_cast<float>(rng.Normal(0.0, 0.6)));
+    }
+  };
+  for (int c = 0; c < num_clients; ++c) {
+    std::vector<float> features;
+    std::vector<int> labels;
+    for (int i = 0; i < per_client; ++i) {
+      int k = rng.Uniform() < 0.9 ? c % 2 : 1 - c % 2;
+      gen_example(k, features);
+      labels.push_back(k);
+    }
+    federated.client_train.push_back(std::make_shared<data::InMemoryDataset>(
+        Tensor::Shape{dim}, std::move(features), std::move(labels), 2));
+  }
+  std::vector<float> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    gen_example(i % 2, features);
+    labels.push_back(i % 2);
+  }
+  federated.test = std::make_shared<data::InMemoryDataset>(
+      Tensor::Shape{dim}, std::move(features), std::move(labels), 2);
+  return federated;
+}
+
+data::FederatedDataset MakeImageFederated(int num_clients,
+                                          std::uint64_t seed) {
+  data::SyntheticImageOptions image_options;
+  image_options.num_classes = 4;
+  image_options.height = image_options.width = 8;
+  image_options.train_per_class = 20;
+  image_options.test_per_class = 8;
+  image_options.seed = seed;
+  data::ImageCorpus corpus = data::MakeSyntheticImageCorpus(image_options);
+  util::Rng rng(seed + 1);
+  data::FederatedDataset federated;
+  federated.num_classes = 4;
+  federated.client_train = data::MakeClientShards(
+      corpus.train, data::IidPartition(*corpus.train, num_clients, rng));
+  federated.test = corpus.test;
+  return federated;
+}
+
+AlgorithmConfig ToyConfig(ExecMode exec) {
+  AlgorithmConfig config;
+  config.clients_per_round = 4;
+  config.train.local_epochs = 2;
+  // per_client=35 below is not a multiple of 10, so every epoch ends in a
+  // short batch and the lockstep runner must group two batch geometries.
+  config.train.batch_size = 10;
+  config.train.lr = 0.05f;
+  config.train.exec = exec;
+  config.seed = 17;
+  // Nonzero dropout exercises the Prepare/Finish echo path in plan mode.
+  config.dropout_prob = 0.2;
+  return config;
+}
+
+struct FlThreadsGuard {
+  ~FlThreadsGuard() { SetFlThreads(1); }
+};
+
+void ExpectBitIdentical(const FlatParams& a, const FlatParams& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (a.empty()) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what;
+}
+
+std::unique_ptr<FlAlgorithm> MakeAlgorithm(const std::string& name,
+                                           ExecMode exec) {
+  AlgorithmConfig config = ToyConfig(exec);
+  data::FederatedDataset data = MakeToyFederated(8, 35, 6, 41);
+  models::ModelFactory factory = MlpFactory(6, 2);
+  if (name == "fedavg") {
+    return std::make_unique<FedAvg>(config, std::move(data), factory);
+  }
+  if (name == "fedprox") {
+    return std::make_unique<FedProx>(config, std::move(data), factory, 0.1f);
+  }
+  if (name == "scaffold") {
+    return std::make_unique<Scaffold>(config, std::move(data), factory);
+  }
+  if (name == "clusamp") {
+    return std::make_unique<CluSamp>(config, std::move(data), factory);
+  }
+  if (name == "fedgen") {
+    return std::make_unique<FedGen>(config, std::move(data), factory);
+  }
+  core::FedCrossOptions options;
+  options.alpha = 0.9;
+  return std::make_unique<core::FedCross>(config, std::move(data), factory,
+                                          options);
+}
+
+FlatParams RunToy(const std::string& algo, ExecMode exec, int threads,
+                  int rounds) {
+  SetFlThreads(threads);
+  std::unique_ptr<FlAlgorithm> server = MakeAlgorithm(algo, exec);
+  for (int r = 0; r < rounds; ++r) server->RunRound(r);
+  return server->GlobalParams();
+}
+
+// ---------------------------------------------------------------------------
+// plan == layers, for all six algorithms, at fl_threads 1 and 4
+// ---------------------------------------------------------------------------
+
+TEST(PlanExecutionTest, AllAlgorithmsBitIdenticalAcrossExecAndThreads) {
+  FlThreadsGuard guard;
+  const char* algorithms[] = {"fedavg",  "fedprox", "scaffold",
+                              "clusamp", "fedgen",  "fedcross"};
+  for (const char* algo : algorithms) {
+    FlatParams layers1 = RunToy(algo, ExecMode::kLayers, 1, 3);
+    FlatParams plan1 = RunToy(algo, ExecMode::kPlan, 1, 3);
+    FlatParams plan4 = RunToy(algo, ExecMode::kPlan, 4, 3);
+    ExpectBitIdentical(layers1, plan1, std::string(algo) + ": plan@1");
+    ExpectBitIdentical(layers1, plan4, std::string(algo) + ": plan@4");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// plan == layers across the model zoo (conv topologies natively, ResNet via
+// the per-job layer fallback)
+// ---------------------------------------------------------------------------
+
+FlatParams RunImageFedAvg(const models::ModelFactory& factory, ExecMode exec,
+                          int rounds) {
+  AlgorithmConfig config;
+  config.clients_per_round = 3;
+  config.train.local_epochs = 1;
+  config.train.batch_size = 10;
+  config.train.lr = 0.05f;
+  config.train.exec = exec;
+  config.seed = 23;
+  FedAvg server(config, MakeImageFederated(4, 9), factory);
+  for (int r = 0; r < rounds; ++r) server.RunRound(r);
+  return server.GlobalParams();
+}
+
+TEST(PlanExecutionTest, ModelZooBitIdentical) {
+  FlThreadsGuard guard;
+  SetFlThreads(1);
+
+  models::CnnConfig cnn;
+  cnn.height = cnn.width = 8;
+  cnn.num_classes = 4;
+  cnn.conv1_channels = 4;
+  cnn.conv2_channels = 8;
+  cnn.fc_dim = 16;
+
+  models::VggConfig vgg;
+  vgg.height = vgg.width = 8;
+  vgg.num_classes = 4;
+  vgg.base_width = 4;
+  vgg.fc_dim = 16;
+
+  models::ResNetConfig resnet;  // residual blocks: exercises the fallback
+  resnet.height = resnet.width = 8;
+  resnet.num_classes = 4;
+  resnet.base_width = 4;
+
+  struct ZooCase {
+    const char* name;
+    models::ModelFactory factory;
+  };
+  ZooCase zoo[] = {{"cnn", models::MakeCnn(cnn)},
+                   {"vgg", models::MakeVgg(vgg)},
+                   {"resnet", models::MakeResNet(resnet)}};
+  for (ZooCase& z : zoo) {
+    FlatParams layers = RunImageFedAvg(z.factory, ExecMode::kLayers, 2);
+    FlatParams plan = RunImageFedAvg(z.factory, ExecMode::kPlan, 2);
+    ExpectBitIdentical(layers, plan, z.name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Support matrix + program properties
+// ---------------------------------------------------------------------------
+
+TEST(PlanCompileTest, SupportMatrixMatchesTopologies) {
+  models::CnnConfig cnn;
+  cnn.height = cnn.width = 8;
+  cnn.num_classes = 4;
+  models::VggConfig vgg;
+  vgg.height = vgg.width = 8;
+  vgg.num_classes = 4;
+  models::ResNetConfig resnet;
+  resnet.height = resnet.width = 8;
+  resnet.num_classes = 4;
+  models::LstmConfig lstm;
+
+  EXPECT_TRUE(models::SupportsExecutionPlan(MlpFactory(6, 2), {4, 6}));
+  EXPECT_TRUE(
+      models::SupportsExecutionPlan(models::MakeCnn(cnn), {2, 3, 8, 8}));
+  EXPECT_TRUE(
+      models::SupportsExecutionPlan(models::MakeVgg(vgg), {2, 3, 8, 8}));
+  EXPECT_FALSE(models::SupportsExecutionPlan(models::MakeResNet(resnet),
+                                             {2, 3, 8, 8}));
+  EXPECT_FALSE(models::SupportsExecutionPlan(models::MakeLstm(lstm),
+                                             {2, 16}));
+}
+
+TEST(PlanCompileTest, FirstOpSkipsInputGradientAndProgramsAreCached) {
+  models::ModelFactory factory = MlpFactory(6, 2);
+  nn::Sequential model = factory();
+  std::optional<nn::plan::Program> program =
+      nn::plan::Program::Compile(model, {10, 6});
+  ASSERT_TRUE(program.has_value());
+  ASSERT_FALSE(program->ops.empty());
+  // Nothing consumes the gradient of the pipeline input: the first linear
+  // must skip its dX GEMM — that skip is part of plan mode's speedup.
+  EXPECT_TRUE(program->ops.front().skip_dx);
+  EXPECT_FALSE(program->ops.back().skip_dx);
+  EXPECT_EQ(program->classes, 2);
+  EXPECT_GT(program->arena_floats, 0);
+
+  ModelPool pool(factory);
+  ModelPool::Lease lease = pool.Acquire();
+  const nn::plan::Program* p1 = pool.ProgramFor({10, 6}, lease->model);
+  const nn::plan::Program* p2 = pool.ProgramFor({10, 6}, lease->model);
+  const nn::plan::Program* p3 = pool.ProgramFor({5, 6}, lease->model);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1, p2);      // cached: same shape, same program object
+  ASSERT_NE(p3, nullptr);
+  EXPECT_NE(p1, p3);      // the epoch-tail short batch compiles its own
+  EXPECT_EQ(p3->batch, 5);
+
+  models::ResNetConfig resnet;
+  resnet.height = resnet.width = 8;
+  resnet.num_classes = 4;
+  ModelPool resnet_pool(models::MakeResNet(resnet));
+  ModelPool::Lease resnet_lease = resnet_pool.Acquire();
+  EXPECT_EQ(resnet_pool.ProgramFor({2, 3, 8, 8}, resnet_lease->model),
+            nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation freedom
+// ---------------------------------------------------------------------------
+
+TEST(PlanExecutionTest, SteadyStatePlanTrainingAllocatesNoTensors) {
+  const int dim = 6;
+  auto dataset = fedcross::testing::MakeToyDataset(35, dim, 0.4f, 3);
+  FlClient client(0, dataset);
+  models::ModelFactory factory = MlpFactory(dim, 2);
+  ModelPool pool(factory);
+  FlatParams init = factory().ParamsToFlat();
+
+  ClientTrainSpec spec;
+  spec.options.local_epochs = 2;
+  spec.options.batch_size = 10;  // 70 examples: short tail batch every epoch
+  spec.options.lr = 0.05f;
+  spec.options.exec = ExecMode::kPlan;
+
+  LocalTrainResult result;
+  for (int round = 0; round < 2; ++round) {
+    util::Rng rng(100 + round);
+    client.Train(pool, init, spec, rng, result);
+  }
+
+  Tensor::ResetHeapAllocations();
+  for (int round = 2; round < 5; ++round) {
+    util::Rng rng(100 + round);
+    client.Train(pool, init, spec, rng, result);
+  }
+  EXPECT_EQ(Tensor::HeapAllocations(), 0u);
+  EXPECT_EQ(pool.replicas_created(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints cross exec modes (ExecMode is not fingerprinted)
+// ---------------------------------------------------------------------------
+
+TEST(PlanExecutionTest, CheckpointResumesAcrossExecModes) {
+  FlThreadsGuard guard;
+  SetFlThreads(1);
+  const char* path = "plan_exec_mode.ckpt";
+
+  models::ModelFactory factory = MlpFactory(6, 2);
+  FedAvg full(ToyConfig(ExecMode::kLayers), MakeToyFederated(8, 35, 6, 41),
+              factory);
+  full.Run(4, 1);
+
+  FedAvg first(ToyConfig(ExecMode::kLayers), MakeToyFederated(8, 35, 6, 41),
+               factory);
+  first.Run(2, 1);
+  ASSERT_TRUE(first.SaveCheckpoint(path).ok());
+
+  FedAvg resumed(ToyConfig(ExecMode::kPlan), MakeToyFederated(8, 35, 6, 41),
+                 factory);
+  ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+  resumed.Run(4, 1);
+
+  ExpectBitIdentical(full.GlobalParams(), resumed.GlobalParams(),
+                     "layers run vs layers->plan resume");
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace fedcross::fl
