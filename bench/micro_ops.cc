@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/tensor_ops.h"
+#include "util/mem_stats.h"
 #include "util/rng.h"
 
 namespace fedcross {
@@ -267,6 +268,77 @@ void BM_FedRoundObs(benchmark::State& state) {
   obs::MetricsRegistry::Global().Reset();
 }
 BENCHMARK(BM_FedRoundObs)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The same round shape against a lazily materialised virtual population;
+// the arg is the REGISTERED client count N, while only K=8 clients per
+// round ever hold data. Wall time should be flat in N (sampling is O(K)
+// via Floyd, registration is ids + a shard factory) and the peak_rss_mb
+// counter is the scale headline: memory tracks participation, not N.
+data::FederatedDataset MakeVirtualFedRoundData(std::int64_t num_clients) {
+  constexpr int kDim = kFedRoundDim;
+  data::FederatedDataset federated;
+  federated.num_classes = 2;
+  federated.virtual_clients = num_clients;
+  federated.make_shard = [](std::int64_t id) {
+    util::Rng rng(0x5ca1e ^
+                  (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL);
+    std::vector<float> features;
+    std::vector<int> labels;
+    for (int i = 0; i < 200; ++i) {
+      int k = static_cast<int>(rng.UniformInt(2));
+      float mean = k == 0 ? -1.0f : 1.0f;
+      for (int d = 0; d < kDim; ++d) {
+        features.push_back(mean + static_cast<float>(rng.Normal(0.0, 1.0)));
+      }
+      labels.push_back(k);
+    }
+    return std::make_shared<data::InMemoryDataset>(
+        Tensor::Shape{kDim}, std::move(features), std::move(labels), 2);
+  };
+  {
+    util::Rng rng(7);
+    std::vector<float> features;
+    std::vector<int> labels;
+    for (int i = 0; i < 50; ++i) {
+      int k = static_cast<int>(rng.UniformInt(2));
+      float mean = k == 0 ? -1.0f : 1.0f;
+      for (int d = 0; d < kDim; ++d) {
+        features.push_back(mean + static_cast<float>(rng.Normal(0.0, 1.0)));
+      }
+      labels.push_back(k);
+    }
+    federated.test = std::make_shared<data::InMemoryDataset>(
+        Tensor::Shape{kDim}, std::move(features), std::move(labels), 2);
+  }
+  return federated;
+}
+
+void BM_FedRoundScale(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  fl::SetFlThreads(4);
+  fl::AlgorithmConfig config = MakeFedRoundConfig();
+  config.population = fl::PopulationMode::kVirtual;
+  fl::FedAvg fedavg(config, MakeVirtualFedRoundData(n),
+                    MakeFedRoundFactory());
+  int round = 0;
+  for (auto _ : state) {
+    fedavg.RunRound(round++);
+    benchmark::DoNotOptimize(round);
+  }
+  state.SetItemsProcessed(state.iterations() * kFedRoundClients);
+  state.counters["registered"] = static_cast<double>(n);
+  state.counters["resident"] =
+      static_cast<double>(fedavg.population().resident_clients());
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(util::PeakRssBytes()) / (1024.0 * 1024.0);
+  fl::SetFlThreads(1);
+}
+BENCHMARK(BM_FedRoundScale)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->UseRealTime();
 
 // A full FedCross round sweeping the middleware-model count K, under both
 // execution backends. K middleware models train on K sampled clients per

@@ -7,6 +7,11 @@
 //                [--strategy lowest-similarity]
 //                [--codec identity|delta|int8|topk|int8_topk] [--topk 0.1]
 //                [--exec layers|plan]  (plan = batched execution-plan runtime)
+//                [--population resident|virtual]  (virtual = clients are
+//                 materialised on demand; --clients then scales to millions
+//                 with flat memory)
+//                [--max_resident 0]  (cold client-state entries kept in RAM;
+//                 0 = unbounded, excess spills to a mapped file)
 //                [--fl_threads 0]   (0 = all cores, 1 = sequential)
 //                [--trace_out t.json] [--metrics_out m.json]
 //                [--events_out e.jsonl] [--log_level info]
@@ -26,6 +31,7 @@
 #include "fl/fedavg.h"
 #include "models/model_zoo.h"
 #include "util/flags.h"
+#include "util/mem_stats.h"
 #include "util/obs_init.h"
 
 namespace {
@@ -46,6 +52,8 @@ int Run(int argc, char** argv) {
   std::string codec_name = flags.GetString("codec", "identity");
   double topk = flags.GetDouble("topk", 0.1);
   std::string exec_name = flags.GetString("exec", "layers");
+  std::string population_name = flags.GetString("population", "resident");
+  int max_resident = flags.GetInt("max_resident", 0);
   util::Status obs_status = util::InitObservability(flags);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -56,23 +64,42 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  // 1. Data: a synthetic image corpus, Dirichlet-partitioned (non-IID).
+  fl::PopulationMode population = fl::PopulationMode::kResident;
+  if (!fl::ParsePopulationMode(population_name, &population)) {
+    std::fprintf(stderr,
+                 "unknown --population '%s' (want resident|virtual)\n",
+                 population_name.c_str());
+    return 1;
+  }
+
+  // 1. Data: a synthetic image corpus. Resident mode Dirichlet-partitions a
+  // shared corpus up front (the historical path); virtual mode registers
+  // only a shard factory, so any --clients count costs nothing until a
+  // client is actually sampled.
   data::SyntheticImageOptions image_options;
   image_options.num_classes = 10;
   image_options.height = image_options.width = 8;
   image_options.train_per_class = 60;
   image_options.test_per_class = 20;
-  data::ImageCorpus corpus = data::MakeSyntheticImageCorpus(image_options);
 
-  util::Rng rng(7);
   data::FederatedDataset federated;
-  federated.num_classes = 10;
-  federated.client_train = data::MakeClientShards(
-      corpus.train,
-      beta > 0 ? data::DirichletPartition(*corpus.train, num_clients, beta,
-                                          rng)
-               : data::IidPartition(*corpus.train, num_clients, rng));
-  federated.test = corpus.test;
+  if (population == fl::PopulationMode::kVirtual) {
+    data::VirtualImageOptions virtual_options;
+    virtual_options.image = image_options;
+    virtual_options.num_clients = num_clients;
+    if (beta > 0) virtual_options.label_concentration = beta;
+    federated = data::MakeVirtualImageFederation(virtual_options);
+  } else {
+    data::ImageCorpus corpus = data::MakeSyntheticImageCorpus(image_options);
+    util::Rng rng(7);
+    federated.num_classes = 10;
+    federated.client_train = data::MakeClientShards(
+        corpus.train,
+        beta > 0 ? data::DirichletPartition(*corpus.train, num_clients, beta,
+                                            rng)
+                 : data::IidPartition(*corpus.train, num_clients, rng));
+    federated.test = corpus.test;
+  }
 
   // 2. Model: the FedAvg-style CNN, sized for the 8x8 synthetic images.
   models::CnnConfig cnn;
@@ -95,6 +122,8 @@ int Run(int argc, char** argv) {
   }
   config.codec.scheme = scheme.value();
   config.codec.topk_fraction = topk;
+  config.population = population;
+  config.state_store.max_resident = max_resident;
   if (!fl::ParseExecMode(exec_name, &config.train.exec)) {
     std::fprintf(stderr, "unknown --exec '%s' (want layers|plan)\n",
                  exec_name.c_str());
@@ -122,9 +151,10 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%s quickstart: %d clients, K=%d, beta=%s, alpha=%.2f"
+  std::printf("%s quickstart: %d clients (%s), K=%d, beta=%s, alpha=%.2f"
               ", codec=%s, exec=%s\n",
-              server->name().c_str(), num_clients, k,
+              server->name().c_str(), num_clients,
+              fl::PopulationModeName(population), k,
               beta > 0 ? "non-IID" : "IID", alpha,
               comm::SchemeName(config.codec.scheme),
               fl::ExecModeName(config.train.exec));
@@ -137,6 +167,13 @@ int Run(int argc, char** argv) {
     std::printf("round %3d  accuracy %.2f%%  loss %.4f\n", record.round,
                 record.test_accuracy * 100, record.test_loss);
   }
+  // stderr: peak RSS varies with --fl_threads (more replicas), and stdout
+  // must stay byte-identical across thread counts (the determinism check).
+  std::fprintf(
+      stderr, "resident clients: %lld of %lld registered, peak RSS %.1f MiB\n",
+      static_cast<long long>(server->population().resident_clients()),
+      static_cast<long long>(server->num_clients()),
+      static_cast<double>(util::PeakRssBytes()) / (1024.0 * 1024.0));
 
   util::Status flushed = util::FlushObservability();
   if (!flushed.ok()) {

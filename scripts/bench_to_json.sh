@@ -20,6 +20,10 @@
 #                      the batched-executor speedup) plus
 #                      BM_GemmGrouped/BM_GemmSmallLooped (the cross-replica
 #                      fusion primitive vs per-replica dispatch)
+#   BENCH_scale.json   BM_FedRoundScale/{1k..1M} (one FedAvg round against a
+#                      lazily materialised virtual population; wall time
+#                      should be flat in registered N and the peak_rss_mb
+#                      counter tracks participation, not N)
 #
 # Usage: scripts/bench_to_json.sh [build_dir] [output_dir]
 # Defaults: build_dir=build, output_dir=. — run from the repo root.
@@ -58,3 +62,4 @@ run_filter '^BM_FedRoundRobust/' "${out_dir}/BENCH_robust.json"
 run_filter '^BM_FedRoundObs/' "${out_dir}/BENCH_obs.json"
 run_filter '^BM_(Encode|Decode)/' "${out_dir}/BENCH_comm.json"
 run_filter '^BM_(FedCrossRound|GemmGrouped|GemmSmallLooped)/' "${out_dir}/BENCH_plan.json"
+run_filter '^BM_FedRoundScale/' "${out_dir}/BENCH_scale.json"

@@ -167,7 +167,7 @@ void FedCross::RunRound(int round) {
     PhaseScope phase(*this, RoundPhase::kDispatch);
     // Algorithm 1 lines 4-5: random client selection, then shuffle so each
     // middleware model meets a fresh client (model i trains on L_c[i]).
-    std::vector<int> selected = SampleClients();
+    std::vector<std::int64_t> selected = SampleClients();
     rng().Shuffle(selected);
     for (int i = 0; i < k; ++i) {
       jobs[i] = {selected[i], &middleware_[i], &spec};

@@ -98,4 +98,16 @@ int SubsetDataset::LabelOf(int index) const {
   return base_->LabelOf(indices_[index]);
 }
 
+void MaterializeVirtualClients(FederatedDataset& federated) {
+  if (!federated.make_shard) return;
+  federated.client_train.clear();
+  federated.client_train.reserve(
+      static_cast<std::size_t>(federated.virtual_clients));
+  for (std::int64_t id = 0; id < federated.virtual_clients; ++id) {
+    federated.client_train.push_back(federated.make_shard(id));
+  }
+  federated.make_shard = nullptr;
+  federated.virtual_clients = 0;
+}
+
 }  // namespace fedcross::data

@@ -1,6 +1,8 @@
 #ifndef FEDCROSS_DATA_DATASET_H_
 #define FEDCROSS_DATA_DATASET_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -71,15 +73,37 @@ class SubsetDataset : public Dataset {
   std::vector<int> indices_;
 };
 
+// Builds one client's training shard on demand. Must be pure in the client
+// id: calling it twice for the same id yields bit-identical data, so a
+// shard can be dropped after a round and rebuilt later without changing the
+// simulation.
+using ShardFactory = std::function<std::shared_ptr<Dataset>(std::int64_t)>;
+
 // A complete federated learning corpus: one training shard per client plus
-// a held-out global test set.
+// a held-out global test set. Two representations:
+//   - resident: client_train holds every shard in memory (the historical
+//     form, produced by the partitioners);
+//   - virtual: make_shard is set and the federation registers
+//     virtual_clients ids whose shards are materialised lazily, so
+//     registering a million clients costs nothing until they are sampled.
 struct FederatedDataset {
   std::vector<std::shared_ptr<Dataset>> client_train;
   std::shared_ptr<Dataset> test;
   int num_classes = 0;
 
-  int num_clients() const { return static_cast<int>(client_train.size()); }
+  std::int64_t virtual_clients = 0;
+  ShardFactory make_shard;
+
+  std::int64_t num_clients() const {
+    return make_shard ? virtual_clients
+                      : static_cast<std::int64_t>(client_train.size());
+  }
 };
+
+// Converts a virtual federation into its resident twin by materialising
+// every shard into client_train (bit-identical data, since shard factories
+// are pure). Used by tests and small-N runs that want the resident path.
+void MaterializeVirtualClients(FederatedDataset& federated);
 
 }  // namespace fedcross::data
 

@@ -182,4 +182,91 @@ FederatedDataset MakeSyntheticFemnist(const SyntheticFemnistOptions& options) {
   return federated;
 }
 
+FederatedDataset MakeVirtualImageFederation(const VirtualImageOptions& options) {
+  FC_CHECK_GT(options.num_clients, 0);
+  FC_CHECK_GT(options.min_samples, 0);
+  FC_CHECK_GE(options.max_samples, options.min_samples);
+  FC_CHECK_GT(options.label_concentration, 0.0);
+  const SyntheticImageOptions& image = options.image;
+  FC_CHECK_GT(image.num_classes, 0);
+
+  util::Rng rng(image.seed);
+  // Prototypes are the only state shared by every client; they are built
+  // once and captured by the shard factory. ~num_classes * C * H * W floats,
+  // independent of the client count.
+  auto prototypes = std::make_shared<std::vector<std::vector<float>>>(
+      MakePrototypes(image.num_classes, image.channels, image.height,
+                     image.width, rng));
+  std::int64_t numel =
+      static_cast<std::int64_t>(image.channels) * image.height * image.width;
+
+  FederatedDataset federated;
+  federated.num_classes = image.num_classes;
+  federated.virtual_clients = options.num_clients;
+
+  // Global neutral-style test set, rendered from the same prototypes with
+  // the corpus rng so it is fixed regardless of the client count.
+  {
+    int test_total = image.test_per_class * image.num_classes;
+    std::vector<float> features(static_cast<std::size_t>(test_total) * numel);
+    std::vector<int> labels(test_total);
+    int index = 0;
+    for (int k = 0; k < image.num_classes; ++k) {
+      for (int i = 0; i < image.test_per_class; ++i) {
+        RenderSample((*prototypes)[k], image.channels, image.height,
+                     image.width, /*dh=*/0, /*dw=*/0, /*gain=*/1.0f,
+                     /*bias=*/0.0f, image.noise_stddev, rng,
+                     features.data() +
+                         static_cast<std::int64_t>(index) * numel);
+        labels[index] = k;
+        ++index;
+      }
+    }
+    federated.test = std::make_shared<InMemoryDataset>(
+        Tensor::Shape{image.channels, image.height, image.width},
+        std::move(features), std::move(labels), image.num_classes);
+  }
+
+  // The shard factory is pure in the client id: every draw comes from a
+  // per-client generator seeded with mix(seed, id), so materialising a shard
+  // twice (or in a different round order) yields bit-identical data.
+  federated.make_shard = [prototypes, options,
+                          numel](std::int64_t id) -> std::shared_ptr<Dataset> {
+    const SyntheticImageOptions& img = options.image;
+    std::uint64_t mixed = img.seed ^
+                          (static_cast<std::uint64_t>(id) + 1) *
+                              0x9e3779b97f4a7c15ULL;
+    util::Rng client_rng(mixed);
+    int span = options.max_samples - options.min_samples + 1;
+    int samples = options.min_samples +
+                  static_cast<int>(client_rng.UniformInt(span));
+    std::vector<double> mix =
+        client_rng.Dirichlet(options.label_concentration, img.num_classes);
+    std::vector<float> features(static_cast<std::size_t>(samples) * numel);
+    std::vector<int> labels(samples);
+    for (int i = 0; i < samples; ++i) {
+      int label = client_rng.Categorical(mix);
+      int dh = img.max_shift == 0
+                   ? 0
+                   : static_cast<int>(
+                         client_rng.UniformInt(2 * img.max_shift + 1)) -
+                         img.max_shift;
+      int dw = img.max_shift == 0
+                   ? 0
+                   : static_cast<int>(
+                         client_rng.UniformInt(2 * img.max_shift + 1)) -
+                         img.max_shift;
+      float gain = 1.0f + static_cast<float>(client_rng.Normal(0.0, 0.1));
+      RenderSample((*prototypes)[label], img.channels, img.height, img.width,
+                   dh, dw, gain, /*bias=*/0.0f, img.noise_stddev, client_rng,
+                   features.data() + static_cast<std::int64_t>(i) * numel);
+      labels[i] = label;
+    }
+    return std::make_shared<InMemoryDataset>(
+        Tensor::Shape{img.channels, img.height, img.width},
+        std::move(features), std::move(labels), img.num_classes);
+  };
+  return federated;
+}
+
 }  // namespace fedcross::data

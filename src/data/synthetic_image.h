@@ -52,6 +52,24 @@ struct SyntheticFemnistOptions {
 
 FederatedDataset MakeSyntheticFemnist(const SyntheticFemnistOptions& options);
 
+// A virtual federation over the synthetic image task: registering a client
+// stores nothing — each client's shard is rendered on demand from the shared
+// class prototypes by a pure per-client generator seeded with
+// mix(image.seed, client id). Registration is O(1) in num_clients, so this
+// scales to millions of clients; only sampled clients ever materialise.
+// Clients are non-IID: each draws its label mix from
+// Dirichlet(label_concentration) and its shard size uniformly from
+// [min_samples, max_samples].
+struct VirtualImageOptions {
+  SyntheticImageOptions image;  // prototypes and the global test set
+  std::int64_t num_clients = 1000;
+  int min_samples = 20;
+  int max_samples = 60;
+  double label_concentration = 0.5;
+};
+
+FederatedDataset MakeVirtualImageFederation(const VirtualImageOptions& options);
+
 }  // namespace fedcross::data
 
 #endif  // FEDCROSS_DATA_SYNTHETIC_IMAGE_H_

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "fl/parallel.h"
 #include "util/check.h"
 
 namespace fedcross::fl {
+namespace {
+
+// Minimum coordinates per shard for the coordinate-wise robust rules; the
+// per-coordinate sort dominates, so a smaller floor than the dense-mean
+// path still pays off.
+constexpr std::int64_t kMinRobustRangeElems = 1024;
+
+}  // namespace
 
 const char* AggregatorKindName(AggregatorKind kind) {
   switch (kind) {
@@ -49,15 +59,22 @@ void TrimmedMeanInto(const std::vector<const FlatParams*>& models,
   std::size_t keep = n - 2 * trim;
   float inv_keep = 1.0f / static_cast<float>(keep);
 
-  column.resize(n);
+  column.resize(n);  // serial-path scratch; shards bring their own
   out.assign(dim, 0.0f);  // capacity-retaining
-  for (std::size_t j = 0; j < dim; ++j) {
-    for (std::size_t m = 0; m < n; ++m) column[m] = (*models[m])[j];
-    std::sort(column.begin(), column.end());
-    float total = 0.0f;
-    for (std::size_t m = trim; m < n - trim; ++m) total += column[m];
-    out[j] = total * inv_keep;
-  }
+  // Coordinates are independent, so contiguous range shards reproduce the
+  // serial result bit-for-bit regardless of --fl_threads.
+  ParallelRanges(
+      static_cast<std::int64_t>(dim), kMinRobustRangeElems,
+      [&](std::int64_t begin, std::int64_t end) {
+        FlatParams local(n);
+        for (std::int64_t j = begin; j < end; ++j) {
+          for (std::size_t m = 0; m < n; ++m) local[m] = (*models[m])[j];
+          std::sort(local.begin(), local.end());
+          float total = 0.0f;
+          for (std::size_t m = trim; m < n - trim; ++m) total += local[m];
+          out[j] = total * inv_keep;
+        }
+      });
 }
 
 void CoordinateMedianInto(const std::vector<const FlatParams*>& models,
@@ -67,20 +84,26 @@ void CoordinateMedianInto(const std::vector<const FlatParams*>& models,
   std::size_t dim = models[0]->size();
   std::size_t mid = n / 2;
 
-  column.resize(n);
+  column.resize(n);  // serial-path scratch; shards bring their own
   out.assign(dim, 0.0f);
-  for (std::size_t j = 0; j < dim; ++j) {
-    for (std::size_t m = 0; m < n; ++m) column[m] = (*models[m])[j];
-    std::nth_element(column.begin(), column.begin() + mid, column.end());
-    float median = column[mid];
-    if (n % 2 == 0) {
-      // Mean of the two middle values: the lower one is the max of the
-      // left partition nth_element leaves behind.
-      float lower = *std::max_element(column.begin(), column.begin() + mid);
-      median = 0.5f * (lower + median);
-    }
-    out[j] = median;
-  }
+  ParallelRanges(
+      static_cast<std::int64_t>(dim), kMinRobustRangeElems,
+      [&](std::int64_t begin, std::int64_t end) {
+        FlatParams local(n);
+        for (std::int64_t j = begin; j < end; ++j) {
+          for (std::size_t m = 0; m < n; ++m) local[m] = (*models[m])[j];
+          std::nth_element(local.begin(), local.begin() + mid, local.end());
+          float median = local[mid];
+          if (n % 2 == 0) {
+            // Mean of the two middle values: the lower one is the max of
+            // the left partition nth_element leaves behind.
+            float lower =
+                *std::max_element(local.begin(), local.begin() + mid);
+            median = 0.5f * (lower + median);
+          }
+          out[j] = median;
+        }
+      });
 }
 
 void NormClippedWeightedAverageInto(
@@ -98,24 +121,42 @@ void NormClippedWeightedAverageInto(
   }
   FC_CHECK_GT(total_weight, 0.0);
 
+  // Per-model clip factors first. Each norm reduction keeps the serial
+  // coordinate order (sharding a reduction would reassociate the sum), but
+  // the models themselves are independent, so they fan out across the pool.
+  std::vector<float> factors(models.size());
+  ParallelRanges(
+      static_cast<std::int64_t>(models.size()), /*min_per_range=*/1,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t m = begin; m < end; ++m) {
+          const FlatParams& model = *models[m];
+          FC_CHECK_EQ(model.size(), dim);
+          double norm_sq = 0.0;
+          for (std::size_t j = 0; j < dim; ++j) {
+            double d = static_cast<double>(model[j]) - reference[j];
+            norm_sq += d * d;
+          }
+          double norm = std::sqrt(norm_sq);
+          double clip = norm > clip_norm ? clip_norm / norm : 1.0;
+          factors[m] = static_cast<float>(weights[m] / total_weight * clip);
+        }
+      });
+
   // Accumulate the clipped updates into scratch first so `out` may alias
-  // `reference`.
+  // `reference`. Every coordinate sees the models in ascending order, the
+  // same per-element order as the serial loop.
   scratch.assign(dim, 0.0f);
-  for (std::size_t m = 0; m < models.size(); ++m) {
-    const FlatParams& model = *models[m];
-    FC_CHECK_EQ(model.size(), dim);
-    double norm_sq = 0.0;
-    for (std::size_t j = 0; j < dim; ++j) {
-      double d = static_cast<double>(model[j]) - reference[j];
-      norm_sq += d * d;
-    }
-    double norm = std::sqrt(norm_sq);
-    double clip = norm > clip_norm ? clip_norm / norm : 1.0;
-    float factor = static_cast<float>(weights[m] / total_weight * clip);
-    for (std::size_t j = 0; j < dim; ++j) {
-      scratch[j] += factor * (model[j] - reference[j]);
-    }
-  }
+  ParallelRanges(
+      static_cast<std::int64_t>(dim), kMinRobustRangeElems,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::size_t m = 0; m < models.size(); ++m) {
+          const FlatParams& model = *models[m];
+          const float factor = factors[m];
+          for (std::int64_t j = begin; j < end; ++j) {
+            scratch[j] += factor * (model[j] - reference[j]);
+          }
+        }
+      });
   out.resize(dim);
   for (std::size_t j = 0; j < dim; ++j) out[j] = reference[j] + scratch[j];
 }

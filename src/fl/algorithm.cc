@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "fl/flat_ops.h"
 #include "fl/parallel.h"
@@ -10,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/mem_stats.h"
 #include "util/thread_pool.h"
 
 namespace fedcross::fl {
@@ -21,6 +23,11 @@ constexpr const char* kPhaseSpanNames[] = {
     "phase.dispatch", "phase.train",     "phase.screen",
     "phase.aggregate", "phase.eval",     "phase.checkpoint",
 };
+
+// Minimum coordinates per aggregation shard: below this the per-task
+// overhead of the pool outweighs the bandwidth win, and tiny models keep
+// the historical single-range walk.
+constexpr std::int64_t kMinAggRangeElems = 4096;
 
 // True when any observability sink wants per-phase timings.
 bool ObservabilityActive() {
@@ -44,6 +51,9 @@ struct FlMetrics {
   obs::Gauge& faults_stragglers = reg.GetGauge("fl.faults.stragglers");
   obs::Gauge& faults_corrupted = reg.GetGauge("fl.faults.corrupted");
   obs::Gauge& faults_rejected = reg.GetGauge("fl.faults.rejected");
+  obs::Gauge& population_resident =
+      reg.GetGauge("fl.population.resident_clients");
+  obs::Gauge& peak_rss = reg.GetGauge("fl.mem.peak_rss_bytes");
   obs::Histogram& round_ms = reg.GetHistogram("fl.round_ms");
   obs::Histogram& checkpoint_save_ms =
       reg.GetHistogram("fl.checkpoint.save_ms");
@@ -115,6 +125,7 @@ FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
       config_(config),
       factory_(std::move(factory)),
       pool_(factory_),
+      population_(config.population, data),
       test_(std::move(data.test)),
       rng_(config.seed) {
   // Legacy shorthand: fold dropout_prob into the default fault profile.
@@ -123,13 +134,10 @@ FlAlgorithm::FlAlgorithm(std::string name, AlgorithmConfig config,
   }
   FC_CHECK(test_ != nullptr);
   FC_CHECK_GT(config_.clients_per_round, 0);
-  FC_CHECK_LE(config_.clients_per_round,
-              static_cast<int>(data.client_train.size()))
+  FC_CHECK_LE(static_cast<std::int64_t>(config_.clients_per_round),
+              population_.size())
       << "K exceeds the number of clients";
-  clients_.reserve(data.client_train.size());
-  for (std::size_t i = 0; i < data.client_train.size(); ++i) {
-    clients_.emplace_back(static_cast<int>(i), data.client_train[i]);
-  }
+  residual_store_.Configure(config_.state_store);
   // Probe the pool's first replica once for the model size and the factory's
   // initial parameters; the replica is recycled by every later job.
   ModelPool::Lease probe = pool_.Acquire();
@@ -237,6 +245,9 @@ void FlAlgorithm::RecordRoundObservations(int round,
     m.faults_stragglers.Set(static_cast<double>(fault_stats_.stragglers));
     m.faults_corrupted.Set(static_cast<double>(fault_stats_.corrupted));
     m.faults_rejected.Set(static_cast<double>(fault_stats_.rejected));
+    m.population_resident.Set(
+        static_cast<double>(population_.resident_clients()));
+    m.peak_rss.Set(static_cast<double>(util::PeakRssBytes()));
   }
 
   if (obs::EventsEnabled()) {
@@ -264,6 +275,8 @@ void FlAlgorithm::RecordRoundObservations(int round,
     event.stragglers = fault_stats_.stragglers - faults_before.stragglers;
     event.corrupted = fault_stats_.corrupted - faults_before.corrupted;
     event.rejected = fault_stats_.rejected - faults_before.rejected;
+    event.resident_clients = population_.resident_clients();
+    event.peak_rss_bytes = util::PeakRssBytes();
     obs::EmitRoundEvent(event);
   }
 }
@@ -277,12 +290,30 @@ EvalResult FlAlgorithm::Evaluate(const FlatParams& params) {
   return EvaluateParams(pool_, params, *test_, config_.eval_batch_size);
 }
 
-std::vector<int> FlAlgorithm::SampleClients() {
-  int want = config_.clients_per_round;
+std::vector<std::int64_t> FlAlgorithm::SampleClients() {
+  std::int64_t want = config_.clients_per_round;
   if (config_.faults.over_provision > 0) {
-    want = std::min(num_clients(), want + config_.faults.over_provision);
+    want = std::min(num_clients(),
+                    want + static_cast<std::int64_t>(
+                               config_.faults.over_provision));
   }
-  return rng_.SampleWithoutReplacement(num_clients(), want);
+  ClientSampler sampler = config_.sampler;
+  if (sampler == ClientSampler::kAuto) {
+    sampler = population_.mode() == PopulationMode::kVirtual
+                  ? ClientSampler::kFloyd
+                  : ClientSampler::kFullShuffle;
+  }
+  if (sampler == ClientSampler::kFloyd) {
+    return rng_.SampleDistinct(num_clients(), want);
+  }
+  // Historical full-shuffle draw sequence: O(N) per round, bit-compatible
+  // with checkpoints and golden results recorded before the Floyd sampler.
+  FC_CHECK_LE(num_clients(),
+              static_cast<std::int64_t>(std::numeric_limits<int>::max()))
+      << "full-shuffle sampling caps N at int range; use the Floyd sampler";
+  std::vector<int> legacy = rng_.SampleWithoutReplacement(
+      static_cast<int>(num_clients()), static_cast<int>(want));
+  return std::vector<std::int64_t>(legacy.begin(), legacy.end());
 }
 
 const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
@@ -294,8 +325,21 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
   if (static_cast<int>(wire_scratch_.size()) < count) {
     wire_scratch_.resize(count);
   }
-  if (codec_residuals_.empty() && comm::SchemeIsLossy(config_.codec.scheme)) {
-    codec_residuals_.resize(clients_.size());
+  // Resolve every slot's client and residual entry on the calling thread
+  // before the fan-out: the population cache and the state store are not
+  // thread-safe, and both guarantee pointer stability until their next
+  // BeginBatch. Workers then only dereference pre-pinned pointers.
+  population_.BeginBatch();
+  residual_store_.BeginBatch();
+  const bool lossy = comm::SchemeIsLossy(config_.codec.scheme);
+  client_slots_.resize(count);
+  residual_slots_.resize(count);
+  for (int slot = 0; slot < count; ++slot) {
+    FC_CHECK_GE(jobs[slot].client_id, 0);
+    FC_CHECK_LT(jobs[slot].client_id, num_clients());
+    client_slots_[slot] = &population_.Client(jobs[slot].client_id);
+    residual_slots_[slot] =
+        lossy ? &residual_store_.Touch(jobs[slot].client_id) : nullptr;
   }
   auto train_slot = [&](int slot) {
     util::Rng job_rng(ClientJobSeed(config_.seed, round, salt, slot));
@@ -303,8 +347,9 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     // fault draws can never perturb a surviving client's trajectory.
     util::Rng fault_rng(FaultSeed(config_.seed, round, salt, slot));
     util::Rng codec_rng(CodecSeed(config_.seed, round, salt, slot));
-    TrainClientJob(jobs[slot], job_rng, fault_rng, codec_rng,
-                   wire_scratch_[slot], results_[slot]);
+    TrainClientJob(jobs[slot], *client_slots_[slot], residual_slots_[slot],
+                   job_rng, fault_rng, codec_rng, wire_scratch_[slot],
+                   results_[slot]);
   };
   bool use_plan = count > 0 && jobs[0].spec != nullptr &&
                   jobs[0].spec->options.exec == ExecMode::kPlan;
@@ -356,21 +401,24 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
   return results_;
 }
 
-void FlAlgorithm::TrainClientJob(const ClientJob& job, util::Rng& rng,
+void FlAlgorithm::TrainClientJob(const ClientJob& job, const FlClient& client,
+                                 FlatParams* residual, util::Rng& rng,
                                  util::Rng& fault_rng, util::Rng& codec_rng,
                                  WireScratch& wire, LocalTrainResult& result) {
   FaultDecision decision;
-  if (!PrepareClientJob(job, fault_rng, wire, result, decision)) return;
-  clients_[job.client_id].Train(pool_, wire.dispatched, *job.spec, rng,
-                                result);
-  FinishClientJob(job, decision, rng, fault_rng, codec_rng, wire, result);
+  if (!PrepareClientJob(job, client, fault_rng, wire, result, decision)) {
+    return;
+  }
+  client.Train(pool_, wire.dispatched, *job.spec, rng, result);
+  FinishClientJob(job, residual, decision, rng, fault_rng, codec_rng, wire,
+                  result);
 }
 
-bool FlAlgorithm::PrepareClientJob(const ClientJob& job, util::Rng& fault_rng,
-                                   WireScratch& wire, LocalTrainResult& result,
+bool FlAlgorithm::PrepareClientJob(const ClientJob& job,
+                                   const FlClient& client,
+                                   util::Rng& fault_rng, WireScratch& wire,
+                                   LocalTrainResult& result,
                                    FaultDecision& decision) {
-  FC_CHECK_GE(job.client_id, 0);
-  FC_CHECK_LT(job.client_id, num_clients());
   FC_CHECK(job.init_params != nullptr);
   FC_CHECK(job.spec != nullptr);
 
@@ -382,7 +430,7 @@ bool FlAlgorithm::PrepareClientJob(const ClientJob& job, util::Rng& fault_rng,
   // round. params echo the dispatch so FedCross keeps its middleware copy.
   if (decision.dropped || decision.timed_out) {
     result.params = *job.init_params;  // copy-assign recycles the buffer
-    result.num_samples = clients_[job.client_id].num_samples();
+    result.num_samples = client.num_samples();
     result.num_steps = 0;
     result.lr = 0.0f;
     result.mean_loss = 0.0;
@@ -405,7 +453,7 @@ bool FlAlgorithm::PrepareClientJob(const ClientJob& job, util::Rng& fault_rng,
   return true;
 }
 
-void FlAlgorithm::FinishClientJob(const ClientJob& job,
+void FlAlgorithm::FinishClientJob(const ClientJob& job, FlatParams* residual,
                                   const FaultDecision& decision,
                                   util::Rng& rng, util::Rng& fault_rng,
                                   util::Rng& codec_rng, WireScratch& wire,
@@ -424,10 +472,9 @@ void FlAlgorithm::FinishClientJob(const ClientJob& job,
   // (and server-side screening) is the decoded frame, so lossy compression
   // noise — and corrupted payloads — reach the server exactly as the wire
   // carries them. The error-feedback residual belongs to the client and is
-  // touched by at most one job per batch.
-  FlatParams* residual = codec_residuals_.empty()
-                             ? &wire.decoded  // unused by lossless schemes
-                             : &codec_residuals_[job.client_id];
+  // touched by at most one job per batch; it was pinned in the state store
+  // before the fan-out (null for lossless schemes, which never read it).
+  if (residual == nullptr) residual = &wire.decoded;
   comm::EncodeUpload(config_.codec, result.params, wire.dispatched,
                      shape_table_, *residual, codec_rng, wire.frame);
   result.wire_bytes_up = wire.frame.size();
@@ -462,14 +509,14 @@ void FlAlgorithm::TrainClientsPlan(int round, int salt,
   std::vector<PlanJob> plan_jobs;
   plan_jobs.reserve(count);
   for (int slot = 0; slot < count; ++slot) {
-    if (!PrepareClientJob(jobs[slot], ctx[slot].fault_rng,
-                          wire_scratch_[slot], results_[slot],
-                          ctx[slot].decision)) {
+    if (!PrepareClientJob(jobs[slot], *client_slots_[slot],
+                          ctx[slot].fault_rng, wire_scratch_[slot],
+                          results_[slot], ctx[slot].decision)) {
       continue;
     }
     ctx[slot].trains = true;
     PlanJob pj;
-    pj.client = &clients_[jobs[slot].client_id];
+    pj.client = client_slots_[slot];
     pj.init_params = &wire_scratch_[slot].dispatched;
     pj.spec = jobs[slot].spec;
     pj.rng = &ctx[slot].job_rng;
@@ -501,9 +548,10 @@ void FlAlgorithm::TrainClientsPlan(int round, int salt,
 
   for (int slot = 0; slot < count; ++slot) {
     if (!ctx[slot].trains) continue;
-    FinishClientJob(jobs[slot], ctx[slot].decision, ctx[slot].job_rng,
-                    ctx[slot].fault_rng, ctx[slot].codec_rng,
-                    wire_scratch_[slot], results_[slot]);
+    FinishClientJob(jobs[slot], residual_slots_[slot], ctx[slot].decision,
+                    ctx[slot].job_rng, ctx[slot].fault_rng,
+                    ctx[slot].codec_rng, wire_scratch_[slot],
+                    results_[slot]);
   }
 }
 
@@ -535,10 +583,20 @@ void FlAlgorithm::WeightedAverageInto(
   FC_CHECK_GT(total_weight, 0.0);
 
   out.assign(models[0]->size(), 0.0f);  // capacity-retaining
-  for (std::size_t m = 0; m < models.size(); ++m) {
-    float factor = static_cast<float>(weights[m] / total_weight);
-    flat_ops::Axpy(out, factor, *models[m]);
-  }
+  // Range-sharded accumulation: each contiguous coordinate range walks the
+  // models in ascending order, exactly the element-wise order of the serial
+  // loop (AxpyRange is the serial Axpy's inner loop), so the result is
+  // bit-identical across --fl_threads.
+  ParallelRanges(
+      static_cast<std::int64_t>(out.size()), kMinAggRangeElems,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::size_t m = 0; m < models.size(); ++m) {
+          float factor = static_cast<float>(weights[m] / total_weight);
+          flat_ops::AxpyRange(out.data() + begin, factor,
+                              models[m]->data() + begin,
+                              static_cast<std::size_t>(end - begin));
+        }
+      });
 }
 
 void FlAlgorithm::AverageInto(const std::vector<const FlatParams*>& models,
@@ -546,9 +604,15 @@ void FlAlgorithm::AverageInto(const std::vector<const FlatParams*>& models,
   FC_CHECK(!models.empty());
   float factor = 1.0f / static_cast<float>(models.size());
   out.assign(models[0]->size(), 0.0f);
-  for (const FlatParams* model : models) {
-    flat_ops::Axpy(out, factor, *model);
-  }
+  ParallelRanges(
+      static_cast<std::int64_t>(out.size()), kMinAggRangeElems,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (const FlatParams* model : models) {
+          flat_ops::AxpyRange(out.data() + begin, factor,
+                              model->data() + begin,
+                              static_cast<std::size_t>(end - begin));
+        }
+      });
 }
 
 void FlAlgorithm::Aggregate(const std::vector<const FlatParams*>& models,
@@ -613,10 +677,17 @@ std::uint64_t FlAlgorithm::ConfigFingerprint() const {
 }
 
 util::Status FlAlgorithm::SaveCheckpoint(const std::string& path) {
+  return SaveCheckpoint(path, kCheckpointVersion);
+}
+
+util::Status FlAlgorithm::SaveCheckpoint(const std::string& path,
+                                         std::uint32_t version) {
   FC_TRACE_SPAN("checkpoint.save");
+  FC_CHECK_GE(version, 2u);
+  FC_CHECK_LE(version, kCheckpointVersion);
   const std::int64_t start_us =
       obs::MetricsEnabled() ? obs::TraceNowMicros() : 0;
-  StateWriter writer;
+  StateWriter writer(version);
   writer.WriteU64(ConfigFingerprint());
   writer.WriteI64(completed_rounds_);
 
@@ -646,12 +717,30 @@ util::Status FlAlgorithm::SaveCheckpoint(const std::string& path) {
     writer.WriteF64(record.mean_client_loss);
   }
 
-  // Error-feedback residuals (v2): without them a resumed lossy-codec run
-  // would re-quantise against zeroed residuals and diverge from the
-  // uninterrupted run. Clients that never uploaded store an empty vector.
-  writer.WriteU64(codec_residuals_.size());
-  for (const FlatParams& residual : codec_residuals_) {
-    writer.WriteFloats(residual);
+  // Error-feedback residuals: without them a resumed lossy-codec run would
+  // re-quantise against zeroed residuals and diverge from the uninterrupted
+  // run. v3 writes a sparse id-keyed table covering only clients that ever
+  // held a residual (spilled entries are read back through the store, so
+  // residency is invisible); v2 wrote one dense row per client.
+  const bool lossy = comm::SchemeIsLossy(config_.codec.scheme);
+  if (writer.version() >= 3) {
+    std::vector<std::int64_t> ids = residual_store_.TouchedIds();
+    writer.WriteU64(ids.size());
+    for (std::int64_t id : ids) {
+      writer.WriteI64(id);
+      FC_CHECK(residual_store_.Read(id, state_scratch_));
+      writer.WriteFloats(state_scratch_);
+    }
+  } else {
+    // Dense v2 downgrade: only valid while N fits the historical format.
+    const std::uint64_t dense =
+        lossy ? static_cast<std::uint64_t>(num_clients()) : 0;
+    writer.WriteU64(dense);
+    for (std::uint64_t id = 0; id < dense; ++id) {
+      state_scratch_.clear();
+      residual_store_.Read(static_cast<std::int64_t>(id), state_scratch_);
+      writer.WriteFloats(state_scratch_);
+    }
   }
 
   SaveExtraState(writer);
@@ -739,22 +828,53 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
     restored.Add(record);
   }
 
-  std::vector<FlatParams> residuals;
-  if (reader.version() >= 2) {
+  // Residual table: v3 sparse (id-keyed, ascending), v2 dense (one row per
+  // client, empty rows for clients that never uploaded). Staged into
+  // (id, residual) pairs and committed to the store only after every read
+  // succeeds.
+  std::vector<std::pair<std::int64_t, FlatParams>> residuals;
+  if (reader.version() >= 3) {
     std::uint64_t residual_count = 0;
     FC_RETURN_IF_ERROR(reader.ReadU64(residual_count));
-    if (residual_count != 0 && residual_count != clients_.size()) {
-      return util::Status::InvalidArgument(
-          "checkpoint residual table has " + std::to_string(residual_count) +
-          " clients, expected " + std::to_string(clients_.size()));
-    }
-    residuals.resize(static_cast<std::size_t>(residual_count));
-    for (FlatParams& residual : residuals) {
+    residuals.reserve(static_cast<std::size_t>(residual_count));
+    std::int64_t prev_id = -1;
+    for (std::uint64_t i = 0; i < residual_count; ++i) {
+      std::int64_t id = 0;
+      FC_RETURN_IF_ERROR(reader.ReadI64(id));
+      if (id <= prev_id || id >= num_clients()) {
+        return util::Status::InvalidArgument(
+            "checkpoint residual table ids must be ascending and in range");
+      }
+      prev_id = id;
+      FlatParams residual;
       FC_RETURN_IF_ERROR(reader.ReadFloats(residual));
       if (!residual.empty() &&
           residual.size() != static_cast<std::size_t>(model_size_)) {
         return util::Status::InvalidArgument(
             "checkpoint residual does not match the model size");
+      }
+      residuals.emplace_back(id, std::move(residual));
+    }
+  } else if (reader.version() >= 2) {
+    std::uint64_t residual_count = 0;
+    FC_RETURN_IF_ERROR(reader.ReadU64(residual_count));
+    if (residual_count != 0 &&
+        residual_count != static_cast<std::uint64_t>(num_clients())) {
+      return util::Status::InvalidArgument(
+          "checkpoint residual table has " + std::to_string(residual_count) +
+          " clients, expected " + std::to_string(num_clients()));
+    }
+    for (std::uint64_t id = 0; id < residual_count; ++id) {
+      FlatParams residual;
+      FC_RETURN_IF_ERROR(reader.ReadFloats(residual));
+      if (!residual.empty() &&
+          residual.size() != static_cast<std::size_t>(model_size_)) {
+        return util::Status::InvalidArgument(
+            "checkpoint residual does not match the model size");
+      }
+      if (!residual.empty()) {
+        residuals.emplace_back(static_cast<std::int64_t>(id),
+                               std::move(residual));
       }
     }
   }
@@ -771,7 +891,10 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
   comm_.Restore(total_down, total_up, total_wire_down, total_wire_up);
   fault_stats_ = stats;
   history_ = std::move(restored);
-  codec_residuals_ = std::move(residuals);
+  residual_store_.Clear();
+  for (auto& [id, residual] : residuals) {
+    residual_store_.Touch(id) = std::move(residual);
+  }
   if (obs::MetricsEnabled()) {
     Metrics().checkpoint_load_ms.Observe(
         static_cast<double>(obs::TraceNowMicros() - start_us) / 1000.0);

@@ -17,7 +17,9 @@
 #include "fl/history.h"
 #include "fl/model_pool.h"
 #include "fl/parallel.h"  // SetFlThreads / FlThreads
+#include "fl/population.h"
 #include "fl/privacy.h"
+#include "fl/state_store.h"
 #include "fl/types.h"
 #include "models/model_zoo.h"
 #include "util/rng.h"
@@ -62,6 +64,28 @@ struct AlgorithmConfig {
   // per-(round, client) RNG stream, so every scheme stays bit-identical
   // across --fl_threads values.
   comm::CodecOptions codec;
+
+  // Client-population residency (see fl/population.h). kResident keeps the
+  // historical everything-in-RAM layout; kVirtual materialises a sampled
+  // client's shard on first touch each round and drops it a batch later, so
+  // peak memory is flat in the registered population size. Shard factories
+  // are pure in the client id, so both modes train bit-identically; the
+  // mode is not part of the checkpoint fingerprint and may change across a
+  // resume.
+  PopulationMode population = PopulationMode::kResident;
+
+  // Distinct-sampling routine for SampleClients. kAuto keeps the historical
+  // full-shuffle draw sequence on resident populations (bit-compat with
+  // existing seeds) and switches to Floyd's O(K) sampler on virtual ones;
+  // set explicitly to pin one sampler regardless of population mode.
+  ClientSampler sampler = ClientSampler::kAuto;
+
+  // Residency cap for cold per-client state (codec error-feedback
+  // residuals, SCAFFOLD control variates, CluSamp update history). The
+  // default keeps everything in RAM; a positive max_resident spills
+  // least-recently-used entries to an mmap-backed temp file between rounds
+  // (bit-identical either way; see fl/state_store.h).
+  StateStoreOptions state_store;
 };
 
 // Base class of every FL algorithm in the repository (the five baselines in
@@ -106,6 +130,9 @@ class FlAlgorithm {
   // return InvalidArgument. On a non-OK load the training state is
   // unspecified: construct a fresh instance before retrying.
   util::Status SaveCheckpoint(const std::string& path);
+  // Writes a downgraded checkpoint in an older format version (>= 2), e.g.
+  // to hand a run to a build that predates the sparse v3 state tables.
+  util::Status SaveCheckpoint(const std::string& path, std::uint32_t version);
   util::Status LoadCheckpoint(const std::string& path);
 
   // Enables periodic checkpointing inside Run(): the training state is
@@ -118,7 +145,8 @@ class FlAlgorithm {
   const FaultStats& fault_stats() const { return fault_stats_; }
 
   const std::string& name() const { return name_; }
-  int num_clients() const { return static_cast<int>(clients_.size()); }
+  // 64-bit: virtual populations register far more clients than int holds.
+  std::int64_t num_clients() const { return population_.size(); }
   std::int64_t model_size() const { return model_size_; }
   // Per-tensor element counts of the flattened model — what every wire
   // frame carries and validates.
@@ -131,10 +159,16 @@ class FlAlgorithm {
   // Evaluates arbitrary flat params on the held-out test set.
   EvalResult Evaluate(const FlatParams& params);
 
+  // Population statistics (mode, resident count) for observability.
+  const ClientPopulation& population() const { return population_; }
+
  protected:
   const AlgorithmConfig& config() const { return config_; }
   util::Rng& rng() { return rng_; }
-  const FlClient& client(int id) const { return clients_[id]; }
+  // Materialises the client in virtual mode; the reference stays valid
+  // until the second TrainClients call after this one (see
+  // ClientPopulation::Client).
+  const FlClient& client(std::int64_t id) { return population_.Client(id); }
 
   // The phases a round decomposes into for observability. The base class
   // times kTrain/kScreen (TrainClients), kAggregate (Aggregate), kEval and
@@ -172,14 +206,15 @@ class FlAlgorithm {
 
   // Samples K distinct client ids uniformly (the paper's random selection),
   // plus faults.over_provision extras (capped at N) when over-provisioned
-  // selection is enabled.
-  std::vector<int> SampleClients();
+  // selection is enabled. The draw routine follows config().sampler: the
+  // historical full shuffle (O(N)) or Floyd's algorithm (O(K)).
+  std::vector<std::int64_t> SampleClients();
 
   // One client-training job of a round: which client, which dispatched
   // model, and the algorithm-specific training ingredients. The pointed-to
   // data must stay valid (and unmodified) until TrainClients returns.
   struct ClientJob {
-    int client_id = -1;
+    std::int64_t client_id = -1;
     const FlatParams* init_params = nullptr;
     const ClientTrainSpec* spec = nullptr;
   };
@@ -255,9 +290,12 @@ class FlAlgorithm {
   // Body of one ClientJob: dispatch-frame round trip, fault draws
   // (dedicated fault stream), local SGD, DP sanitisation, upload
   // corruption, and the upload-frame round trip — all driven by the job's
-  // own rngs so jobs are order- and thread-independent. Writes into
-  // `result`, recycling its buffers.
-  void TrainClientJob(const ClientJob& job, util::Rng& rng,
+  // own rngs so jobs are order- and thread-independent. `client` and
+  // `residual` are resolved per slot on the coordinating thread before the
+  // parallel fan-out (population cache and state store are not
+  // thread-safe). Writes into `result`, recycling its buffers.
+  void TrainClientJob(const ClientJob& job, const FlClient& client,
+                      FlatParams* residual, util::Rng& rng,
                       util::Rng& fault_rng, util::Rng& codec_rng,
                       WireScratch& wire, LocalTrainResult& result);
 
@@ -268,13 +306,13 @@ class FlAlgorithm {
   // job resolved to a dropout/straggler. Finish applies DP sanitisation,
   // upload corruption and the upload round trip. Each consumes exactly the
   // rng draws the corresponding region of TrainClientJob consumes.
-  bool PrepareClientJob(const ClientJob& job, util::Rng& fault_rng,
-                        WireScratch& wire, LocalTrainResult& result,
-                        FaultDecision& decision);
-  void FinishClientJob(const ClientJob& job, const FaultDecision& decision,
-                       util::Rng& rng, util::Rng& fault_rng,
-                       util::Rng& codec_rng, WireScratch& wire,
-                       LocalTrainResult& result);
+  bool PrepareClientJob(const ClientJob& job, const FlClient& client,
+                        util::Rng& fault_rng, WireScratch& wire,
+                        LocalTrainResult& result, FaultDecision& decision);
+  void FinishClientJob(const ClientJob& job, FlatParams* residual,
+                       const FaultDecision& decision, util::Rng& rng,
+                       util::Rng& fault_rng, util::Rng& codec_rng,
+                       WireScratch& wire, LocalTrainResult& result);
 
   // The kTrain phase body for ExecMode::kPlan: Prepare every slot, run the
   // surviving jobs through the lockstep plan runner (contiguous chunks
@@ -299,7 +337,7 @@ class FlAlgorithm {
   AlgorithmConfig config_;
   models::ModelFactory factory_;
   ModelPool pool_;  // replica pool shared by training jobs and evaluation
-  std::vector<FlClient> clients_;
+  ClientPopulation population_;  // resident clients or the virtual cache
   std::shared_ptr<data::Dataset> test_;
   std::int64_t model_size_;
   FlatParams initial_params_;  // factory init, captured once
@@ -310,11 +348,16 @@ class FlAlgorithm {
   MetricsHistory history_;
   std::vector<LocalTrainResult> results_;  // recycled across TrainClients
   std::vector<WireScratch> wire_scratch_;  // per-slot, recycled
-  // Per-client error-feedback residuals for the lossy codecs (empty until a
-  // client's first lossy upload). A client trains at most once per
-  // TrainClients batch in every algorithm, so parallel jobs touch disjoint
-  // entries.
-  std::vector<FlatParams> codec_residuals_;
+  // Per-client error-feedback residuals for the lossy codecs, keyed by
+  // client id in a spillable store (untouched clients cost nothing). A
+  // client trains at most once per TrainClients batch in every algorithm,
+  // and entry pointers are resolved per slot before the parallel fan-out,
+  // so parallel jobs touch disjoint, pinned entries.
+  ClientStateStore residual_store_;
+  // Per-slot pointers resolved on the coordinating thread each batch.
+  std::vector<const FlClient*> client_slots_;
+  std::vector<FlatParams*> residual_slots_;
+  FlatParams state_scratch_;  // checkpoint copy-out scratch, recycled
   FlatParams agg_scratch_;   // robust-aggregator scratch, recycled
   FlatParams agg_column_;    // per-coordinate gather scratch, recycled
   FaultStats fault_stats_;

@@ -57,6 +57,11 @@ void StateWriter::WriteInts(const std::vector<int>& values) {
   for (int v : values) WriteU32(static_cast<std::uint32_t>(v));
 }
 
+void StateWriter::WriteInts64(const std::vector<std::int64_t>& values) {
+  WriteU64(values.size());
+  for (std::int64_t v : values) WriteI64(v);
+}
+
 void StateWriter::WriteDoubles(const std::vector<double>& values) {
   WriteU64(values.size());
   for (double v : values) WriteF64(v);
@@ -141,6 +146,22 @@ util::Status StateReader::ReadInts(std::vector<int>& values) {
   return util::Status::Ok();
 }
 
+util::Status StateReader::ReadInts64(std::vector<std::int64_t>& values) {
+  std::uint64_t count = 0;
+  FC_RETURN_IF_ERROR(ReadU64(count));
+  if (count > kMaxReasonableCount ||
+      offset_ + count * sizeof(std::uint64_t) > bytes_.size()) {
+    return util::Status::InvalidArgument(
+        "truncated checkpoint: int64 vector of " + std::to_string(count) +
+        " elements exceeds remaining bytes");
+  }
+  values.resize(static_cast<std::size_t>(count));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    FC_RETURN_IF_ERROR(ReadI64(values[i]));
+  }
+  return util::Status::Ok();
+}
+
 util::Status StateReader::ReadDoubles(std::vector<double>& values) {
   std::uint64_t count = 0;
   FC_RETURN_IF_ERROR(ReadU64(count));
@@ -163,7 +184,7 @@ util::Status WriteStateFile(const std::string& path,
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out.good()) return util::Status::Internal("cannot open " + tmp);
-    std::uint32_t header[2] = {kMagic, kCheckpointVersion};
+    std::uint32_t header[2] = {kMagic, writer.version()};
     out.write(reinterpret_cast<const char*>(header), sizeof(header));
     out.write(reinterpret_cast<const char*>(writer.bytes().data()),
               static_cast<std::streamsize>(writer.bytes().size()));

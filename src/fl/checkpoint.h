@@ -25,18 +25,31 @@ namespace fedcross::fl {
 // clobber the previous good checkpoint. All reads are bounds-checked and
 // return util::Status on truncated or malformed input.
 //
-// Format versions: v2 (current) stores communication totals as four exact
-// u64 counters (raw + wire, both directions) followed by the per-client
-// codec error-feedback residual table; v1 stored two f64 totals and no
-// residuals. Readers accept both — StateReader::version() lets load paths
-// branch on what the file actually contains.
+// Format versions: v3 (current) stores per-client cold state — the codec
+// error-feedback residuals, SCAFFOLD variates, CluSamp update history — as
+// sparse tables (count, then id + payload per touched client) keyed by
+// 64-bit client ids, so a million-client population costs bytes only for
+// the clients that ever trained; v2 stored those tables densely over all N
+// clients (and 32-bit cluster ids); v1 stored two f64 communication totals
+// and no residuals. Readers accept all three — StateReader::version() lets
+// load paths branch on what the file actually contains. Writers normally
+// stamp kCheckpointVersion; a StateWriter constructed with an older version
+// lets FlAlgorithm::SaveCheckpoint produce downgraded files (compat tests,
+// handing a checkpoint to an older build).
 
 // The version WriteStateFile stamps on new checkpoints.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 // Appends little-endian POD values to a byte buffer.
 class StateWriter {
  public:
+  StateWriter() = default;
+  explicit StateWriter(std::uint32_t version) : version_(version) {}
+
+  // The format version this checkpoint is being written as; save paths
+  // branch on it the same way load paths branch on StateReader::version().
+  std::uint32_t version() const { return version_; }
+
   void WriteU32(std::uint32_t value);
   void WriteU64(std::uint64_t value);
   void WriteI64(std::int64_t value);
@@ -46,12 +59,14 @@ class StateWriter {
   // Length-prefixed vectors (u64 count + raw elements).
   void WriteFloats(const FlatParams& values);
   void WriteInts(const std::vector<int>& values);
+  void WriteInts64(const std::vector<std::int64_t>& values);
   void WriteDoubles(const std::vector<double>& values);
 
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
  private:
   std::vector<std::uint8_t> bytes_;
+  std::uint32_t version_ = kCheckpointVersion;
 };
 
 // Bounds-checked reader over a checkpoint body. Every read returns
@@ -75,6 +90,7 @@ class StateReader {
   util::Status ReadBool(bool& value);
   util::Status ReadFloats(FlatParams& values);
   util::Status ReadInts(std::vector<int>& values);
+  util::Status ReadInts64(std::vector<std::int64_t>& values);
   util::Status ReadDoubles(std::vector<double>& values);
 
   bool AtEnd() const { return offset_ == bytes_.size(); }
@@ -87,7 +103,8 @@ class StateReader {
   std::uint32_t version_ = kCheckpointVersion;
 };
 
-// Atomically writes header + body to `path` (tmp file + rename).
+// Atomically writes header + body to `path` (tmp file + rename). The header
+// carries the writer's version.
 util::Status WriteStateFile(const std::string& path, const StateWriter& writer);
 
 // Reads `path`, validates magic and version, and returns a reader

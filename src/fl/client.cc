@@ -36,7 +36,8 @@ void AdjustGradients(nn::Sequential& model, const ClientTrainSpec& spec) {
 
 }  // namespace detail
 
-FlClient::FlClient(int id, std::shared_ptr<const data::Dataset> dataset)
+FlClient::FlClient(std::int64_t id,
+                   std::shared_ptr<const data::Dataset> dataset)
     : id_(id), dataset_(std::move(dataset)) {
   FC_CHECK(dataset_ != nullptr);
   FC_CHECK_GT(dataset_->size(), 0) << "client " << id << " has no data";

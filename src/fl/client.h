@@ -57,9 +57,9 @@ struct LocalTrainResult {
 // server, keyed by client id, mirroring the usual simulation setup).
 class FlClient {
  public:
-  FlClient(int id, std::shared_ptr<const data::Dataset> dataset);
+  FlClient(std::int64_t id, std::shared_ptr<const data::Dataset> dataset);
 
-  int id() const { return id_; }
+  std::int64_t id() const { return id_; }
   int num_samples() const { return dataset_->size(); }
   const data::Dataset& dataset() const { return *dataset_; }
 
@@ -81,7 +81,7 @@ class FlClient {
                          const ClientTrainSpec& spec, util::Rng& rng) const;
 
  private:
-  int id_;
+  std::int64_t id_;
   std::shared_ptr<const data::Dataset> dataset_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "fl/flat_ops.h"
 
@@ -26,52 +27,61 @@ CluSamp::CluSamp(AlgorithmConfig config, data::FederatedDataset data,
     : FlAlgorithm("CluSamp", config, std::move(data), std::move(factory)),
       kmeans_iters_(kmeans_iters) {
   global_ = InitialParams();
-  client_updates_.assign(num_clients(), FlatParams());
-  assignment_.assign(num_clients(), 0);
+  client_updates_.Configure(this->config().state_store);
+  assignment_.assign(static_cast<std::size_t>(num_clients()), 0);
   // Initial assignment: round-robin (no history yet).
-  for (int i = 0; i < num_clients(); ++i) {
-    assignment_[i] = i % config.clients_per_round;
+  for (std::int64_t i = 0; i < num_clients(); ++i) {
+    assignment_[static_cast<std::size_t>(i)] =
+        static_cast<int>(i % config.clients_per_round);
   }
 }
 
 void CluSamp::UpdateClusters() {
   int k = config().clients_per_round;
-  int n = num_clients();
+  std::int64_t n = num_clients();
+  client_updates_.BeginBatch();  // refs stay valid until the next round
 
-  // Clients with history participate in k-means on normalised updates.
-  std::vector<int> with_history;
-  for (int i = 0; i < n; ++i) {
-    if (!client_updates_[i].empty()) with_history.push_back(i);
+  // Clients with history (ever uploaded a non-zero update) participate in
+  // k-means on normalised updates. TouchedIds is ascending, matching the
+  // historical dense scan order; Touch pins every entry for this round.
+  std::vector<std::int64_t> with_history = client_updates_.TouchedIds();
+  std::vector<const FlatParams*> history(with_history.size());
+  for (std::size_t h = 0; h < with_history.size(); ++h) {
+    history[h] = &client_updates_.Touch(with_history[h]);
   }
   if (static_cast<int>(with_history.size()) >= k) {
-    // Seed centroids from k distinct historied clients.
+    // Seed centroids from k distinct historied clients. The historical
+    // full-shuffle draw keeps pre-Floyd goldens bit-compatible.
+    FC_CHECK_LE(with_history.size(),
+                static_cast<std::size_t>(std::numeric_limits<int>::max()));
     std::vector<FlatParams> centroids;
     std::vector<int> seeds =
         rng().SampleWithoutReplacement(static_cast<int>(with_history.size()), k);
-    for (int seed : seeds) centroids.push_back(client_updates_[with_history[seed]]);
+    for (int seed : seeds) centroids.push_back(*history[seed]);
 
     for (int iter = 0; iter < kmeans_iters_; ++iter) {
       // Assign by max cosine similarity.
-      for (int i : with_history) {
+      for (std::size_t h = 0; h < with_history.size(); ++h) {
         double best = -2.0;
         int best_cluster = 0;
         for (int c = 0; c < k; ++c) {
-          double sim = flat_ops::CosineSimilarity(client_updates_[i], centroids[c]);
+          double sim = flat_ops::CosineSimilarity(*history[h], centroids[c]);
           if (sim > best) {
             best = sim;
             best_cluster = c;
           }
         }
-        assignment_[i] = best_cluster;
+        assignment_[static_cast<std::size_t>(with_history[h])] = best_cluster;
       }
       // Recompute centroids as normalised member means.
       std::vector<FlatParams> sums(k, FlatParams(global_.size(), 0.0f));
       std::vector<int> counts(k, 0);
-      for (int i : with_history) {
-        const FlatParams& update = client_updates_[i];
-        FlatParams& sum = sums[assignment_[i]];
+      for (std::size_t h = 0; h < with_history.size(); ++h) {
+        int cluster = assignment_[static_cast<std::size_t>(with_history[h])];
+        const FlatParams& update = *history[h];
+        FlatParams& sum = sums[cluster];
         for (std::size_t j = 0; j < sum.size(); ++j) sum[j] += update[j];
-        ++counts[assignment_[i]];
+        ++counts[cluster];
       }
       for (int c = 0; c < k; ++c) {
         if (counts[c] == 0) continue;  // keep old centroid
@@ -80,13 +90,17 @@ void CluSamp::UpdateClusters() {
     }
   }
   // Clients without history: spread round-robin over clusters.
-  int next = 0;
-  for (int i = 0; i < n; ++i) {
-    if (client_updates_[i].empty()) assignment_[i] = next++ % k;
+  std::int64_t next = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!client_updates_.Contains(i)) {
+      assignment_[static_cast<std::size_t>(i)] = static_cast<int>(next++ % k);
+    }
   }
   // Guarantee no empty cluster: reassign from the largest cluster.
-  std::vector<std::vector<int>> members(k);
-  for (int i = 0; i < n; ++i) members[assignment_[i]].push_back(i);
+  std::vector<std::vector<std::int64_t>> members(k);
+  for (std::int64_t i = 0; i < n; ++i) {
+    members[assignment_[static_cast<std::size_t>(i)]].push_back(i);
+  }
   for (int c = 0; c < k; ++c) {
     while (members[c].empty()) {
       int largest = 0;
@@ -94,10 +108,10 @@ void CluSamp::UpdateClusters() {
         if (members[d].size() > members[largest].size()) largest = d;
       }
       FC_CHECK_GT(members[largest].size(), 1u);
-      int moved = members[largest].back();
+      std::int64_t moved = members[largest].back();
       members[largest].pop_back();
       members[c].push_back(moved);
-      assignment_[moved] = c;
+      assignment_[static_cast<std::size_t>(moved)] = c;
     }
   }
 }
@@ -113,9 +127,9 @@ void CluSamp::RunRound(int round) {
 
     // One uniformly sampled client per cluster (sampled on the run rng, on
     // the calling thread, before the parallel fan-out).
-    std::vector<std::vector<int>> members(k);
-    for (int i = 0; i < num_clients(); ++i) {
-      members[assignment_[i]].push_back(i);
+    std::vector<std::vector<std::int64_t>> members(k);
+    for (std::int64_t i = 0; i < num_clients(); ++i) {
+      members[assignment_[static_cast<std::size_t>(i)]].push_back(i);
     }
     for (int c = 0; c < k; ++c) {
       FC_CHECK(!members[c].empty());
@@ -135,7 +149,7 @@ void CluSamp::RunRound(int round) {
 
     // Store the (normalised) update direction for the next clustering.
     flat_ops::Subtract(result.params, global_, update);
-    if (Normalize(update)) client_updates_[jobs[c].client_id] = update;
+    if (Normalize(update)) client_updates_.Touch(jobs[c].client_id) = update;
 
     weights.push_back(result.num_samples);
     local_models.push_back(&result.params);
@@ -147,23 +161,62 @@ void CluSamp::RunRound(int round) {
 void CluSamp::SaveExtraState(StateWriter& writer) {
   writer.WriteFloats(global_);
   writer.WriteInts(assignment_);
-  writer.WriteU64(client_updates_.size());
-  for (const FlatParams& update : client_updates_) writer.WriteFloats(update);
+  if (writer.version() >= 3) {
+    // Sparse id-keyed history: only clients that ever uploaded an update.
+    std::vector<std::int64_t> ids = client_updates_.TouchedIds();
+    writer.WriteU64(ids.size());
+    for (std::int64_t id : ids) {
+      writer.WriteI64(id);
+      FC_CHECK(client_updates_.Read(id, update_scratch_));
+      writer.WriteFloats(update_scratch_);
+    }
+  } else {
+    // Dense v2 downgrade: one row per client, empty when no history.
+    writer.WriteU64(static_cast<std::uint64_t>(num_clients()));
+    for (std::int64_t id = 0; id < num_clients(); ++id) {
+      update_scratch_.clear();
+      client_updates_.Read(id, update_scratch_);
+      writer.WriteFloats(update_scratch_);
+    }
+  }
 }
 
 util::Status CluSamp::LoadExtraState(StateReader& reader) {
   FC_RETURN_IF_ERROR(reader.ReadFloats(global_));
   FC_RETURN_IF_ERROR(reader.ReadInts(assignment_));
+  if (assignment_.size() != static_cast<std::size_t>(num_clients())) {
+    return util::Status::FailedPrecondition(
+        "checkpoint assignment covers " + std::to_string(assignment_.size()) +
+        " clients, run has " + std::to_string(num_clients()));
+  }
   std::uint64_t count = 0;
   FC_RETURN_IF_ERROR(reader.ReadU64(count));
-  if (count != client_updates_.size() ||
-      assignment_.size() != client_updates_.size()) {
-    return util::Status::FailedPrecondition(
-        "checkpoint has update history for " + std::to_string(count) +
-        " clients, run has " + std::to_string(client_updates_.size()));
-  }
-  for (FlatParams& update : client_updates_) {
-    FC_RETURN_IF_ERROR(reader.ReadFloats(update));
+  client_updates_.Clear();
+  if (reader.version() >= 3) {
+    std::int64_t prev_id = -1;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::int64_t id = 0;
+      FC_RETURN_IF_ERROR(reader.ReadI64(id));
+      if (id <= prev_id || id >= num_clients()) {
+        return util::Status::InvalidArgument(
+            "update-history ids must be ascending and in range");
+      }
+      prev_id = id;
+      FC_RETURN_IF_ERROR(reader.ReadFloats(update_scratch_));
+      client_updates_.Touch(id) = update_scratch_;
+    }
+  } else {
+    if (count != static_cast<std::uint64_t>(num_clients())) {
+      return util::Status::FailedPrecondition(
+          "checkpoint has update history for " + std::to_string(count) +
+          " clients, run has " + std::to_string(num_clients()));
+    }
+    for (std::uint64_t id = 0; id < count; ++id) {
+      FC_RETURN_IF_ERROR(reader.ReadFloats(update_scratch_));
+      if (!update_scratch_.empty()) {
+        client_updates_.Touch(static_cast<std::int64_t>(id)) = update_scratch_;
+      }
+    }
   }
   return util::Status::Ok();
 }

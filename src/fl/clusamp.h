@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fl/algorithm.h"
+#include "fl/state_store.h"
 
 namespace fedcross::fl {
 
@@ -38,8 +39,12 @@ class CluSamp : public FlAlgorithm {
 
   int kmeans_iters_;
   FlatParams global_;
-  std::vector<FlatParams> client_updates_;  // last delta per client
-  std::vector<int> assignment_;
+  // Last update direction per participating client, keyed by id. Only
+  // clients that ever uploaded hold an entry, so the history scales with
+  // the participating set rather than the registered population.
+  ClientStateStore client_updates_;
+  FlatParams update_scratch_;  // checkpoint staging for spilled entries
+  std::vector<int> assignment_;  // cluster per client id (values [0, K))
 };
 
 }  // namespace fedcross::fl

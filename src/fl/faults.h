@@ -65,7 +65,9 @@ struct FaultProfile {
 // overrides, and the server-side round deadline the stragglers race.
 struct FaultModel {
   FaultProfile profile;  // applies to every client without an override
-  std::unordered_map<int, FaultProfile> overrides;  // keyed by client id
+  // Keyed by client id; 64-bit so overrides address million-client virtual
+  // populations.
+  std::unordered_map<std::int64_t, FaultProfile> overrides;
 
   // Simulated per-round time budget (a fault-free client takes 1.0). A
   // straggler whose drawn slowdown exceeds the deadline misses the round.
@@ -79,7 +81,7 @@ struct FaultModel {
   // middleware model and the cluster-driven samplers pick per cluster.
   int over_provision = 0;
 
-  const FaultProfile& ProfileFor(int client_id) const {
+  const FaultProfile& ProfileFor(std::int64_t client_id) const {
     auto it = overrides.find(client_id);
     return it == overrides.end() ? profile : it->second;
   }

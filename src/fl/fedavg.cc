@@ -16,7 +16,7 @@ ClientTrainSpec FedAvg::MakeClientSpec() const {
 }
 
 void FedAvg::RunRound(int round) {
-  std::vector<int> selected;
+  std::vector<std::int64_t> selected;
   ClientTrainSpec spec = MakeClientSpec();
   std::vector<ClientJob> jobs;
   {

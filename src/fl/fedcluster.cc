@@ -1,5 +1,6 @@
 #include "fl/fedcluster.h"
 
+#include <limits>
 #include <numeric>
 
 namespace fedcross::fl {
@@ -16,8 +17,8 @@ FedCluster::FedCluster(AlgorithmConfig config, data::FederatedDataset data,
   // Random, size-balanced clusters, fixed for the whole run (the original
   // method clusters once; re-clustering variants exist but are not needed
   // for the baseline).
-  std::vector<int> order(num_clients());
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(num_clients()));
+  std::iota(order.begin(), order.end(), std::int64_t{0});
   rng().Shuffle(order);
   clusters_.assign(num_clusters_, {});
   for (std::size_t i = 0; i < order.size(); ++i) {
@@ -36,7 +37,7 @@ void FedCluster::RunRound(int round) {
   // clients train in parallel; the steps themselves stay sequential because
   // every step aggregates into the model the next one dispatches.
   for (int step = 0; step < num_clusters_; ++step) {
-    const std::vector<int>& cluster =
+    const std::vector<std::int64_t>& cluster =
         clusters_[(round + step) % num_clusters_];
     int take = std::min<int>(per_cluster, static_cast<int>(cluster.size()));
     if (take == 0) continue;
@@ -70,7 +71,22 @@ void FedCluster::RunRound(int round) {
 void FedCluster::SaveExtraState(StateWriter& writer) {
   writer.WriteFloats(global_);
   writer.WriteU64(clusters_.size());
-  for (const std::vector<int>& cluster : clusters_) writer.WriteInts(cluster);
+  if (writer.version() >= 3) {
+    for (const std::vector<std::int64_t>& cluster : clusters_) {
+      writer.WriteInts64(cluster);
+    }
+  } else {
+    // Dense v2 downgrade: 32-bit member ids (the historical layout).
+    for (const std::vector<std::int64_t>& cluster : clusters_) {
+      std::vector<int> narrow;
+      narrow.reserve(cluster.size());
+      for (std::int64_t id : cluster) {
+        FC_CHECK_LE(id, std::numeric_limits<int>::max());
+        narrow.push_back(static_cast<int>(id));
+      }
+      writer.WriteInts(narrow);
+    }
+  }
 }
 
 util::Status FedCluster::LoadExtraState(StateReader& reader) {
@@ -82,8 +98,14 @@ util::Status FedCluster::LoadExtraState(StateReader& reader) {
         "checkpoint has " + std::to_string(count) + " clusters, run has " +
         std::to_string(clusters_.size()));
   }
-  for (std::vector<int>& cluster : clusters_) {
-    FC_RETURN_IF_ERROR(reader.ReadInts(cluster));
+  for (std::vector<std::int64_t>& cluster : clusters_) {
+    if (reader.version() >= 3) {
+      FC_RETURN_IF_ERROR(reader.ReadInts64(cluster));
+    } else {
+      std::vector<int> narrow;
+      FC_RETURN_IF_ERROR(reader.ReadInts(narrow));
+      cluster.assign(narrow.begin(), narrow.end());
+    }
   }
   return util::Status::Ok();
 }

@@ -25,7 +25,9 @@ class FedCluster : public FlAlgorithm {
   void RunRound(int round) override;
   FlatParams GlobalParams() override { return global_; }
 
-  const std::vector<std::vector<int>>& clusters() const { return clusters_; }
+  const std::vector<std::vector<std::int64_t>>& clusters() const {
+    return clusters_;
+  }
 
  protected:
   // Checkpoint state: global model plus the fixed cluster partition (it was
@@ -36,7 +38,8 @@ class FedCluster : public FlAlgorithm {
  private:
   int num_clusters_;
   FlatParams global_;
-  std::vector<std::vector<int>> clusters_;  // random, fixed at construction
+  // Random, fixed at construction; 64-bit ids for virtual populations.
+  std::vector<std::vector<std::int64_t>> clusters_;
 };
 
 }  // namespace fedcross::fl

@@ -127,7 +127,7 @@ void FedGen::RegenerateSyntheticSet() {
 }
 
 void FedGen::RunRound(int round) {
-  std::vector<int> selected;
+  std::vector<std::int64_t> selected;
   std::vector<double> new_label_weights(num_classes_, 1e-3);
 
   ClientTrainSpec spec;

@@ -26,10 +26,13 @@ void AddInto(FlatParams& dst, const FlatParams& src) {
 
 void Axpy(FlatParams& dst, float factor, const FlatParams& src) {
   FC_CHECK_EQ(dst.size(), src.size());
-  const float* __restrict__ sp = src.data();
-  float* __restrict__ dp = dst.data();
-  std::size_t size = dst.size();
-  for (std::size_t i = 0; i < size; ++i) dp[i] += factor * sp[i];
+  AxpyRange(dst.data(), factor, src.data(), dst.size());
+}
+
+void AxpyRange(float* dst, float factor, const float* src, std::size_t n) {
+  const float* __restrict__ sp = src;
+  float* __restrict__ dp = dst;
+  for (std::size_t i = 0; i < n; ++i) dp[i] += factor * sp[i];
 }
 
 void Scale(FlatParams& dst, float factor) {

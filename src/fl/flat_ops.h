@@ -1,6 +1,7 @@
 #ifndef FEDCROSS_FL_FLAT_OPS_H_
 #define FEDCROSS_FL_FLAT_OPS_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "fl/types.h"
@@ -23,6 +24,11 @@ void AddInto(FlatParams& dst, const FlatParams& src);
 
 // dst += factor * src.
 void Axpy(FlatParams& dst, float factor, const FlatParams& src);
+
+// dst[i] += factor * src[i] for i in [0, n). Raw-pointer form so the
+// range-sharded aggregators run the exact same inner loop (same codegen,
+// same rounding) on each contiguous shard as Axpy runs on a full vector.
+void AxpyRange(float* dst, float factor, const float* src, std::size_t n);
 
 // dst *= factor.
 void Scale(FlatParams& dst, float factor);

@@ -42,4 +42,22 @@ util::ThreadPool* AcquireFlPool() {
   return g_pool.get();
 }
 
+void ParallelRanges(std::int64_t n, std::int64_t min_per_range,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (min_per_range < 1) min_per_range = 1;
+  util::ThreadPool* pool = AcquireFlPool();
+  std::int64_t ranges = pool == nullptr ? 1 : n / min_per_range;
+  if (ranges > FlThreads()) ranges = FlThreads();
+  if (ranges <= 1) {
+    fn(0, n);
+    return;
+  }
+  pool->ParallelFor(static_cast<int>(ranges), [&](int r) {
+    std::int64_t begin = n * r / ranges;
+    std::int64_t end = n * (r + 1) / ranges;
+    if (begin < end) fn(begin, end);
+  });
+}
+
 }  // namespace fedcross::fl

@@ -1,6 +1,9 @@
 #ifndef FEDCROSS_FL_PARALLEL_H_
 #define FEDCROSS_FL_PARALLEL_H_
 
+#include <cstdint>
+#include <functional>
+
 #include "util/thread_pool.h"
 
 namespace fedcross::fl {
@@ -21,6 +24,16 @@ int FlThreads();
 // == 1 (callers run their serial path). The pool is built lazily and
 // rebuilt when SetFlThreads changes the size.
 util::ThreadPool* AcquireFlPool();
+
+// Splits [0, n) into at most FlThreads() contiguous ranges of at least
+// min_per_range elements each and runs fn(begin, end) on every range via the
+// shared pool (inline when the pool is off or the range is too small). The
+// range boundaries depend only on n, min_per_range, and FlThreads(), never on
+// scheduling, so callers whose per-element work is order-independent across
+// ranges (e.g. element-wise accumulation with a fixed per-element operand
+// order) produce bit-identical results at every thread count.
+void ParallelRanges(std::int64_t n, std::int64_t min_per_range,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
 
 }  // namespace fedcross::fl
 

@@ -1,0 +1,91 @@
+#ifndef FEDCROSS_FL_POPULATION_H_
+#define FEDCROSS_FL_POPULATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/client.h"
+
+namespace fedcross::fl {
+
+// How the registered client population is held in memory.
+//   kResident — every FlClient and its shard lives in RAM for the whole run
+//               (the historical layout; memory is O(N)).
+//   kVirtual  — registration stores only a count; a client materialises from
+//               the federation's shard factory when a round first touches it
+//               and is dropped again a batch later, so memory tracks the
+//               sampled cohort (~K), not the registered population (N).
+// Shard factories are pure in the client id, so the two modes train
+// bit-identically; the mode is not part of the checkpoint fingerprint.
+enum class PopulationMode { kResident = 0, kVirtual = 1 };
+
+// --population flag plumbing for the example binaries.
+bool ParsePopulationMode(const std::string& name, PopulationMode* out);
+const char* PopulationModeName(PopulationMode mode);
+
+// Which distinct-sampling routine SampleClients uses. kFullShuffle is the
+// historical partial-Fisher-Yates draw sequence (O(N) per round, kept for
+// bit-compat with existing seeds); kFloyd is Floyd's O(K) algorithm whose
+// cost is independent of N. Both consume the same run RNG but produce
+// different (equally uniform) draw sequences. kAuto picks kFullShuffle for
+// resident populations and kFloyd for virtual ones.
+enum class ClientSampler { kAuto = 0, kFullShuffle = 1, kFloyd = 2 };
+
+// The client population behind FlAlgorithm: ids [0, size()) plus on-demand
+// access to each client's FlClient. Construction consumes the federation's
+// client data (shards or the shard factory); the test set and metadata are
+// left untouched for the caller.
+//
+// Not thread-safe: Client() and BeginBatch() run on the coordinating thread
+// only. TrainClients resolves per-slot FlClient pointers before its parallel
+// fan-out, so workers never touch the cache.
+class ClientPopulation {
+ public:
+  ClientPopulation(PopulationMode mode, data::FederatedDataset& data);
+
+  std::int64_t size() const { return size_; }
+  PopulationMode mode() const { return mode_; }
+
+  // The client, materialising its shard in virtual mode. The reference (and
+  // the shard behind it) stays valid until the second BeginBatch() after the
+  // last Client(id) call — entries survive one full batch beyond the one
+  // that touched them, so post-training reads within the same round (e.g.
+  // FedGen's label counts) hit the cache.
+  const FlClient& Client(std::int64_t id);
+
+  // Advances the batch epoch and releases virtual clients that were last
+  // touched before the previous epoch. No-op for resident populations.
+  void BeginBatch();
+
+  // Clients currently held in RAM: N when resident, the cache size when
+  // virtual. Exported as the fl.population.resident_clients gauge.
+  std::int64_t resident_clients() const {
+    return mode_ == PopulationMode::kResident
+               ? size_
+               : static_cast<std::int64_t>(cache_.size());
+  }
+
+  // Cumulative shard materialisations (virtual mode), for tests and gauges.
+  std::int64_t materializations() const { return materializations_; }
+
+ private:
+  struct CacheEntry {
+    FlClient client;
+    std::uint64_t epoch;
+  };
+
+  PopulationMode mode_;
+  std::int64_t size_ = 0;
+  std::vector<FlClient> clients_;  // resident mode
+  data::ShardFactory make_shard_;  // virtual mode
+  std::unordered_map<std::int64_t, CacheEntry> cache_;
+  std::uint64_t epoch_ = 0;
+  std::int64_t materializations_ = 0;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_POPULATION_H_

@@ -9,11 +9,11 @@ Scaffold::Scaffold(AlgorithmConfig config, data::FederatedDataset data,
     : FlAlgorithm("SCAFFOLD", config, std::move(data), std::move(factory)) {
   global_ = InitialParams();
   server_c_.assign(global_.size(), 0.0f);
-  client_c_.assign(num_clients(), FlatParams());
+  client_c_.Configure(this->config().state_store);
 }
 
 void Scaffold::RunRound(int round) {
-  std::vector<int> selected;
+  std::vector<std::int64_t> selected;
   std::vector<FlatParams> corrections;
   std::vector<ClientTrainSpec> specs;
   std::vector<ClientJob> jobs;
@@ -22,6 +22,7 @@ void Scaffold::RunRound(int round) {
     PhaseScope phase(*this, RoundPhase::kDispatch);
     selected = SampleClients();
     count = static_cast<int>(selected.size());
+    client_c_.BeginBatch();  // evicts only here: refs stay valid all round
 
     // Materialise every client's per-step correction c - c_i before the
     // (possibly parallel) training fan-out; the buffers must stay stable for
@@ -30,7 +31,7 @@ void Scaffold::RunRound(int round) {
     specs.resize(count);
     jobs.resize(count);
     for (int i = 0; i < count; ++i) {
-      FlatParams& c_i = client_c_[selected[i]];
+      FlatParams& c_i = client_c_.Touch(selected[i]);
       if (c_i.empty()) c_i.assign(global_.size(), 0.0f);
       flat_ops::Subtract(server_c_, c_i, corrections[i]);
       specs[i].options = config().train;
@@ -55,7 +56,7 @@ void Scaffold::RunRound(int round) {
                      CommTracker::FloatBytes(model_size()));
 
     // Option II variate update.
-    FlatParams& c_i = client_c_[selected[i]];
+    FlatParams& c_i = client_c_.Touch(selected[i]);
     float inv_step =
         result.num_steps > 0 ? 1.0f / (result.num_steps * result.lr) : 0.0f;
     for (std::size_t j = 0; j < c_i.size(); ++j) {
@@ -79,8 +80,25 @@ void Scaffold::RunRound(int round) {
 void Scaffold::SaveExtraState(StateWriter& writer) {
   writer.WriteFloats(global_);
   writer.WriteFloats(server_c_);
-  writer.WriteU64(client_c_.size());
-  for (const FlatParams& c_i : client_c_) writer.WriteFloats(c_i);
+  if (writer.version() >= 3) {
+    // Sparse id-keyed table: only clients that were ever selected carry a
+    // variate. Spilled entries round-trip through Read.
+    std::vector<std::int64_t> ids = client_c_.TouchedIds();
+    writer.WriteU64(ids.size());
+    for (std::int64_t id : ids) {
+      writer.WriteI64(id);
+      FC_CHECK(client_c_.Read(id, c_scratch_));
+      writer.WriteFloats(c_scratch_);
+    }
+  } else {
+    // Dense v2 downgrade: one row per client, empty for never-selected.
+    writer.WriteU64(static_cast<std::uint64_t>(num_clients()));
+    for (std::int64_t id = 0; id < num_clients(); ++id) {
+      c_scratch_.clear();
+      client_c_.Read(id, c_scratch_);
+      writer.WriteFloats(c_scratch_);
+    }
+  }
 }
 
 util::Status Scaffold::LoadExtraState(StateReader& reader) {
@@ -88,13 +106,32 @@ util::Status Scaffold::LoadExtraState(StateReader& reader) {
   FC_RETURN_IF_ERROR(reader.ReadFloats(server_c_));
   std::uint64_t count = 0;
   FC_RETURN_IF_ERROR(reader.ReadU64(count));
-  if (count != client_c_.size()) {
-    return util::Status::FailedPrecondition(
-        "checkpoint has variates for " + std::to_string(count) +
-        " clients, run has " + std::to_string(client_c_.size()));
-  }
-  for (FlatParams& c_i : client_c_) {
-    FC_RETURN_IF_ERROR(reader.ReadFloats(c_i));
+  client_c_.Clear();
+  if (reader.version() >= 3) {
+    std::int64_t prev_id = -1;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::int64_t id = 0;
+      FC_RETURN_IF_ERROR(reader.ReadI64(id));
+      if (id <= prev_id || id >= num_clients()) {
+        return util::Status::InvalidArgument(
+            "variate table ids must be ascending and in range");
+      }
+      prev_id = id;
+      FC_RETURN_IF_ERROR(reader.ReadFloats(c_scratch_));
+      client_c_.Touch(id) = c_scratch_;
+    }
+  } else {
+    if (count != static_cast<std::uint64_t>(num_clients())) {
+      return util::Status::FailedPrecondition(
+          "checkpoint has variates for " + std::to_string(count) +
+          " clients, run has " + std::to_string(num_clients()));
+    }
+    for (std::uint64_t id = 0; id < count; ++id) {
+      FC_RETURN_IF_ERROR(reader.ReadFloats(c_scratch_));
+      if (!c_scratch_.empty()) {
+        client_c_.Touch(static_cast<std::int64_t>(id)) = c_scratch_;
+      }
+    }
   }
   return util::Status::Ok();
 }

@@ -1,9 +1,8 @@
 #ifndef FEDCROSS_FL_SCAFFOLD_H_
 #define FEDCROSS_FL_SCAFFOLD_H_
 
-#include <vector>
-
 #include "fl/algorithm.h"
+#include "fl/state_store.h"
 
 namespace fedcross::fl {
 
@@ -32,7 +31,11 @@ class Scaffold : public FlAlgorithm {
  private:
   FlatParams global_;
   FlatParams server_c_;
-  std::vector<FlatParams> client_c_;  // indexed by client id; lazily sized
+  // Per-client variates, keyed by id and lazily created on first selection.
+  // Cold entries spill with the rest of the client state, so memory tracks
+  // the participating set, not the registered population.
+  ClientStateStore client_c_;
+  FlatParams c_scratch_;  // checkpoint staging for spilled variates
 };
 
 }  // namespace fedcross::fl

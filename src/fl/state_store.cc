@@ -1,0 +1,176 @@
+#include "fl/state_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/check.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#define FEDCROSS_STATE_STORE_HAS_MMAP 1
+#endif
+
+namespace fedcross::fl {
+namespace {
+
+constexpr std::int64_t kInitialSlots = 64;
+
+}  // namespace
+
+ClientStateStore::~ClientStateStore() {
+#ifdef FEDCROSS_STATE_STORE_HAS_MMAP
+  if (map_ != nullptr) {
+    ::munmap(map_, static_cast<std::size_t>(slot_capacity_ * slot_floats_ *
+                                            static_cast<std::int64_t>(
+                                                sizeof(float))));
+  }
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+FlatParams& ClientStateStore::Touch(std::int64_t id) {
+  Entry& entry = entries_[id];
+  entry.last_touch = ++touch_counter_;
+  if (!entry.resident) {
+    // A brand-new entry starts empty; a cold one is faulted in from its slot.
+    if (entry.slot >= 0) FaultIn(entry);
+    entry.resident = true;
+    ++resident_;
+  }
+  return entry.value;
+}
+
+bool ClientStateStore::Read(std::int64_t id, FlatParams& out) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    out.clear();
+    return false;
+  }
+  const Entry& entry = it->second;
+  if (entry.resident) {
+    out = entry.value;
+  } else if (entry.slot >= 0) {
+    out.resize(static_cast<std::size_t>(slot_floats_));
+    std::memcpy(out.data(), SlotData(entry.slot),
+                static_cast<std::size_t>(slot_floats_) * sizeof(float));
+  } else {
+    out.clear();  // spilled while still empty
+  }
+  return true;
+}
+
+void ClientStateStore::BeginBatch() {
+  if (options_.max_resident <= 0 || resident_ <= options_.max_resident) {
+    return;
+  }
+  // Keep the max_resident most recently touched entries; spill the rest,
+  // oldest first. The scan is O(resident), and resident is bounded by
+  // max_resident plus one batch's worth of touches.
+  evict_scratch_.clear();
+  for (auto& [id, entry] : entries_) {
+    if (entry.resident) evict_scratch_.emplace_back(entry.last_touch, id);
+  }
+  std::sort(evict_scratch_.begin(), evict_scratch_.end());
+  std::int64_t excess =
+      static_cast<std::int64_t>(evict_scratch_.size()) - options_.max_resident;
+  for (std::int64_t i = 0; i < excess; ++i) {
+    std::int64_t id = evict_scratch_[static_cast<std::size_t>(i)].second;
+    Spill(id, entries_.at(id));
+  }
+}
+
+std::vector<std::int64_t> ClientStateStore::TouchedIds() const {
+  std::vector<std::int64_t> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ClientStateStore::Clear() {
+  entries_.clear();
+  resident_ = 0;
+  touch_counter_ = 0;
+  next_slot_ = 0;  // slots are recycled; the mapping (if any) is kept
+}
+
+void ClientStateStore::Spill(std::int64_t id, Entry& entry) {
+  FC_CHECK(entry.resident);
+  if (!entry.value.empty()) {
+#ifdef FEDCROSS_STATE_STORE_HAS_MMAP
+    if (slot_floats_ == 0) {
+      slot_floats_ = static_cast<std::int64_t>(entry.value.size());
+    }
+    FC_CHECK_EQ(static_cast<std::int64_t>(entry.value.size()), slot_floats_)
+        << "ClientStateStore entries must share one length (client " << id
+        << ")";
+    if (entry.slot < 0) entry.slot = next_slot_++;
+    EnsureSlotCapacity(entry.slot + 1);
+    std::memcpy(SlotData(entry.slot), entry.value.data(),
+                entry.value.size() * sizeof(float));
+    ++spills_;
+#else
+    return;  // no spill support: keep the entry resident
+#endif
+  }
+  entry.value.clear();
+  entry.value.shrink_to_fit();
+  entry.resident = false;
+  --resident_;
+}
+
+void ClientStateStore::FaultIn(Entry& entry) {
+  entry.value.resize(static_cast<std::size_t>(slot_floats_));
+  std::memcpy(entry.value.data(), SlotData(entry.slot),
+              entry.value.size() * sizeof(float));
+  ++faultins_;
+}
+
+float* ClientStateStore::SlotData(std::int64_t slot) const {
+  FC_CHECK(map_ != nullptr);
+  FC_CHECK_LT(slot, slot_capacity_);
+  return static_cast<float*>(map_) + slot * slot_floats_;
+}
+
+void ClientStateStore::EnsureSlotCapacity(std::int64_t slots) {
+#ifdef FEDCROSS_STATE_STORE_HAS_MMAP
+  if (slots <= slot_capacity_) return;
+  if (fd_ < 0) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string path = (tmpdir != nullptr && *tmpdir != '\0')
+                           ? std::string(tmpdir)
+                           : std::string("/tmp");
+    path += "/fedcross-state-XXXXXX";
+    std::vector<char> buf(path.begin(), path.end());
+    buf.push_back('\0');
+    fd_ = ::mkstemp(buf.data());
+    FC_CHECK_GE(fd_, 0) << "cannot create state spill file in " << path;
+    // Unlink immediately: the file survives only as long as the fd, so a
+    // killed run never leaves spill files behind.
+    ::unlink(buf.data());
+  }
+  std::int64_t want = std::max<std::int64_t>(kInitialSlots, slot_capacity_ * 2);
+  while (want < slots) want *= 2;
+  std::int64_t bytes =
+      want * slot_floats_ * static_cast<std::int64_t>(sizeof(float));
+  FC_CHECK_EQ(::ftruncate(fd_, static_cast<off_t>(bytes)), 0)
+      << "cannot grow state spill file to " << bytes << " bytes";
+  if (map_ != nullptr) {
+    ::munmap(map_, static_cast<std::size_t>(slot_capacity_ * slot_floats_ *
+                                            static_cast<std::int64_t>(
+                                                sizeof(float))));
+  }
+  map_ = ::mmap(nullptr, static_cast<std::size_t>(bytes),
+                PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  FC_CHECK(map_ != MAP_FAILED) << "cannot mmap state spill file";
+  slot_capacity_ = want;
+#else
+  (void)slots;
+#endif
+}
+
+}  // namespace fedcross::fl

@@ -1,0 +1,114 @@
+#ifndef FEDCROSS_FL_STATE_STORE_H_
+#define FEDCROSS_FL_STATE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fl/types.h"
+
+namespace fedcross::fl {
+
+// Residency policy for a ClientStateStore.
+struct StateStoreOptions {
+  // Maximum number of entries kept in RAM between batches. <= 0 keeps every
+  // touched entry resident and never creates a spill file (the default, and
+  // the right choice for resident populations where N is small anyway).
+  std::int64_t max_resident = 0;
+};
+
+// Cold per-client persistent state — SCAFFOLD control variates, codec
+// error-feedback residuals, CluSamp update history — keyed by client id.
+// Untouched clients cost nothing: an entry exists only once Touch(id) has
+// been called. When max_resident is set, entries that were not touched in
+// the current batch are spilled to an anonymous mmap-backed temp file
+// (created with mkstemp and unlinked immediately, so it never outlives the
+// process) and faulted back in on the next Touch. Spill and fault-in are
+// raw float-bit copies, so residency is invisible to training: a run with
+// max_resident=2 is bit-identical to a run with everything resident.
+//
+// All entries that ever hold data must have the same length (one flat model
+// or variate vector); empty entries (touched but never written) are fine and
+// occupy no spill slot.
+//
+// Not thread-safe. Callers resolve entry pointers on the coordinating thread
+// before any parallel fan-out; references returned by Touch stay valid until
+// the next BeginBatch()/Clear().
+class ClientStateStore {
+ public:
+  ClientStateStore() = default;
+  ~ClientStateStore();
+
+  ClientStateStore(const ClientStateStore&) = delete;
+  ClientStateStore& operator=(const ClientStateStore&) = delete;
+
+  void Configure(const StateStoreOptions& options) { options_ = options; }
+
+  // Mutable entry for this client, created empty on first touch and faulted
+  // in from the spill file if currently cold. Marks the entry
+  // most-recently-used.
+  FlatParams& Touch(std::int64_t id);
+
+  // Copies the entry's value into out without changing LRU order; returns
+  // false (and clears out) if the client was never touched.
+  bool Read(std::int64_t id, FlatParams& out) const;
+
+  bool Contains(std::int64_t id) const {
+    return entries_.find(id) != entries_.end();
+  }
+
+  // Advances the batch epoch: spills least-recently-touched resident entries
+  // until at most max_resident remain. Call once per round (or per training
+  // batch) from the coordinating thread; between calls nothing moves.
+  void BeginBatch();
+
+  // Every id ever touched, sorted ascending — the checkpoint iteration
+  // order, which therefore does not depend on residency or LRU state.
+  std::vector<std::int64_t> TouchedIds() const;
+
+  // Drops all entries (spill slots are recycled). Checkpoint load starts
+  // from a Clear() store and repopulates it via Touch.
+  void Clear();
+
+  std::int64_t touched() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+  std::int64_t resident() const { return resident_; }
+  // Cumulative spill writes / fault-ins, for tests and gauges.
+  std::int64_t spills() const { return spills_; }
+  std::int64_t faultins() const { return faultins_; }
+
+ private:
+  struct Entry {
+    FlatParams value;              // meaningful only while resident
+    bool resident = false;
+    std::int64_t slot = -1;        // spill-file slot, -1 until first spill
+    std::uint64_t last_touch = 0;  // monotonic counter for LRU ordering
+  };
+
+  void Spill(std::int64_t id, Entry& entry);
+  void FaultIn(Entry& entry);
+  void EnsureSlotCapacity(std::int64_t slots);
+  float* SlotData(std::int64_t slot) const;
+
+  StateStoreOptions options_;
+  std::unordered_map<std::int64_t, Entry> entries_;
+  std::int64_t resident_ = 0;
+  std::uint64_t touch_counter_ = 0;
+  std::int64_t spills_ = 0;
+  std::int64_t faultins_ = 0;
+
+  // Spill file state (created lazily on the first spill).
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::int64_t slot_floats_ = 0;     // uniform entry length, fixed on first spill
+  std::int64_t slot_capacity_ = 0;   // slots the mapping can hold
+  std::int64_t next_slot_ = 0;
+
+  // Scratch for the eviction scan, recycled across batches.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> evict_scratch_;
+};
+
+}  // namespace fedcross::fl
+
+#endif  // FEDCROSS_FL_STATE_STORE_H_

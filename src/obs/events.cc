@@ -55,7 +55,8 @@ void EmitRoundEvent(const RoundEvent& e) {
       ",\"bytes_down\":%.0f,\"bytes_up\":%.0f"
       ",\"wire_bytes_down\":%.0f,\"wire_bytes_up\":%.0f"
       ",\"dropouts\":%lld,\"stragglers\":%lld,\"corrupted\":%lld"
-      ",\"rejected\":%lld}\n",
+      ",\"rejected\":%lld"
+      ",\"resident_clients\":%lld,\"peak_rss_bytes\":%lld}\n",
       algo.c_str(), e.round, e.round_ms, e.dispatch_ms, e.train_ms,
       e.screen_ms, e.aggregate_ms, e.eval_ms, e.checkpoint_ms,
       e.evaluated ? "true" : "false", e.test_accuracy, e.test_loss,
@@ -64,7 +65,9 @@ void EmitRoundEvent(const RoundEvent& e) {
       static_cast<long long>(e.dropouts),
       static_cast<long long>(e.stragglers),
       static_cast<long long>(e.corrupted),
-      static_cast<long long>(e.rejected));
+      static_cast<long long>(e.rejected),
+      static_cast<long long>(e.resident_clients),
+      static_cast<long long>(e.peak_rss_bytes));
   std::fflush(g_events_file);
   ++g_events_emitted;
 }

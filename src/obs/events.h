@@ -46,6 +46,12 @@ struct RoundEvent {
   std::int64_t stragglers = 0;
   std::int64_t corrupted = 0;
   std::int64_t rejected = 0;
+
+  // Memory footprint of the virtual-population machinery: clients held
+  // materialised at round end, and the process peak RSS so far (0 when the
+  // platform cannot report it).
+  std::int64_t resident_clients = 0;
+  std::int64_t peak_rss_bytes = 0;
 };
 
 // Opens (truncating) the JSONL sink at `path`; an empty path flushes and

@@ -1,0 +1,42 @@
+#include "util/mem_stats.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace fedcross::util {
+
+std::int64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;  // kilobytes
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::int64_t CurrentRssBytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  int fields = std::fscanf(statm, "%lld %lld", &total_pages, &resident_pages);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::int64_t>(resident_pages) * page;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace fedcross::util

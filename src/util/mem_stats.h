@@ -1,0 +1,20 @@
+#ifndef FEDCROSS_UTIL_MEM_STATS_H_
+#define FEDCROSS_UTIL_MEM_STATS_H_
+
+#include <cstdint>
+
+namespace fedcross::util {
+
+// Process memory probes for the scale experiments and the
+// fl.population.* gauges. Both return 0 when the platform offers no
+// counter, so callers can log the value unconditionally.
+
+// High-water-mark resident set size in bytes (getrusage ru_maxrss).
+std::int64_t PeakRssBytes();
+
+// Current resident set size in bytes (/proc/self/statm; Linux only).
+std::int64_t CurrentRssBytes();
+
+}  // namespace fedcross::util
+
+#endif  // FEDCROSS_UTIL_MEM_STATS_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <unordered_set>
 
 namespace fedcross::util {
 namespace {
@@ -156,6 +157,30 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   }
   pool.resize(k);
   return pool;
+}
+
+std::vector<std::int64_t> Rng::SampleDistinct(std::int64_t n, std::int64_t k) {
+  FC_CHECK_GE(n, k);
+  FC_CHECK_GE(k, 0);
+  // Floyd's algorithm: for j in [n - k, n), draw t uniform on [0, j]; take t
+  // unless it is already in the sample, in which case take j (which cannot
+  // be). Each subset of size k is produced with equal probability, and only
+  // O(k) state is touched no matter how large n is.
+  std::unordered_set<std::int64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k) * 2);
+  std::vector<std::int64_t> sample;
+  sample.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t j = n - k; j < n; ++j) {
+    auto t = static_cast<std::int64_t>(
+        UniformInt(static_cast<std::uint64_t>(j) + 1));
+    if (!chosen.insert(t).second) {
+      chosen.insert(j);
+      sample.push_back(j);
+    } else {
+      sample.push_back(t);
+    }
+  }
+  return sample;
 }
 
 }  // namespace fedcross::util

@@ -56,6 +56,15 @@ class Rng {
   // Samples k distinct indices from [0, n) uniformly (partial Fisher-Yates).
   std::vector<int> SampleWithoutReplacement(int n, int k);
 
+  // Samples k distinct indices from [0, n) uniformly in O(k) time and space
+  // (Floyd's algorithm), so the cost is independent of the population size.
+  // Draw order is fixed and documented: exactly k UniformInt(j + 1) calls for
+  // j = n - k .. n - 1, in that order; on a collision the value j itself is
+  // taken. Results are returned in insertion order, which is deterministic in
+  // the generator state but is NOT the same sequence as
+  // SampleWithoutReplacement for the same seed.
+  std::vector<std::int64_t> SampleDistinct(std::int64_t n, std::int64_t k);
+
   // Full generator state, including the Box-Muller cache, so a restored
   // generator continues the exact draw sequence (checkpoint/resume).
   struct State {

@@ -443,10 +443,10 @@ TEST(FlAlgorithmTest, SampleClientsAreDistinctAndInRange) {
   Probe probe(ToyConfig(5), MakeToyFederated(12, 10, 4, false, 32),
               LinearFactory(4));
   for (int trial = 0; trial < 10; ++trial) {
-    std::vector<int> sample = probe.SampleClients();
-    std::set<int> unique(sample.begin(), sample.end());
+    std::vector<std::int64_t> sample = probe.SampleClients();
+    std::set<std::int64_t> unique(sample.begin(), sample.end());
     EXPECT_EQ(unique.size(), 5u);
-    for (int id : sample) {
+    for (std::int64_t id : sample) {
       EXPECT_GE(id, 0);
       EXPECT_LT(id, 12);
     }
