@@ -251,6 +251,25 @@ void BM_FedRoundRobust(benchmark::State& state) {
 }
 BENCHMARK(BM_FedRoundRobust)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+// The buffered-async engine on a heterogeneous fleet: per-dispatch clock
+// draws, timeout + retry resolution, the arrival heap, and staleness-scaled
+// aggregation. The delta vs BM_FedRound is the engine's wall-clock price
+// (the virtual clock itself costs a few RNG draws per dispatch; the heap is
+// O(log inflight) per upload).
+void BM_FedRoundAsync(benchmark::State& state) {
+  fl::AlgorithmConfig config = MakeFedRoundConfig();
+  config.async.mode = fl::RoundMode::kAsync;
+  config.async.buffer_size = kFedRoundClients / 2;
+  config.async.dispatch_timeout = 2.0;
+  config.async.max_retries = 1;
+  config.async.clock.compute_speed_min = 25.0;
+  config.async.clock.compute_speed_max = 400.0;
+  config.async.clock.jitter = 0.1;
+  config.faults.profile.straggler_prob = 0.3;
+  RunFedRoundLoop(state, config);
+}
+BENCHMARK(BM_FedRoundAsync)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 // The same round with every observability sink armed: metrics counters and
 // histograms, phase/span tracing into the per-thread rings, and the round
 // event stream (to /dev/null — the fprintf + fflush cost is real, the disk

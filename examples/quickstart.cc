@@ -12,6 +12,15 @@
 //                 with flat memory)
 //                [--max_resident 0]  (cold client-state entries kept in RAM;
 //                 0 = unbounded, excess spills to a mapped file)
+//                [--round_mode sync|async]  (async = buffered staleness-
+//                 weighted aggregation on the virtual clock)
+//                [--buffer 0] [--staleness constant|polynomial]
+//                [--staleness_exponent 0.5] [--timeout 0] [--max_retries 1]
+//                [--speed_min 100] [--speed_max 100]  (SGD steps / virtual s)
+//                [--bw_min 1e9] [--bw_max 1e9]  (wire bytes / virtual s)
+//                [--jitter 0]  (per-dispatch compute jitter, 0..j uniform)
+//                [--dropout_prob 0] [--straggler_prob 0]
+//                [--slowdown_min 2] [--slowdown_max 8] [--round_deadline 0]
 //                [--fl_threads 0]   (0 = all cores, 1 = sequential)
 //                [--trace_out t.json] [--metrics_out m.json]
 //                [--events_out e.jsonl] [--log_level info]
@@ -28,6 +37,7 @@
 #include "core/fedcross.h"
 #include "data/partition.h"
 #include "data/synthetic_image.h"
+#include "fl/clock.h"
 #include "fl/fedavg.h"
 #include "models/model_zoo.h"
 #include "util/flags.h"
@@ -54,6 +64,22 @@ int Run(int argc, char** argv) {
   std::string exec_name = flags.GetString("exec", "layers");
   std::string population_name = flags.GetString("population", "resident");
   int max_resident = flags.GetInt("max_resident", 0);
+  std::string round_mode_name = flags.GetString("round_mode", "sync");
+  int buffer = flags.GetInt("buffer", 0);
+  std::string staleness_name = flags.GetString("staleness", "polynomial");
+  double staleness_exponent = flags.GetDouble("staleness_exponent", 0.5);
+  double timeout = flags.GetDouble("timeout", 0.0);
+  int max_retries = flags.GetInt("max_retries", 1);
+  double speed_min = flags.GetDouble("speed_min", 100.0);
+  double speed_max = flags.GetDouble("speed_max", 100.0);
+  double bw_min = flags.GetDouble("bw_min", 1e9);
+  double bw_max = flags.GetDouble("bw_max", 1e9);
+  double jitter = flags.GetDouble("jitter", 0.0);
+  double dropout_prob = flags.GetDouble("dropout_prob", 0.0);
+  double straggler_prob = flags.GetDouble("straggler_prob", 0.0);
+  double slowdown_min = flags.GetDouble("slowdown_min", 2.0);
+  double slowdown_max = flags.GetDouble("slowdown_max", 8.0);
+  double round_deadline = flags.GetDouble("round_deadline", 0.0);
   util::Status obs_status = util::InitObservability(flags);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -129,6 +155,31 @@ int Run(int argc, char** argv) {
                  exec_name.c_str());
     return 1;
   }
+  if (!fl::ParseRoundMode(round_mode_name, &config.async.mode)) {
+    std::fprintf(stderr, "unknown --round_mode '%s' (want sync|async)\n",
+                 round_mode_name.c_str());
+    return 1;
+  }
+  if (!fl::ParseStalenessPolicy(staleness_name, &config.async.staleness)) {
+    std::fprintf(stderr,
+                 "unknown --staleness '%s' (want constant|polynomial)\n",
+                 staleness_name.c_str());
+    return 1;
+  }
+  config.async.buffer_size = buffer;
+  config.async.staleness_exponent = staleness_exponent;
+  config.async.dispatch_timeout = timeout;
+  config.async.max_retries = max_retries;
+  config.async.clock.compute_speed_min = speed_min;
+  config.async.clock.compute_speed_max = speed_max;
+  config.async.clock.bandwidth_min = bw_min;
+  config.async.clock.bandwidth_max = bw_max;
+  config.async.clock.jitter = jitter;
+  config.faults.profile.dropout_prob = dropout_prob;
+  config.faults.profile.straggler_prob = straggler_prob;
+  config.faults.profile.slowdown_min = slowdown_min;
+  config.faults.profile.slowdown_max = slowdown_max;
+  config.faults.round_deadline = round_deadline;
 
   std::unique_ptr<fl::FlAlgorithm> server;
   if (algo == "fedavg") {
@@ -159,6 +210,20 @@ int Run(int argc, char** argv) {
               comm::SchemeName(config.codec.scheme),
               fl::ExecModeName(config.train.exec));
   std::printf("model: %s\n", factory().Summary().c_str());
+  // Engine lines appear only when the virtual-clock engine can change the
+  // run, so a default (sync, homogeneous, fault-free) invocation's stdout
+  // stays byte-identical to pre-engine builds.
+  const bool engine_active = config.async.mode == fl::RoundMode::kAsync ||
+                             config.async.clock.Heterogeneous() ||
+                             config.faults.AnyActive();
+  if (engine_active) {
+    std::printf("engine: %s, buffer=%d, staleness=%s(a=%.2f), timeout=%g"
+                ", retries=%d, deadline=%g\n",
+                fl::RoundModeName(config.async.mode), config.async.buffer_size,
+                fl::StalenessPolicyName(config.async.staleness),
+                config.async.staleness_exponent, config.async.dispatch_timeout,
+                config.async.max_retries, config.faults.round_deadline);
+  }
 
   // Run() drives the rounds, evaluates every 5th, and feeds every enabled
   // observability sink. The history replays the eval cadence below.
@@ -166,6 +231,15 @@ int Run(int argc, char** argv) {
   for (const fl::RoundRecord& record : history.records()) {
     std::printf("round %3d  accuracy %.2f%%  loss %.4f\n", record.round,
                 record.test_accuracy * 100, record.test_loss);
+  }
+  if (engine_active) {
+    // Virtual time is a pure function of the run config, so this line is
+    // part of the thread-count determinism surface too.
+    std::printf("virtual time %.6f s over %lld aggregations"
+                ", %lld uploads still in flight\n",
+                server->virtual_now(),
+                static_cast<long long>(server->model_version()),
+                static_cast<long long>(server->inflight_dispatches()));
   }
   // stderr: peak RSS varies with --fl_threads (more replicas), and stdout
   // must stay byte-identical across thread counts (the determinism check).

@@ -8,6 +8,9 @@
 #   BENCH_robust.json  BM_FedRoundRobust/{1,2,4} (faults + screening +
 #                      trimmed-mean aggregation; delta vs BENCH_round is
 #                      the overhead of the resilience stack)
+#   BENCH_async.json   BM_FedRoundAsync/{1,2,4} (buffered-async engine on a
+#                      heterogeneous virtual clock with timeouts + retries;
+#                      delta vs BENCH_round is the engine overhead)
 #   BENCH_obs.json     BM_FedRoundObs/{1,2,4} (metrics + tracing + round
 #                      events all enabled; delta vs BENCH_round is the
 #                      observability overhead, budgeted at <= 5%)
@@ -59,6 +62,7 @@ run_filter '^BM_Gemm/' "${out_dir}/BENCH_gemm.json"
 run_filter '^BM_FedRound/' "${out_dir}/BENCH_round.json"
 run_filter '^BM_Evaluate/' "${out_dir}/BENCH_eval.json"
 run_filter '^BM_FedRoundRobust/' "${out_dir}/BENCH_robust.json"
+run_filter '^BM_FedRoundAsync/' "${out_dir}/BENCH_async.json"
 run_filter '^BM_FedRoundObs/' "${out_dir}/BENCH_obs.json"
 run_filter '^BM_(Encode|Decode)/' "${out_dir}/BENCH_comm.json"
 run_filter '^BM_(FedCrossRound|GemmGrouped|GemmSmallLooped)/' "${out_dir}/BENCH_plan.json"

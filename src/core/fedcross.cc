@@ -186,7 +186,28 @@ void FedCross::RunRound(int round) {
   // similarity-based selection reads all of them while the new generation
   // is built. Copy-assign reuses last round's buffers.
   uploaded_.resize(k);
-  for (int i = 0; i < k; ++i) uploaded_[i] = results[i].params;
+  if (config().async.mode == fl::RoundMode::kAsync) {
+    // Buffered arrivals are keyed by lane (result.slot), not position, and
+    // may be missing or stale. A lane without an arrival keeps its current
+    // middleware model; a stale arrival is staleness-blended toward it
+    // (weight_scale -> 1 recovers the fresh-upload behaviour exactly).
+    for (int i = 0; i < k; ++i) uploaded_[i] = middleware_[i];
+    for (const fl::LocalTrainResult& result : results) {
+      const int lane = result.slot;
+      FC_CHECK_GE(lane, 0);
+      FC_CHECK_LT(lane, k);
+      const double w = result.weight_scale;
+      if (w >= 1.0) {
+        uploaded_[lane] = result.params;
+      } else {
+        fl::flat_ops::LinearCombine(static_cast<float>(w), result.params,
+                                    static_cast<float>(1.0 - w),
+                                    middleware_[lane], uploaded_[lane]);
+      }
+    }
+  } else {
+    for (int i = 0; i < k; ++i) uploaded_[i] = results[i].params;
+  }
 
   // Lines 11-15: CoModelSel + CrossAggr.
   double alpha = AlphaAt(round);

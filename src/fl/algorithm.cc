@@ -1,6 +1,7 @@
 #include "fl/algorithm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 
@@ -47,10 +48,16 @@ struct FlMetrics {
   obs::Gauge& comm_up = reg.GetGauge("fl.comm.total_up_bytes");
   obs::Gauge& comm_wire_down = reg.GetGauge("fl.comm.total_wire_down_bytes");
   obs::Gauge& comm_wire_up = reg.GetGauge("fl.comm.total_wire_up_bytes");
+  obs::Gauge& comm_wasted = reg.GetGauge("fl.comm.wasted_raw_bytes");
+  obs::Gauge& comm_wire_wasted = reg.GetGauge("fl.comm.wasted_wire_bytes");
   obs::Gauge& faults_dropouts = reg.GetGauge("fl.faults.dropouts");
   obs::Gauge& faults_stragglers = reg.GetGauge("fl.faults.stragglers");
   obs::Gauge& faults_corrupted = reg.GetGauge("fl.faults.corrupted");
   obs::Gauge& faults_rejected = reg.GetGauge("fl.faults.rejected");
+  obs::Gauge& faults_timeouts = reg.GetGauge("fl.faults.timeouts");
+  obs::Gauge& faults_retries = reg.GetGauge("fl.faults.retries");
+  obs::Gauge& virtual_time = reg.GetGauge("fl.clock.virtual_time");
+  obs::Histogram& staleness = reg.GetHistogram("fl.staleness");
   obs::Gauge& population_resident =
       reg.GetGauge("fl.population.resident_clients");
   obs::Gauge& peak_rss = reg.GetGauge("fl.mem.peak_rss_bytes");
@@ -94,6 +101,28 @@ std::uint64_t CodecSeed(std::uint64_t seed, int round, int salt, int slot) {
   h = MixSeed(h + static_cast<std::uint64_t>(round));
   h = MixSeed(h + static_cast<std::uint64_t>(salt));
   return MixSeed(h + static_cast<std::uint64_t>(slot));
+}
+
+// Salt stride between async retry attempts of the same slot. Every in-round
+// salt is tiny (FedCluster uses salt = cluster step < K), so attempt k's
+// streams — derived from salt + k * stride — can never collide with another
+// job's.
+constexpr int kAsyncRetrySaltStride = 1 << 16;
+
+// Local-work estimate for a job that never trained (sync deadline miss):
+// what FlClient::Train would have counted — epochs times per-epoch batches,
+// including the ragged tail batch.
+double NominalSteps(const TrainOptions& train, int num_samples) {
+  int batch = std::max(1, train.batch_size);
+  int batches = (num_samples + batch - 1) / batch;
+  return static_cast<double>(train.local_epochs) * batches;
+}
+
+// Per-dispatch compute jitter factor, uniform in [1, 1 + jitter]. A zero
+// jitter draws nothing, so the default clock consumes no stream entropy.
+double DrawJitter(const ClockModel& clock, util::Rng& clock_rng) {
+  if (clock.jitter <= 0.0) return 1.0;
+  return 1.0 + clock_rng.Uniform(0.0, clock.jitter);
 }
 
 }  // namespace
@@ -168,6 +197,9 @@ const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
     comm_.BeginRound();
     round_loss_sum_ = 0.0;
     round_loss_count_ = 0;
+    round_staleness_sum_ = 0.0;
+    round_staleness_count_ = 0;
+    round_staleness_max_ = 0;
     bool evaluated = false;
     EvalResult eval;
     double mean_client_loss = 0.0;
@@ -241,10 +273,16 @@ void FlAlgorithm::RecordRoundObservations(int round,
     m.comm_wire_down.Set(
         static_cast<double>(comm_.total_wire_download_bytes()));
     m.comm_wire_up.Set(static_cast<double>(comm_.total_wire_upload_bytes()));
+    m.comm_wasted.Set(static_cast<double>(comm_.total_wasted_bytes()));
+    m.comm_wire_wasted.Set(
+        static_cast<double>(comm_.total_wire_wasted_bytes()));
     m.faults_dropouts.Set(static_cast<double>(fault_stats_.dropouts));
     m.faults_stragglers.Set(static_cast<double>(fault_stats_.stragglers));
     m.faults_corrupted.Set(static_cast<double>(fault_stats_.corrupted));
     m.faults_rejected.Set(static_cast<double>(fault_stats_.rejected));
+    m.faults_timeouts.Set(static_cast<double>(fault_stats_.timeouts));
+    m.faults_retries.Set(static_cast<double>(fault_stats_.retries));
+    m.virtual_time.Set(virtual_now_);
     m.population_resident.Set(
         static_cast<double>(population_.resident_clients()));
     m.peak_rss.Set(static_cast<double>(util::PeakRssBytes()));
@@ -271,10 +309,21 @@ void FlAlgorithm::RecordRoundObservations(int round,
     event.wire_bytes_down =
         static_cast<double>(comm_.round_wire_download_bytes());
     event.wire_bytes_up = static_cast<double>(comm_.round_wire_upload_bytes());
+    event.wire_bytes_wasted =
+        static_cast<double>(comm_.round_wire_wasted_bytes());
     event.dropouts = fault_stats_.dropouts - faults_before.dropouts;
     event.stragglers = fault_stats_.stragglers - faults_before.stragglers;
     event.corrupted = fault_stats_.corrupted - faults_before.corrupted;
     event.rejected = fault_stats_.rejected - faults_before.rejected;
+    event.timeouts = fault_stats_.timeouts - faults_before.timeouts;
+    event.async_retries = fault_stats_.retries - faults_before.retries;
+    event.virtual_time = virtual_now_;
+    event.model_version = model_version_;
+    event.inflight = inflight_dispatches();
+    event.staleness_mean = round_staleness_count_ > 0
+                               ? round_staleness_sum_ / round_staleness_count_
+                               : 0.0;
+    event.staleness_max = round_staleness_max_;
     event.resident_clients = population_.resident_clients();
     event.peak_rss_bytes = util::PeakRssBytes();
     obs::EmitRoundEvent(event);
@@ -318,6 +367,9 @@ std::vector<std::int64_t> FlAlgorithm::SampleClients() {
 
 const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     int round, int salt, const std::vector<ClientJob>& jobs) {
+  if (config_.async.mode == RoundMode::kAsync) {
+    return TrainClientsAsync(round, salt, jobs);
+  }
   int count = static_cast<int>(jobs.size());
   Metrics().client_jobs.Add(count);
   // resize keeps surviving elements' params capacity from the last round.
@@ -348,7 +400,8 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     util::Rng fault_rng(FaultSeed(config_.seed, round, salt, slot));
     util::Rng codec_rng(CodecSeed(config_.seed, round, salt, slot));
     TrainClientJob(jobs[slot], *client_slots_[slot], residual_slots_[slot],
-                   job_rng, fault_rng, codec_rng, wire_scratch_[slot],
+                   job_rng, fault_rng, codec_rng,
+                   config_.faults.round_deadline, wire_scratch_[slot],
                    results_[slot]);
   };
   bool use_plan = count > 0 && jobs[0].spec != nullptr &&
@@ -370,13 +423,45 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
   // so accounting is race-free and independent of the parallel schedule.
   PhaseScope phase(*this, RoundPhase::kScreen);
   bool screen = config_.screening.Enabled();
+  double makespan = 0.0;
   for (int slot = 0; slot < count; ++slot) {
     LocalTrainResult& result = results_[slot];
+    result.client_id = jobs[slot].client_id;
+    result.slot = slot;
+    result.dispatch_version = model_version_;
     comm_.AddDownload(CommTracker::FloatBytes(model_size_),
                       result.wire_bytes_down);
+    // Sync clock observation: the barrier waits for the slowest slot, so
+    // the round's virtual makespan is the max simulated duration. A dropout
+    // costs only its dispatch transfer; a deadline-missing straggler holds
+    // the barrier for the full budget (deadline x the fault-free compute
+    // time of the work it was sent) before the server gives up on it.
+    {
+      ClockProfile profile = DrawClockProfile(
+          config_.async.clock, config_.seed, jobs[slot].client_id);
+      util::Rng clock_rng(ClockSeed(config_.seed, round, salt, slot));
+      double jitter = DrawJitter(config_.async.clock, clock_rng);
+      double steps = static_cast<double>(result.num_steps);
+      double slowdown = result.slowdown;
+      if (result.fault == FaultKind::kDropout) {
+        steps = 0.0;
+      } else if (result.fault == FaultKind::kStraggler) {
+        steps = NominalSteps(jobs[slot].spec->options, result.num_samples);
+        slowdown = config_.faults.round_deadline;
+      }
+      makespan = std::max(
+          makespan,
+          SimulatedDuration(profile, slowdown, steps, result.wire_bytes_down,
+                            result.wire_bytes_up, jitter));
+    }
     if (result.fault == FaultKind::kDropout) ++fault_stats_.dropouts;
     if (result.fault == FaultKind::kStraggler) ++fault_stats_.stragglers;
-    if (result.dropped) continue;  // the device never uploads
+    if (result.dropped) {
+      // the device never uploads; its dispatch bought nothing
+      comm_.AddWasted(CommTracker::FloatBytes(model_size_),
+                      result.wire_bytes_down);
+      continue;
+    }
     comm_.AddUpload(CommTracker::FloatBytes(model_size_),
                     result.wire_bytes_up);
     if (result.fault == FaultKind::kCorrupted) ++fault_stats_.corrupted;
@@ -386,11 +471,13 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
       if (!verdict.ok()) {
         // Degrade exactly like a dropout: the contribution is discarded and
         // params echo the dispatched model (so FedCross keeps its
-        // middleware copy).
+        // middleware copy). Both legs of the round trip bought nothing.
         result.params = *jobs[slot].init_params;
         result.dropped = true;
         result.fault = FaultKind::kRejected;
         ++fault_stats_.rejected;
+        comm_.AddWasted(CommTracker::FloatBytes(model_size_) * 2,
+                        result.wire_bytes_down + result.wire_bytes_up);
         continue;
       }
     }
@@ -398,15 +485,21 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     round_loss_sum_ += result.mean_loss;
     ++round_loss_count_;
   }
+  // The barrier releases when the slowest slot reports; the aggregation
+  // that follows is one global-model version.
+  virtual_now_ += makespan;
+  ++model_version_;
   return results_;
 }
 
 void FlAlgorithm::TrainClientJob(const ClientJob& job, const FlClient& client,
                                  FlatParams* residual, util::Rng& rng,
                                  util::Rng& fault_rng, util::Rng& codec_rng,
-                                 WireScratch& wire, LocalTrainResult& result) {
+                                 double round_deadline, WireScratch& wire,
+                                 LocalTrainResult& result) {
   FaultDecision decision;
-  if (!PrepareClientJob(job, client, fault_rng, wire, result, decision)) {
+  if (!PrepareClientJob(job, client, fault_rng, round_deadline, wire, result,
+                        decision)) {
     return;
   }
   client.Train(pool_, wire.dispatched, *job.spec, rng, result);
@@ -416,14 +509,15 @@ void FlAlgorithm::TrainClientJob(const ClientJob& job, const FlClient& client,
 
 bool FlAlgorithm::PrepareClientJob(const ClientJob& job,
                                    const FlClient& client,
-                                   util::Rng& fault_rng, WireScratch& wire,
+                                   util::Rng& fault_rng,
+                                   double round_deadline, WireScratch& wire,
                                    LocalTrainResult& result,
                                    FaultDecision& decision) {
   FC_CHECK(job.init_params != nullptr);
   FC_CHECK(job.spec != nullptr);
 
   const FaultProfile& profile = config_.faults.ProfileFor(job.client_id);
-  decision = DrawFaults(profile, config_.faults.round_deadline, fault_rng);
+  decision = DrawFaults(profile, round_deadline, fault_rng);
 
   // Dropout / straggler timeout: the device received the model (the
   // dispatch frame still crossed the wire) but its upload never reaches the
@@ -439,6 +533,10 @@ bool FlAlgorithm::PrepareClientJob(const ClientJob& job,
     result.dropped = true;
     result.fault =
         decision.dropped ? FaultKind::kDropout : FaultKind::kStraggler;
+    result.staleness = 0;
+    result.weight_scale = 1.0;
+    result.slowdown = decision.duration;
+    result.upload_corrupt = false;
     return false;
   }
 
@@ -482,6 +580,12 @@ void FlAlgorithm::FinishClientJob(const ClientJob& job, FlatParams* residual,
                                              shape_table_, wire.decoded);
   FC_CHECK(uploaded.ok()) << uploaded.ToString();
   result.params.swap(wire.decoded);
+  // Engine provenance (client.Train never touches these; reset them so a
+  // recycled result slot carries no stale values).
+  result.staleness = 0;
+  result.weight_scale = 1.0;
+  result.slowdown = decision.duration;
+  result.upload_corrupt = decision.corrupt;
 }
 
 void FlAlgorithm::TrainClientsPlan(int round, int salt,
@@ -510,8 +614,9 @@ void FlAlgorithm::TrainClientsPlan(int round, int salt,
   plan_jobs.reserve(count);
   for (int slot = 0; slot < count; ++slot) {
     if (!PrepareClientJob(jobs[slot], *client_slots_[slot],
-                          ctx[slot].fault_rng, wire_scratch_[slot],
-                          results_[slot], ctx[slot].decision)) {
+                          ctx[slot].fault_rng, config_.faults.round_deadline,
+                          wire_scratch_[slot], results_[slot],
+                          ctx[slot].decision)) {
       continue;
     }
     ctx[slot].trains = true;
@@ -553,6 +658,200 @@ void FlAlgorithm::TrainClientsPlan(int round, int salt,
                     ctx[slot].codec_rng, wire_scratch_[slot],
                     results_[slot]);
   }
+}
+
+const std::vector<LocalTrainResult>& FlAlgorithm::TrainClientsAsync(
+    int round, int salt, const std::vector<ClientJob>& jobs) {
+  int count = static_cast<int>(jobs.size());
+  Metrics().client_jobs.Add(count);
+  if (static_cast<int>(wire_scratch_.size()) < count) {
+    wire_scratch_.resize(count);
+  }
+  population_.BeginBatch();
+  residual_store_.BeginBatch();
+  const bool lossy = comm::SchemeIsLossy(config_.codec.scheme);
+  client_slots_.resize(count);
+  residual_slots_.resize(count);
+  for (int slot = 0; slot < count; ++slot) {
+    FC_CHECK_GE(jobs[slot].client_id, 0);
+    FC_CHECK_LT(jobs[slot].client_id, num_clients());
+    client_slots_[slot] = &population_.Client(jobs[slot].client_id);
+    residual_slots_[slot] =
+        lossy ? &residual_store_.Touch(jobs[slot].client_id) : nullptr;
+  }
+  async_outcomes_.resize(count);
+
+  const AsyncOptions& async = config_.async;
+  const double timeout = async.dispatch_timeout;
+  const double t_round = virtual_now_;
+  const std::int64_t version = model_version_;
+  const bool screen = config_.screening.Enabled();
+
+  // Dispatch every slot, running its whole timeout/retry chain to a
+  // terminal outcome on the worker: clients are simulations, so nothing
+  // actually waits — "in flight" is just an arrival timestamp. Each attempt
+  // derives its training / fault / codec / clock streams from
+  // `salt + attempt * stride`, making the outcome a pure function of
+  // (seed, round, salt, slot, attempt) — bit-identical across thread
+  // counts — with retry streams that cannot collide with other batches'.
+  auto dispatch_slot = [&](int slot) {
+    AsyncOutcome& out = async_outcomes_[slot];
+    out.attempts.clear();
+    out.retries = 0;
+    const ClientJob& job = jobs[slot];
+    ClockProfile profile =
+        DrawClockProfile(async.clock, config_.seed, job.client_id);
+    double t_dispatch = t_round;
+    for (int attempt = 0;; ++attempt) {
+      int attempt_salt = salt + attempt * kAsyncRetrySaltStride;
+      util::Rng job_rng(ClientJobSeed(config_.seed, round, attempt_salt, slot));
+      util::Rng fault_rng(FaultSeed(config_.seed, round, attempt_salt, slot));
+      util::Rng codec_rng(CodecSeed(config_.seed, round, attempt_salt, slot));
+      util::Rng clock_rng(ClockSeed(config_.seed, round, attempt_salt, slot));
+      LocalTrainResult& result = out.result;
+      // The engine owns the deadline race (round_deadline = 0): stragglers
+      // train slowly and land late instead of being dropped at a barrier.
+      TrainClientJob(job, *client_slots_[slot], residual_slots_[slot],
+                     job_rng, fault_rng, codec_rng, /*round_deadline=*/0.0,
+                     wire_scratch_[slot], result);
+      result.client_id = job.client_id;
+      result.slot = slot;
+      result.dispatch_version = version;
+      double jitter = DrawJitter(async.clock, clock_rng);
+      double duration = SimulatedDuration(
+          profile, result.slowdown, static_cast<double>(result.num_steps),
+          result.wire_bytes_down, result.wire_bytes_up, jitter);
+      const bool vanished = result.dropped;  // dropout: no upload, ever
+      // A dropout under a timeout is retried like a straggler: the server
+      // cannot tell a vanished device from a slow one — both just miss the
+      // deadline. Without a timeout the server notices the silence at the
+      // would-be transfer time.
+      const bool late = timeout > 0.0 && (vanished || duration > timeout);
+      AsyncAttempt log;
+      log.wire_down = result.wire_bytes_down;
+      log.wire_up = vanished ? 0 : result.wire_bytes_up;
+      log.uploaded = !vanished;
+      log.timed_out = late;
+      out.attempts.push_back(log);
+      if (!late && !vanished) {
+        // The upload arrives. Screen it now: the dispatched reference dies
+        // with this TrainClients call, and rejection is terminal (a
+        // Byzantine device is not worth a retry).
+        if (screen) {
+          util::Status verdict = ScreenUpload(*job.init_params, result.params,
+                                              config_.screening);
+          if (!verdict.ok()) {
+            result.params = *job.init_params;
+            result.dropped = true;
+            result.fault = FaultKind::kRejected;
+          }
+        }
+        out.arrival = t_dispatch + duration;
+        return;
+      }
+      double t_fail = late ? t_dispatch + timeout : t_dispatch + duration;
+      if (late && attempt < async.max_retries) {
+        ++out.retries;
+        t_dispatch = t_fail;
+        continue;
+      }
+      if (late && !vanished) {
+        // Terminal timeout of a device that did train: degrade like a sync
+        // straggler — params echo the dispatch, which every consumer
+        // already handles.
+        result.params = *job.init_params;
+        result.dropped = true;
+        result.fault = FaultKind::kStraggler;
+      }
+      out.arrival = t_fail;
+      return;
+    }
+  };
+  {
+    PhaseScope phase(*this, RoundPhase::kTrain);
+    util::ThreadPool* pool = AcquireFlPool();
+    if (pool != nullptr && count > 1) {
+      pool->ParallelFor(count, dispatch_slot);
+    } else {
+      for (int slot = 0; slot < count; ++slot) dispatch_slot(slot);
+    }
+  }
+
+  PhaseScope phase(*this, RoundPhase::kScreen);
+  // Fold the dispatch logs serially in slot order — comm accounting, wasted
+  // bytes (every non-final attempt bought nothing; so did the final one
+  // when the slot terminally failed), timeout/retry tallies — then push the
+  // terminal event onto the in-flight heap.
+  auto after = [](const PendingUpload& a, const PendingUpload& b) {
+    return a.arrival != b.arrival ? a.arrival > b.arrival : a.seq > b.seq;
+  };
+  for (int slot = 0; slot < count; ++slot) {
+    AsyncOutcome& out = async_outcomes_[slot];
+    int attempts = static_cast<int>(out.attempts.size());
+    for (int a = 0; a < attempts; ++a) {
+      const AsyncAttempt& log = out.attempts[a];
+      comm_.AddDownload(CommTracker::FloatBytes(model_size_), log.wire_down);
+      if (log.uploaded) {
+        comm_.AddUpload(CommTracker::FloatBytes(model_size_), log.wire_up);
+      }
+      if (log.timed_out) ++fault_stats_.timeouts;
+      if (a + 1 < attempts || out.result.dropped) {
+        std::uint64_t raw = CommTracker::FloatBytes(model_size_);
+        comm_.AddWasted(log.uploaded ? raw * 2 : raw,
+                        log.wire_down + (log.uploaded ? log.wire_up : 0));
+      }
+    }
+    fault_stats_.retries += out.retries;
+    inflight_.push_back(
+        PendingUpload{out.arrival, dispatch_seq_++, std::move(out.result)});
+    std::push_heap(inflight_.begin(), inflight_.end(), after);
+  }
+
+  // Collect arrivals in (arrival, seq) order — advancing the virtual clock
+  // — until `buffer_size` usable uploads land or the sky empties. Dropped /
+  // rejected arrivals free their buffer slot: they are tallied and skipped
+  // without counting against the buffer, so a straggler-heavy cohort
+  // degrades the round instead of stalling it.
+  const int want = async.buffer_size > 0 ? async.buffer_size : count;
+  results_.clear();
+  int collected = 0;
+  while (collected < want && !inflight_.empty()) {
+    std::pop_heap(inflight_.begin(), inflight_.end(), after);
+    PendingUpload event = std::move(inflight_.back());
+    inflight_.pop_back();
+    virtual_now_ = std::max(virtual_now_, event.arrival);
+    LocalTrainResult& result = event.result;
+    // Corruption is counted when the mangled upload reaches the server,
+    // whether or not screening then discarded it.
+    if (result.upload_corrupt && (result.fault == FaultKind::kCorrupted ||
+                                  result.fault == FaultKind::kRejected)) {
+      ++fault_stats_.corrupted;
+    }
+    if (result.dropped) {
+      if (result.fault == FaultKind::kDropout) ++fault_stats_.dropouts;
+      if (result.fault == FaultKind::kStraggler) ++fault_stats_.stragglers;
+      if (result.fault == FaultKind::kRejected) ++fault_stats_.rejected;
+      continue;
+    }
+    const int tau = static_cast<int>(model_version_ - result.dispatch_version);
+    result.staleness = tau;
+    result.weight_scale =
+        StalenessWeight(async.staleness, async.staleness_exponent, tau);
+    round_staleness_sum_ += tau;
+    ++round_staleness_count_;
+    round_staleness_max_ = std::max(round_staleness_max_, tau);
+    if (obs::MetricsEnabled()) {
+      Metrics().staleness.Observe(static_cast<double>(tau));
+    }
+    Metrics().uploads_accepted.Add(1);
+    round_loss_sum_ += result.mean_loss;
+    ++round_loss_count_;
+    results_.push_back(std::move(result));
+    ++collected;
+  }
+  // The aggregation the caller performs on these results is one version.
+  ++model_version_;
+  return results_;
 }
 
 FlatParams FlAlgorithm::WeightedAverage(const std::vector<FlatParams>& models,
@@ -673,6 +972,25 @@ std::uint64_t FlAlgorithm::ConfigFingerprint() const {
                      static_cast<std::uint64_t>(config_.codec.scheme)));
     h = mix_float(h, static_cast<float>(config_.codec.topk_fraction));
   }
+  // Only the async engine perturbs the fingerprint: it reshapes the
+  // training trajectory itself, while the sync clock is observation-only
+  // (virtual time rides in the v4 body), so pre-engine checkpoints keep
+  // loading into sync runs.
+  if (config_.async.mode == RoundMode::kAsync) {
+    h = MixSeed(h ^ (0x6173796e63ULL +  // "async"
+                     static_cast<std::uint64_t>(config_.async.buffer_size)));
+    h = MixSeed(h ^ static_cast<std::uint64_t>(config_.async.staleness));
+    h = mix_float(h, static_cast<float>(config_.async.staleness_exponent));
+    h = mix_float(h, static_cast<float>(config_.async.dispatch_timeout));
+    h = MixSeed(h ^ static_cast<std::uint64_t>(config_.async.max_retries));
+    h = mix_float(h,
+                  static_cast<float>(config_.async.clock.compute_speed_min));
+    h = mix_float(h,
+                  static_cast<float>(config_.async.clock.compute_speed_max));
+    h = mix_float(h, static_cast<float>(config_.async.clock.bandwidth_min));
+    h = mix_float(h, static_cast<float>(config_.async.clock.bandwidth_max));
+    h = mix_float(h, static_cast<float>(config_.async.clock.jitter));
+  }
   return h;
 }
 
@@ -700,11 +1018,19 @@ util::Status FlAlgorithm::SaveCheckpoint(const std::string& path,
   writer.WriteU64(comm_.total_upload_bytes());
   writer.WriteU64(comm_.total_wire_download_bytes());
   writer.WriteU64(comm_.total_wire_upload_bytes());
+  if (writer.version() >= 4) {
+    writer.WriteU64(comm_.total_wasted_bytes());
+    writer.WriteU64(comm_.total_wire_wasted_bytes());
+  }
 
   writer.WriteI64(fault_stats_.dropouts);
   writer.WriteI64(fault_stats_.stragglers);
   writer.WriteI64(fault_stats_.corrupted);
   writer.WriteI64(fault_stats_.rejected);
+  if (writer.version() >= 4) {
+    writer.WriteI64(fault_stats_.timeouts);
+    writer.WriteI64(fault_stats_.retries);
+  }
 
   const std::vector<RoundRecord>& records = history_.records();
   writer.WriteU64(records.size());
@@ -740,6 +1066,36 @@ util::Status FlAlgorithm::SaveCheckpoint(const std::string& path,
       state_scratch_.clear();
       residual_store_.Read(static_cast<std::int64_t>(id), state_scratch_);
       writer.WriteFloats(state_scratch_);
+    }
+  }
+
+  // v4 event-engine state: the virtual clock, the version/dispatch
+  // counters, and the in-flight heap serialised in array order (so a
+  // resumed run pops bit-identically). Downgraded files drop it: a
+  // mid-buffer async run loses its pending arrivals.
+  if (writer.version() >= 4) {
+    writer.WriteF64(virtual_now_);
+    writer.WriteI64(model_version_);
+    writer.WriteI64(dispatch_seq_);
+    writer.WriteU64(inflight_.size());
+    for (const PendingUpload& pending : inflight_) {
+      writer.WriteF64(pending.arrival);
+      writer.WriteI64(pending.seq);
+      const LocalTrainResult& r = pending.result;
+      writer.WriteFloats(r.params);
+      writer.WriteI64(r.num_samples);
+      writer.WriteI64(r.num_steps);
+      writer.WriteF32(r.lr);
+      writer.WriteF64(r.mean_loss);
+      writer.WriteU64(r.wire_bytes_down);
+      writer.WriteU64(r.wire_bytes_up);
+      writer.WriteBool(r.dropped);
+      writer.WriteU32(static_cast<std::uint32_t>(r.fault));
+      writer.WriteI64(r.client_id);
+      writer.WriteI64(static_cast<std::int64_t>(r.slot));
+      writer.WriteI64(r.dispatch_version);
+      writer.WriteF64(r.slowdown);
+      writer.WriteBool(r.upload_corrupt);
     }
   }
 
@@ -805,12 +1161,22 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
     total_wire_down = total_down;
     total_wire_up = total_up;
   }
+  std::uint64_t total_wasted = 0;
+  std::uint64_t total_wire_wasted = 0;
+  if (reader.version() >= 4) {
+    FC_RETURN_IF_ERROR(reader.ReadU64(total_wasted));
+    FC_RETURN_IF_ERROR(reader.ReadU64(total_wire_wasted));
+  }
 
   FaultStats stats;
   FC_RETURN_IF_ERROR(reader.ReadI64(stats.dropouts));
   FC_RETURN_IF_ERROR(reader.ReadI64(stats.stragglers));
   FC_RETURN_IF_ERROR(reader.ReadI64(stats.corrupted));
   FC_RETURN_IF_ERROR(reader.ReadI64(stats.rejected));
+  if (reader.version() >= 4) {
+    FC_RETURN_IF_ERROR(reader.ReadI64(stats.timeouts));
+    FC_RETURN_IF_ERROR(reader.ReadI64(stats.retries));
+  }
 
   std::uint64_t record_count = 0;
   FC_RETURN_IF_ERROR(reader.ReadU64(record_count));
@@ -879,6 +1245,58 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
     }
   }
 
+  // v4 event-engine state; pre-v4 files restore with a zeroed engine (the
+  // defaults below), which is exactly the state a sync run never left.
+  double virtual_now = 0.0;
+  std::int64_t model_version = 0;
+  std::int64_t dispatch_seq = 0;
+  std::vector<PendingUpload> inflight;
+  if (reader.version() >= 4) {
+    FC_RETURN_IF_ERROR(reader.ReadF64(virtual_now));
+    FC_RETURN_IF_ERROR(reader.ReadI64(model_version));
+    FC_RETURN_IF_ERROR(reader.ReadI64(dispatch_seq));
+    std::uint64_t inflight_count = 0;
+    FC_RETURN_IF_ERROR(reader.ReadU64(inflight_count));
+    inflight.reserve(static_cast<std::size_t>(inflight_count));
+    for (std::uint64_t i = 0; i < inflight_count; ++i) {
+      PendingUpload pending;
+      FC_RETURN_IF_ERROR(reader.ReadF64(pending.arrival));
+      FC_RETURN_IF_ERROR(reader.ReadI64(pending.seq));
+      LocalTrainResult& r = pending.result;
+      FC_RETURN_IF_ERROR(reader.ReadFloats(r.params));
+      if (r.params.size() != static_cast<std::size_t>(model_size_)) {
+        return util::Status::InvalidArgument(
+            "checkpoint in-flight params do not match the model size");
+      }
+      std::int64_t num_samples = 0;
+      std::int64_t num_steps = 0;
+      FC_RETURN_IF_ERROR(reader.ReadI64(num_samples));
+      FC_RETURN_IF_ERROR(reader.ReadI64(num_steps));
+      r.num_samples = static_cast<int>(num_samples);
+      r.num_steps = static_cast<int>(num_steps);
+      FC_RETURN_IF_ERROR(reader.ReadF32(r.lr));
+      FC_RETURN_IF_ERROR(reader.ReadF64(r.mean_loss));
+      FC_RETURN_IF_ERROR(reader.ReadU64(r.wire_bytes_down));
+      FC_RETURN_IF_ERROR(reader.ReadU64(r.wire_bytes_up));
+      FC_RETURN_IF_ERROR(reader.ReadBool(r.dropped));
+      std::uint32_t fault = 0;
+      FC_RETURN_IF_ERROR(reader.ReadU32(fault));
+      if (fault > static_cast<std::uint32_t>(FaultKind::kRejected)) {
+        return util::Status::InvalidArgument(
+            "checkpoint in-flight fault kind out of range");
+      }
+      r.fault = static_cast<FaultKind>(fault);
+      FC_RETURN_IF_ERROR(reader.ReadI64(r.client_id));
+      std::int64_t slot = 0;
+      FC_RETURN_IF_ERROR(reader.ReadI64(slot));
+      r.slot = static_cast<int>(slot);
+      FC_RETURN_IF_ERROR(reader.ReadI64(r.dispatch_version));
+      FC_RETURN_IF_ERROR(reader.ReadF64(r.slowdown));
+      FC_RETURN_IF_ERROR(reader.ReadBool(r.upload_corrupt));
+      inflight.push_back(std::move(pending));
+    }
+  }
+
   FC_RETURN_IF_ERROR(LoadExtraState(reader));
   if (!reader.AtEnd()) {
     return util::Status::InvalidArgument("trailing bytes in checkpoint");
@@ -888,9 +1306,14 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
   // state) succeeded.
   completed_rounds_ = static_cast<int>(completed);
   rng_.SetState(rng_state);
-  comm_.Restore(total_down, total_up, total_wire_down, total_wire_up);
+  comm_.Restore(total_down, total_up, total_wire_down, total_wire_up,
+                total_wasted, total_wire_wasted);
   fault_stats_ = stats;
   history_ = std::move(restored);
+  virtual_now_ = virtual_now;
+  model_version_ = model_version;
+  dispatch_seq_ = dispatch_seq;
+  inflight_ = std::move(inflight);
   residual_store_.Clear();
   for (auto& [id, residual] : residuals) {
     residual_store_.Touch(id) = std::move(residual);

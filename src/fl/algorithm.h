@@ -11,6 +11,7 @@
 #include "fl/aggregators.h"
 #include "fl/checkpoint.h"
 #include "fl/client.h"
+#include "fl/clock.h"
 #include "fl/comm_tracker.h"
 #include "fl/evaluator.h"
 #include "fl/faults.h"
@@ -86,6 +87,13 @@ struct AlgorithmConfig {
   // least-recently-used entries to an mmap-backed temp file between rounds
   // (bit-identical either way; see fl/state_store.h).
   StateStoreOptions state_store;
+
+  // Virtual-clock event engine (see fl/clock.h): round mode (lock-step sync
+  // vs buffered async), staleness weighting, per-dispatch timeout + retry
+  // budget, and the population's simulated hardware-heterogeneity model.
+  // The default (sync, homogeneous clock) is bit-identical to pre-engine
+  // builds; in sync mode the clock only *observes* the round makespan.
+  AsyncOptions async;
 };
 
 // Base class of every FL algorithm in the repository (the five baselines in
@@ -162,6 +170,16 @@ class FlAlgorithm {
   // Population statistics (mode, resident count) for observability.
   const ClientPopulation& population() const { return population_; }
 
+  // Virtual-clock engine state (fl/clock.h): simulated seconds elapsed,
+  // aggregations performed (the global model's version), and dispatches
+  // whose outcome the server has not yet consumed (always 0 in sync mode).
+  // All three are deterministic: bit-identical across --fl_threads values.
+  double virtual_now() const { return virtual_now_; }
+  std::int64_t model_version() const { return model_version_; }
+  std::int64_t inflight_dispatches() const {
+    return static_cast<std::int64_t>(inflight_.size());
+  }
+
  protected:
   const AlgorithmConfig& config() const { return config_; }
   util::Rng& rng() { return rng_; }
@@ -228,6 +246,16 @@ class FlAlgorithm {
   // Model down/up traffic and the round's mean client loss are accounted on
   // the calling thread, in job order.
   //
+  // Under RoundMode::kAsync this delegates to the buffered event engine:
+  // every job is dispatched against the current model version, and the
+  // returned results are the next `buffer_size` *arrivals* in virtual-time
+  // order — possibly stragglers from earlier rounds, possibly fewer than
+  // jobs.size(), never positionally aligned with `jobs`. Async consumers
+  // must key on result.client_id / result.slot and weight by
+  // result.num_samples * result.weight_scale (sync keeps slot order,
+  // client_id == jobs[slot].client_id and weight_scale == 1.0, so the
+  // same consumer code is bit-identical to the historical integer weight).
+  //
   // Returns a reference to an internal results vector that is recycled on
   // the next TrainClients call: read (or copy) what you need before then.
   // Round-over-round buffer reuse is what keeps the steady-state round free
@@ -293,11 +321,15 @@ class FlAlgorithm {
   // own rngs so jobs are order- and thread-independent. `client` and
   // `residual` are resolved per slot on the coordinating thread before the
   // parallel fan-out (population cache and state store are not
-  // thread-safe). Writes into `result`, recycling its buffers.
+  // thread-safe). `round_deadline` is the sync straggler budget (the async
+  // engine passes 0: its own dispatch_timeout replaces it, so stragglers
+  // train slowly and land late instead of being dropped by the fault
+  // model). Writes into `result`, recycling its buffers.
   void TrainClientJob(const ClientJob& job, const FlClient& client,
                       FlatParams* residual, util::Rng& rng,
                       util::Rng& fault_rng, util::Rng& codec_rng,
-                      WireScratch& wire, LocalTrainResult& result);
+                      double round_deadline, WireScratch& wire,
+                      LocalTrainResult& result);
 
   // TrainClientJob split at the training boundary, so the plan-mode path
   // can run all surviving jobs' local SGD as one lockstep cohort between
@@ -307,12 +339,52 @@ class FlAlgorithm {
   // upload corruption and the upload round trip. Each consumes exactly the
   // rng draws the corresponding region of TrainClientJob consumes.
   bool PrepareClientJob(const ClientJob& job, const FlClient& client,
-                        util::Rng& fault_rng, WireScratch& wire,
-                        LocalTrainResult& result, FaultDecision& decision);
+                        util::Rng& fault_rng, double round_deadline,
+                        WireScratch& wire, LocalTrainResult& result,
+                        FaultDecision& decision);
   void FinishClientJob(const ClientJob& job, FlatParams* residual,
                        const FaultDecision& decision, util::Rng& rng,
                        util::Rng& fault_rng, util::Rng& codec_rng,
                        WireScratch& wire, LocalTrainResult& result);
+
+  // One resolved dispatch whose outcome the (async) server has not yet
+  // consumed. Clients are simulations, so the whole dispatch — training,
+  // screening, every timeout retry — executes inside the TrainClients call
+  // that issued it; "in flight" is purely an arrival timestamp on the
+  // virtual clock. Only the terminal LocalTrainResult is buffered, so no
+  // job pointer (init_params, spec, SCAFFOLD corrections) ever outlives
+  // its round.
+  struct PendingUpload {
+    double arrival = 0.0;  // virtual time the server learns the outcome
+    std::int64_t seq = 0;  // dispatch order: the deterministic tie-break
+    LocalTrainResult result;
+  };
+
+  // Per-slot async dispatch scratch (recycled): the terminal outcome plus
+  // one comm log entry per attempt, folded into the trackers in slot order
+  // on the coordinating thread after the parallel fan-out.
+  struct AsyncAttempt {
+    std::uint64_t wire_down = 0;
+    std::uint64_t wire_up = 0;
+    bool uploaded = false;   // an upload frame crossed the wire
+    bool timed_out = false;  // abandoned at the per-dispatch deadline
+  };
+  struct AsyncOutcome {
+    std::vector<AsyncAttempt> attempts;
+    LocalTrainResult result;
+    double arrival = 0.0;
+    int retries = 0;
+  };
+
+  // The buffered event engine behind TrainClients in RoundMode::kAsync:
+  // dispatches every job (running retry chains to termination), pushes the
+  // terminal events onto the in-flight min-heap, then pops arrivals in
+  // (arrival, seq) order — advancing the virtual clock — until buffer_size
+  // usable uploads are collected (drops and rejections free their slot and
+  // are tallied in passing). Increments model_version_ for the aggregation
+  // that follows.
+  const std::vector<LocalTrainResult>& TrainClientsAsync(
+      int round, int salt, const std::vector<ClientJob>& jobs);
 
   // The kTrain phase body for ExecMode::kPlan: Prepare every slot, run the
   // surviving jobs through the lockstep plan runner (contiguous chunks
@@ -367,6 +439,19 @@ class FlAlgorithm {
   double round_loss_sum_ = 0.0;
   int round_loss_count_ = 0;
   double phase_ms_[kNumRoundPhases] = {};  // current round, reset by Run()
+  // Virtual-clock event engine (fl/clock.h). inflight_ is a binary min-heap
+  // over (arrival, seq) kept in std::push_heap/pop_heap array layout; the
+  // checkpoint serialises the array verbatim, so a resumed heap pops in
+  // exactly the original order.
+  std::vector<PendingUpload> inflight_;
+  std::vector<AsyncOutcome> async_outcomes_;  // per-slot scratch, recycled
+  double virtual_now_ = 0.0;
+  std::int64_t model_version_ = 0;
+  std::int64_t dispatch_seq_ = 0;
+  // Current round's staleness tallies (async), reset by Run().
+  double round_staleness_sum_ = 0.0;
+  int round_staleness_count_ = 0;
+  int round_staleness_max_ = 0;
 };
 
 }  // namespace fedcross::fl

@@ -25,20 +25,25 @@ namespace fedcross::fl {
 // clobber the previous good checkpoint. All reads are bounds-checked and
 // return util::Status on truncated or malformed input.
 //
-// Format versions: v3 (current) stores per-client cold state — the codec
-// error-feedback residuals, SCAFFOLD variates, CluSamp update history — as
-// sparse tables (count, then id + payload per touched client) keyed by
-// 64-bit client ids, so a million-client population costs bytes only for
-// the clients that ever trained; v2 stored those tables densely over all N
-// clients (and 32-bit cluster ids); v1 stored two f64 communication totals
-// and no residuals. Readers accept all three — StateReader::version() lets
-// load paths branch on what the file actually contains. Writers normally
-// stamp kCheckpointVersion; a StateWriter constructed with an older version
-// lets FlAlgorithm::SaveCheckpoint produce downgraded files (compat tests,
-// handing a checkpoint to an older build).
+// Format versions: v4 (current) adds the async event-engine state — the
+// virtual clock, model-version and dispatch counters, wasted-comm totals,
+// the timeout/retry fault tallies, and the full in-flight dispatch table
+// (so a buffered-async run resumes mid-buffer bit-identically); v3 stores
+// per-client cold state — the codec error-feedback residuals, SCAFFOLD
+// variates, CluSamp update history — as sparse tables (count, then id +
+// payload per touched client) keyed by 64-bit client ids, so a
+// million-client population costs bytes only for the clients that ever
+// trained; v2 stored those tables densely over all N clients (and 32-bit
+// cluster ids); v1 stored two f64 communication totals and no residuals.
+// Readers accept all four — StateReader::version() lets load paths branch
+// on what the file actually contains (pre-v4 files restore with a zeroed
+// engine state). Writers normally stamp kCheckpointVersion; a StateWriter
+// constructed with an older version lets FlAlgorithm::SaveCheckpoint
+// produce downgraded files (compat tests, handing a checkpoint to an older
+// build) — downgrading a mid-buffer async run loses its in-flight table.
 
 // The version WriteStateFile stamps on new checkpoints.
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 // Appends little-endian POD values to a byte buffer.
 class StateWriter {

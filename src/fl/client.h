@@ -50,6 +50,30 @@ struct LocalTrainResult {
   bool dropped = false;
   // What, if anything, went wrong (see fl/faults.h).
   FaultKind fault = FaultKind::kNone;
+
+  // --- Filled by FlAlgorithm around Train (never by FlClient itself) ---
+  // Which client and dispatch slot produced this result. In sync mode slot
+  // s holds job s's result (client_id == jobs[s].client_id); in async mode
+  // results arrive buffer-ordered, so algorithms must key on these instead
+  // of positional job metadata.
+  std::int64_t client_id = -1;
+  int slot = 0;
+  // Async-engine provenance: the global model version this job was
+  // dispatched against, its staleness tau = versions aggregated since, and
+  // the staleness weight multiplier applied on top of num_samples. Sync
+  // mode keeps staleness 0 and weight_scale exactly 1.0, so
+  // `num_samples * weight_scale` is bit-identical to the historical
+  // integer weight.
+  std::int64_t dispatch_version = 0;
+  int staleness = 0;
+  double weight_scale = 1.0;
+  // Straggler slowdown factor drawn for this job (1.0 when none fired);
+  // feeds the virtual clock's compute term.
+  double slowdown = 1.0;
+  // The upload left the device mangled (fl/faults.h corruption). Kept
+  // separate from `fault` because a later screening rejection overwrites
+  // it, and the async engine still counts the corruption at arrival.
+  bool upload_corrupt = false;
 };
 
 // A simulated device: owns a training shard and can run local SGD on any

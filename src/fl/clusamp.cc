@@ -143,15 +143,16 @@ void CluSamp::RunRound(int round) {
   std::vector<const FlatParams*> local_models;
   std::vector<double> weights;
   FlatParams update;  // reused scratch across clusters
-  for (int c = 0; c < k; ++c) {
-    const LocalTrainResult& result = results[c];
+  // Keyed on result.client_id: async arrivals may belong to an earlier
+  // cohort (sync keeps client_id == jobs[c].client_id slot-for-slot).
+  for (const LocalTrainResult& result : results) {
     if (result.dropped) continue;  // device failed before uploading
 
     // Store the (normalised) update direction for the next clustering.
     flat_ops::Subtract(result.params, global_, update);
-    if (Normalize(update)) client_updates_.Touch(jobs[c].client_id) = update;
+    if (Normalize(update)) client_updates_.Touch(result.client_id) = update;
 
-    weights.push_back(result.num_samples);
+    weights.push_back(result.num_samples * result.weight_scale);
     local_models.push_back(&result.params);
   }
   if (local_models.empty()) return;  // every client dropped

@@ -30,6 +30,18 @@ class CommTracker {
     round_wire_up_ += wire_bytes;
     total_wire_up_ += wire_bytes;
   }
+  // Lost work: bytes that crossed the wire but never reached aggregation —
+  // dispatches to clients that dropped out or timed out, and uploads the
+  // server screened away or abandoned. Wasted bytes are counted *in
+  // addition to* the directional counters above (they are a view of the
+  // same traffic, not a third direction), so wasted/wire is the fraction
+  // of the round's traffic that bought nothing.
+  void AddWasted(std::uint64_t raw_bytes, std::uint64_t wire_bytes) {
+    round_wasted_ += raw_bytes;
+    total_wasted_ += raw_bytes;
+    round_wire_wasted_ += wire_bytes;
+    total_wire_wasted_ += wire_bytes;
+  }
 
   // Convenience: a payload of `floats` float32 values.
   static std::uint64_t FloatBytes(std::int64_t floats) {
@@ -42,26 +54,37 @@ class CommTracker {
     round_up_ = 0;
     round_wire_down_ = 0;
     round_wire_up_ = 0;
+    round_wasted_ = 0;
+    round_wire_wasted_ = 0;
   }
   std::uint64_t round_download_bytes() const { return round_down_; }
   std::uint64_t round_upload_bytes() const { return round_up_; }
   std::uint64_t round_wire_download_bytes() const { return round_wire_down_; }
   std::uint64_t round_wire_upload_bytes() const { return round_wire_up_; }
+  std::uint64_t round_wasted_bytes() const { return round_wasted_; }
+  std::uint64_t round_wire_wasted_bytes() const { return round_wire_wasted_; }
 
   // Cumulative counters.
   std::uint64_t total_download_bytes() const { return total_down_; }
   std::uint64_t total_upload_bytes() const { return total_up_; }
   std::uint64_t total_wire_download_bytes() const { return total_wire_down_; }
   std::uint64_t total_wire_upload_bytes() const { return total_wire_up_; }
+  std::uint64_t total_wasted_bytes() const { return total_wasted_; }
+  std::uint64_t total_wire_wasted_bytes() const { return total_wire_wasted_; }
 
   // Checkpoint restore: resets to the given cumulative totals with the
-  // per-round counters cleared.
+  // per-round counters cleared. Checkpoints older than FCRS v4 carry no
+  // wasted totals; the defaults restart those counters at zero.
   void Restore(std::uint64_t total_down, std::uint64_t total_up,
-               std::uint64_t total_wire_down, std::uint64_t total_wire_up) {
+               std::uint64_t total_wire_down, std::uint64_t total_wire_up,
+               std::uint64_t total_wasted = 0,
+               std::uint64_t total_wire_wasted = 0) {
     total_down_ = total_down;
     total_up_ = total_up;
     total_wire_down_ = total_wire_down;
     total_wire_up_ = total_wire_up;
+    total_wasted_ = total_wasted;
+    total_wire_wasted_ = total_wire_wasted;
     BeginRound();
   }
 
@@ -70,10 +93,14 @@ class CommTracker {
   std::uint64_t round_up_ = 0;
   std::uint64_t round_wire_down_ = 0;
   std::uint64_t round_wire_up_ = 0;
+  std::uint64_t round_wasted_ = 0;
+  std::uint64_t round_wire_wasted_ = 0;
   std::uint64_t total_down_ = 0;
   std::uint64_t total_up_ = 0;
   std::uint64_t total_wire_down_ = 0;
   std::uint64_t total_wire_up_ = 0;
+  std::uint64_t total_wasted_ = 0;
+  std::uint64_t total_wire_wasted_ = 0;
 };
 
 }  // namespace fedcross::fl

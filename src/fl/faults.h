@@ -148,6 +148,10 @@ struct FaultStats {
   std::int64_t stragglers = 0;
   std::int64_t corrupted = 0;  // mangled uploads (whether or not screened)
   std::int64_t rejected = 0;   // uploads discarded by server screening
+  // Async-engine accounting (always 0 in sync mode): dispatches abandoned
+  // at the per-dispatch deadline, and re-dispatches issued for them.
+  std::int64_t timeouts = 0;
+  std::int64_t retries = 0;
 };
 
 }  // namespace fedcross::fl

@@ -37,7 +37,9 @@ void FedAvg::RunRound(int round) {
   weights.reserve(results.size());
   for (const LocalTrainResult& result : results) {
     if (result.dropped) continue;  // device failed before uploading
-    weights.push_back(result.num_samples);
+    // Staleness-scaled sample weight: scale is exactly 1.0 in sync mode, so
+    // the product is bit-identical to the historical integer weight.
+    weights.push_back(result.num_samples * result.weight_scale);
     local_models.push_back(&result.params);
   }
   if (local_models.empty()) return;  // every client dropped: keep the model

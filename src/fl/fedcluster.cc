@@ -60,7 +60,7 @@ void FedCluster::RunRound(int round) {
     std::vector<double> weights;
     for (const LocalTrainResult& result : results) {
       if (result.dropped) continue;
-      weights.push_back(result.num_samples);
+      weights.push_back(result.num_samples * result.weight_scale);
       local_models.push_back(&result.params);
     }
     if (local_models.empty()) continue;  // whole cluster step dropped

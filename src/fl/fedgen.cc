@@ -150,19 +150,22 @@ void FedGen::RunRound(int round) {
 
   std::vector<const FlatParams*> local_models;
   std::vector<double> weights;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    // Generator payload rides along with the model dispatch, outside the
-    // model codec (wire == raw).
-    if (synthetic_ != nullptr) {
+  // Generator payload rides along with every model dispatch, outside the
+  // model codec (wire == raw) — counted per dispatched job, since async
+  // arrivals are not positionally aligned with this round's dispatches.
+  if (synthetic_ != nullptr) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
       comm().AddDownload(CommTracker::FloatBytes(generator_size_),
                          CommTracker::FloatBytes(generator_size_));
     }
-    const LocalTrainResult& result = results[i];
+  }
+  for (const LocalTrainResult& result : results) {
     if (result.dropped) continue;  // device failed before uploading
-    weights.push_back(result.num_samples);
+    weights.push_back(result.num_samples * result.weight_scale);
     local_models.push_back(&result.params);
 
-    std::vector<int> counts = client(selected[i]).dataset().LabelCounts();
+    std::vector<int> counts =
+        client(result.client_id).dataset().LabelCounts();
     for (int k = 0; k < num_classes_; ++k) new_label_weights[k] += counts[k];
   }
 

@@ -45,8 +45,10 @@ void Scaffold::RunRound(int round) {
   std::vector<const FlatParams*> local_models;
   std::vector<double> weights;
   FlatParams c_delta_sum(global_.size(), 0.0f);
-  for (int i = 0; i < count; ++i) {
-    const LocalTrainResult& result = results[i];
+  // Keyed on result.client_id, not the slot: async arrivals may belong to
+  // an earlier round's cohort (sync keeps client_id == selected[i], so this
+  // is the historical walk bit-for-bit).
+  for (const LocalTrainResult& result : results) {
     if (result.dropped) continue;  // no upload, no variate update
     // Variate traffic: one variate down (c), one up (c_i+). Variates move
     // outside the model codec, so wire == raw for this side channel.
@@ -56,7 +58,8 @@ void Scaffold::RunRound(int round) {
                      CommTracker::FloatBytes(model_size()));
 
     // Option II variate update.
-    FlatParams& c_i = client_c_.Touch(selected[i]);
+    FlatParams& c_i = client_c_.Touch(result.client_id);
+    if (c_i.empty()) c_i.assign(global_.size(), 0.0f);
     float inv_step =
         result.num_steps > 0 ? 1.0f / (result.num_steps * result.lr) : 0.0f;
     for (std::size_t j = 0; j < c_i.size(); ++j) {
@@ -66,7 +69,7 @@ void Scaffold::RunRound(int round) {
       c_i[j] = c_new;
     }
 
-    weights.push_back(result.num_samples);
+    weights.push_back(result.num_samples * result.weight_scale);
     local_models.push_back(&result.params);
   }
 

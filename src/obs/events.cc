@@ -54,18 +54,28 @@ void EmitRoundEvent(const RoundEvent& e) {
       ",\"test_accuracy\":%.9g,\"test_loss\":%.9g,\"mean_client_loss\":%.9g"
       ",\"bytes_down\":%.0f,\"bytes_up\":%.0f"
       ",\"wire_bytes_down\":%.0f,\"wire_bytes_up\":%.0f"
+      ",\"wire_bytes_wasted\":%.0f"
       ",\"dropouts\":%lld,\"stragglers\":%lld,\"corrupted\":%lld"
-      ",\"rejected\":%lld"
+      ",\"rejected\":%lld,\"timeouts\":%lld,\"async_retries\":%lld"
+      ",\"virtual_time\":%.9g,\"model_version\":%lld,\"inflight\":%lld"
+      ",\"staleness_mean\":%.9g,\"staleness_max\":%lld"
       ",\"resident_clients\":%lld,\"peak_rss_bytes\":%lld}\n",
       algo.c_str(), e.round, e.round_ms, e.dispatch_ms, e.train_ms,
       e.screen_ms, e.aggregate_ms, e.eval_ms, e.checkpoint_ms,
       e.evaluated ? "true" : "false", e.test_accuracy, e.test_loss,
       e.mean_client_loss, e.bytes_down, e.bytes_up, e.wire_bytes_down,
-      e.wire_bytes_up,
+      e.wire_bytes_up, e.wire_bytes_wasted,
       static_cast<long long>(e.dropouts),
       static_cast<long long>(e.stragglers),
       static_cast<long long>(e.corrupted),
       static_cast<long long>(e.rejected),
+      static_cast<long long>(e.timeouts),
+      static_cast<long long>(e.async_retries),
+      e.virtual_time,
+      static_cast<long long>(e.model_version),
+      static_cast<long long>(e.inflight),
+      e.staleness_mean,
+      static_cast<long long>(e.staleness_max),
       static_cast<long long>(e.resident_clients),
       static_cast<long long>(e.peak_rss_bytes));
   std::fflush(g_events_file);

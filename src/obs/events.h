@@ -41,11 +41,27 @@ struct RoundEvent {
   // wire/raw quotient is the round's measured compression ratio.
   double wire_bytes_down = 0.0;
   double wire_bytes_up = 0.0;
+  // Frame bytes that crossed the wire but bought nothing this round:
+  // dispatches to dropped/timed-out devices and uploads the server screened
+  // away or abandoned (a view of the traffic above, not a third direction).
+  double wire_bytes_wasted = 0.0;
 
   std::int64_t dropouts = 0;
   std::int64_t stragglers = 0;
   std::int64_t corrupted = 0;
   std::int64_t rejected = 0;
+  // Async event engine (fl/clock.h; all zero in sync-mode runs except
+  // virtual_time/model_version, which sync also advances): this round's
+  // abandoned-deadline count and re-dispatches, plus the engine state at
+  // round end — simulated seconds elapsed, aggregations performed, arrivals
+  // still pending, and the staleness of the uploads aggregated this round.
+  std::int64_t timeouts = 0;
+  std::int64_t async_retries = 0;
+  double virtual_time = 0.0;
+  std::int64_t model_version = 0;
+  std::int64_t inflight = 0;
+  double staleness_mean = 0.0;
+  std::int64_t staleness_max = 0;
 
   // Memory footprint of the virtual-population machinery: clients held
   // materialised at round end, and the process peak RSS so far (0 when the
