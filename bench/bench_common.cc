@@ -168,6 +168,8 @@ util::StatusOr<RunResult> RunMethod(const RunSpec& spec) {
   config.train.momentum = spec.momentum;
   config.seed = spec.seed;
   config.codec = spec.codec;
+  config.dp = spec.dp;
+  config.secure_agg = spec.secure_agg;
 
   std::unique_ptr<fl::FlAlgorithm> algorithm;
   if (spec.method == "fedavg") {
@@ -208,6 +210,9 @@ util::StatusOr<RunResult> RunMethod(const RunSpec& spec) {
       algorithm->comm().total_wire_download_bytes();
   result.total_raw_bytes_up = algorithm->comm().total_upload_bytes();
   result.total_raw_bytes_down = algorithm->comm().total_download_bytes();
+  result.dp_epsilon = algorithm->privacy_epsilon();
+  result.dp_clipped = algorithm->privacy_stats().clipped;
+  result.mask_pairs = algorithm->privacy_stats().mask_pairs;
   return result;
 }
 

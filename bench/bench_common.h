@@ -15,6 +15,8 @@
 #include "fl/algorithm.h"
 #include "fl/history.h"
 #include "models/model_zoo.h"
+#include "privacy/dp.h"
+#include "privacy/masking.h"
 #include "util/status.h"
 
 namespace fedcross::bench {
@@ -59,6 +61,10 @@ struct RunSpec {
   float prox_mu = 0.01f;
   // Wire codec for the run's comm path (comm/wire.h).
   comm::CodecOptions codec;
+  // Privacy subsystem (src/privacy): DP-SGD clip-and-noise plus the RDP
+  // accountant, and the secure-aggregation masking overlay.
+  privacy::DpOptions dp;
+  privacy::MaskOptions secure_agg;
 };
 
 // Builds the federated dataset for a spec.
@@ -82,6 +88,11 @@ struct RunResult {
   std::uint64_t total_raw_bytes_down = 0;
   double final_accuracy = 0.0;
   std::int64_t model_size = 0;
+  // Privacy ledger at run end: epsilon(dp.delta) from the RDP accountant
+  // (0 when DP never noised anything), clipped-upload and mask-pair counts.
+  double dp_epsilon = 0.0;
+  std::int64_t dp_clipped = 0;
+  std::int64_t mask_pairs = 0;
 };
 util::StatusOr<RunResult> RunMethod(const RunSpec& spec);
 

@@ -21,6 +21,8 @@
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "privacy/dp.h"
+#include "privacy/masking.h"
 #include "tensor/tensor_ops.h"
 #include "util/mem_stats.h"
 #include "util/rng.h"
@@ -504,6 +506,64 @@ void BM_Decode(benchmark::State& state) {
                           static_cast<std::int64_t>(sizeof(float)));
 }
 BENCHMARK(BM_Decode)->DenseRange(0, 4);
+
+// DP-SGD sanitisation (privacy/dp.h): one clip-and-noise pass over a
+// model-sized update. Arg is the parameter count in thousands; this is the
+// per-upload cost DP adds to every client round.
+void BM_SanitizeUpdate(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0)) * 1024;
+  util::Rng init(11);
+  fl::FlatParams reference(size);
+  fl::FlatParams uploaded(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    reference[i] = static_cast<float>(init.Normal(0.0, 1.0));
+    uploaded[i] = reference[i] + static_cast<float>(init.Normal(0.0, 0.1));
+  }
+  privacy::DpOptions options;
+  options.clip_norm = 1.0f;
+  options.noise_multiplier = 1.0f;
+  fl::FlatParams params;
+  util::Rng rng(privacy::PrivacySeed(17, 1, 0, 0));
+  for (auto _ : state) {
+    params = uploaded;
+    bool clipped =
+        privacy::SanitizeUpdateInPlace(reference, params, options, rng);
+    benchmark::DoNotOptimize(clipped);
+    benchmark::DoNotOptimize(params.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(size) *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_SanitizeUpdate)->Arg(4)->Arg(16)->Arg(64);
+
+// Masked fixed-point aggregation (privacy/masking.h): one full secure-
+// aggregation round over a cohort of 8 model-sized uploads, including the
+// word-exact cancellation check and one dropout's mask recovery. Arg is the
+// parameter count in thousands.
+void BM_MaskedSum(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0)) * 1024;
+  const int cohort = 8;
+  util::Rng init(13);
+  std::vector<fl::FlatParams> uploads(cohort, fl::FlatParams(size));
+  for (auto& upload : uploads) {
+    for (float& v : upload) v = static_cast<float>(init.Normal(0.0, 1.0));
+  }
+  std::vector<const fl::FlatParams*> pointers;
+  for (const auto& upload : uploads) pointers.push_back(&upload);
+  pointers[3] = nullptr;  // one dropout exercises the recovery path
+  privacy::MaskOptions options;
+  options.enabled = true;
+  for (auto _ : state) {
+    privacy::MaskedSumReport report =
+        privacy::SimulateMaskedAggregation(17, 1, 0, pointers, options);
+    benchmark::DoNotOptimize(report.exact);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(size) * (cohort - 1) *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_MaskedSum)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_LossForwardBackward(benchmark::State& state) {
   util::Rng rng(4);

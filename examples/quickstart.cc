@@ -21,6 +21,10 @@
 //                [--jitter 0]  (per-dispatch compute jitter, 0..j uniform)
 //                [--dropout_prob 0] [--straggler_prob 0]
 //                [--slowdown_min 2] [--slowdown_max 8] [--round_deadline 0]
+//                [--dp_clip 0]  (DP-SGD: clip each update's L2 norm; 0 = off)
+//                [--dp_noise 0]  (Gaussian noise multiplier on the clip)
+//                [--dp_delta 1e-5]  (delta the RDP accountant reports at)
+//                [--secure_agg false]  (pairwise-masked aggregation overlay)
 //                [--fl_threads 0]   (0 = all cores, 1 = sequential)
 //                [--trace_out t.json] [--metrics_out m.json]
 //                [--events_out e.jsonl] [--log_level info]
@@ -80,6 +84,10 @@ int Run(int argc, char** argv) {
   double slowdown_min = flags.GetDouble("slowdown_min", 2.0);
   double slowdown_max = flags.GetDouble("slowdown_max", 8.0);
   double round_deadline = flags.GetDouble("round_deadline", 0.0);
+  double dp_clip = flags.GetDouble("dp_clip", 0.0);
+  double dp_noise = flags.GetDouble("dp_noise", 0.0);
+  double dp_delta = flags.GetDouble("dp_delta", 1e-5);
+  bool secure_agg = flags.GetBool("secure_agg", false);
   util::Status obs_status = util::InitObservability(flags);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -180,6 +188,10 @@ int Run(int argc, char** argv) {
   config.faults.profile.slowdown_min = slowdown_min;
   config.faults.profile.slowdown_max = slowdown_max;
   config.faults.round_deadline = round_deadline;
+  config.dp.clip_norm = static_cast<float>(dp_clip);
+  config.dp.noise_multiplier = static_cast<float>(dp_noise);
+  config.dp.delta = dp_delta;
+  config.secure_agg.enabled = secure_agg;
 
   std::unique_ptr<fl::FlAlgorithm> server;
   if (algo == "fedavg") {
@@ -224,6 +236,16 @@ int Run(int argc, char** argv) {
                 config.async.staleness_exponent, config.async.dispatch_timeout,
                 config.async.max_retries, config.faults.round_deadline);
   }
+  // Privacy line, same convention: only printed when the subsystem can
+  // change the run, keeping default stdout byte-identical to older builds.
+  const bool privacy_active =
+      config.dp.Enabled() || config.secure_agg.Enabled();
+  if (privacy_active) {
+    std::printf("privacy: clip=%g, noise=%g, delta=%g, secure_agg=%s\n",
+                static_cast<double>(config.dp.clip_norm),
+                static_cast<double>(config.dp.noise_multiplier),
+                config.dp.delta, config.secure_agg.Enabled() ? "on" : "off");
+  }
 
   // Run() drives the rounds, evaluates every 5th, and feeds every enabled
   // observability sink. The history replays the eval cadence below.
@@ -240,6 +262,17 @@ int Run(int argc, char** argv) {
                 server->virtual_now(),
                 static_cast<long long>(server->model_version()),
                 static_cast<long long>(server->inflight_dispatches()));
+  }
+  if (privacy_active) {
+    // Epsilon is a pure function of (q, sigma, rounds), so this line rides
+    // the thread-count determinism surface as well.
+    const fl::PrivacyStats& privacy = server->privacy_stats();
+    std::printf("privacy spent: epsilon=%.6g at delta=%g"
+                ", clipped=%lld, mask_pairs=%lld, mask_recoveries=%lld\n",
+                server->privacy_epsilon(), config.dp.delta,
+                static_cast<long long>(privacy.clipped),
+                static_cast<long long>(privacy.mask_pairs),
+                static_cast<long long>(privacy.mask_recoveries));
   }
   // stderr: peak RSS varies with --fl_threads (more replicas), and stdout
   // must stay byte-identical across thread counts (the determinism check).

@@ -13,8 +13,15 @@
 //
 //   ./robust_federation [--rounds 40] [--clients 20] [--k 4]
 //                       [--exec layers|plan]
+//                       [--dp_clip 0] [--dp_noise 0] [--dp_delta 1e-5]
+//                       [--secure_agg false]
 //                       [--events_out events.jsonl] [--trace_out trace.json]
 //                       [--metrics_out m.json] [--log_level info]
+//
+// The privacy flags apply to every cell: clipping/noise run on-device
+// before fault corruption, and the masking overlay must unmask exactly even
+// in cells where dropouts/rejections leave dangling pair masks — the
+// adversarial conditions double as a secure-aggregation recovery stress.
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -25,6 +32,8 @@
 #include "data/synthetic_image.h"
 #include "fl/fedavg.h"
 #include "models/model_zoo.h"
+#include "privacy/dp.h"
+#include "privacy/masking.h"
 #include "util/csv_writer.h"
 #include "util/flags.h"
 #include "util/obs_init.h"
@@ -120,6 +129,12 @@ fedcross::comm::CodecOptions g_codec;
 // and screening paths are exercised identically under both runtimes.
 fl::ExecMode g_exec = fl::ExecMode::kLayers;
 
+// Privacy options applied to every cell (set once from --dp_* /
+// --secure_agg): DP sanitisation and the masked-aggregation overlay run
+// under each cell's fault environment.
+privacy::DpOptions g_dp;
+privacy::MaskOptions g_secure_agg;
+
 fl::AlgorithmConfig MakeConfig(int k, const Condition& condition) {
   fl::AlgorithmConfig config;
   config.clients_per_round = k;
@@ -132,6 +147,8 @@ fl::AlgorithmConfig MakeConfig(int k, const Condition& condition) {
   config.screening = condition.screening;
   config.aggregator = condition.aggregator;
   config.codec = g_codec;
+  config.dp = g_dp;
+  config.secure_agg = g_secure_agg;
   return config;
 }
 
@@ -212,6 +229,10 @@ int Run(int argc, char** argv) {
   std::string codec_name = flags.GetString("codec", "identity");
   double topk = flags.GetDouble("topk", 0.1);
   std::string exec_name = flags.GetString("exec", "layers");
+  double dp_clip = flags.GetDouble("dp_clip", 0.0);
+  double dp_noise = flags.GetDouble("dp_noise", 0.0);
+  double dp_delta = flags.GetDouble("dp_delta", 1e-5);
+  bool secure_agg = flags.GetBool("secure_agg", false);
   util::ObsOptions obs_defaults;
   obs_defaults.events_out = "events.jsonl";
   obs_defaults.trace_out = "trace.json";
@@ -236,6 +257,10 @@ int Run(int argc, char** argv) {
                  exec_name.c_str());
     return 1;
   }
+  g_dp.clip_norm = static_cast<float>(dp_clip);
+  g_dp.noise_multiplier = static_cast<float>(dp_noise);
+  g_dp.delta = dp_delta;
+  g_secure_agg.enabled = secure_agg;
 
   models::CnnConfig cnn;
   cnn.height = cnn.width = 8;

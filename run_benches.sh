@@ -19,6 +19,7 @@ benches=(
   table1_comm_overhead
   table2_accuracy
   table3_alpha_selection
+  table_privacy
   theory_convergence
   micro_ops
 )

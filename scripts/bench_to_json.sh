@@ -27,6 +27,11 @@
 #                      lazily materialised virtual population; wall time
 #                      should be flat in registered N and the peak_rss_mb
 #                      counter tracks participation, not N)
+#   BENCH_privacy.json BM_SanitizeUpdate/{4,16,64} (DP-SGD clip + Gaussian
+#                      noise over a KB-scale update; bytes_per_second is
+#                      sanitisation throughput) and BM_MaskedSum/{4,16,64}
+#                      (fixed-point masked aggregation for an 8-client
+#                      cohort with one dropout, including mask recovery)
 #
 # Usage: scripts/bench_to_json.sh [build_dir] [output_dir]
 # Defaults: build_dir=build, output_dir=. — run from the repo root.
@@ -67,3 +72,4 @@ run_filter '^BM_FedRoundObs/' "${out_dir}/BENCH_obs.json"
 run_filter '^BM_(Encode|Decode)/' "${out_dir}/BENCH_comm.json"
 run_filter '^BM_(FedCrossRound|GemmGrouped|GemmSmallLooped)/' "${out_dir}/BENCH_plan.json"
 run_filter '^BM_FedRoundScale/' "${out_dir}/BENCH_scale.json"
+run_filter '^BM_(SanitizeUpdate|MaskedSum)/' "${out_dir}/BENCH_privacy.json"

@@ -37,7 +37,8 @@ BEGIN {
         "bytes_up,wire_bytes_down,wire_bytes_up,wire_bytes_wasted," \
         "dropouts,stragglers,corrupted,rejected,timeouts,async_retries," \
         "virtual_time,model_version,inflight,staleness_mean,staleness_max," \
-        "resident_clients,peak_rss_bytes"
+        "resident_clients,peak_rss_bytes,dp_epsilon,dp_clipped,mask_pairs," \
+        "mask_recoveries"
   printf "%-10s %5s %9s %9s %9s %9s %9s %9s %9s %7s\n", \
          "algo", "round", "round_ms", "dispatch", "train", "screen", \
          "aggregate", "eval", "ckpt", "up_cmp" > "/dev/stderr"
@@ -48,7 +49,7 @@ BEGIN {
   # Measured upload compression: raw payload bytes over encoded wire bytes.
   wire_up = nval($0, "wire_bytes_up")
   ratio = wire_up > 0 ? nval($0, "bytes_up") / wire_up : 1
-  printf "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.9g,%.9g,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d,%d,%d,%d,%d,%.9g,%d,%d,%.9g,%d,%d,%d\n", \
+  printf "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.9g,%.9g,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d,%d,%d,%d,%d,%.9g,%d,%d,%.9g,%d,%d,%d,%.9g,%d,%d,%d\n", \
     algo, round, nval($0, "round_ms"), nval($0, "dispatch_ms"), \
     nval($0, "train_ms"), nval($0, "screen_ms"), nval($0, "aggregate_ms"), \
     nval($0, "eval_ms"), nval($0, "checkpoint_ms"), \
@@ -61,7 +62,9 @@ BEGIN {
     nval($0, "virtual_time"), nval($0, "model_version"), \
     nval($0, "inflight"), nval($0, "staleness_mean"), \
     nval($0, "staleness_max"), \
-    nval($0, "resident_clients"), nval($0, "peak_rss_bytes")
+    nval($0, "resident_clients"), nval($0, "peak_rss_bytes"), \
+    nval($0, "dp_epsilon"), nval($0, "dp_clipped"), \
+    nval($0, "mask_pairs"), nval($0, "mask_recoveries")
   printf "%-10s %5d %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %6.1fx\n", \
          algo, round, nval($0, "round_ms"), nval($0, "dispatch_ms"), \
          nval($0, "train_ms"), nval($0, "screen_ms"), \

@@ -11,6 +11,7 @@
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "privacy/dp.h"
 #include "util/logging.h"
 #include "util/mem_stats.h"
 #include "util/thread_pool.h"
@@ -66,6 +67,13 @@ struct FlMetrics {
       reg.GetHistogram("fl.checkpoint.save_ms");
   obs::Histogram& checkpoint_load_ms =
       reg.GetHistogram("fl.checkpoint.load_ms");
+  // Privacy subsystem: the RDP accountant's running eps(delta) and the
+  // cumulative clip / mask tallies.
+  obs::Gauge& privacy_epsilon = reg.GetGauge("fl.privacy.epsilon");
+  obs::Gauge& privacy_clipped = reg.GetGauge("fl.privacy.clipped_uploads");
+  obs::Gauge& privacy_mask_pairs = reg.GetGauge("fl.privacy.mask_pairs");
+  obs::Gauge& privacy_mask_recoveries =
+      reg.GetGauge("fl.privacy.mask_recoveries");
 };
 
 FlMetrics& Metrics() {
@@ -190,6 +198,7 @@ const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
     const bool observe = ObservabilityActive();
     const std::int64_t round_start_us = observe ? obs::TraceNowMicros() : 0;
     const FaultStats faults_before = fault_stats_;
+    const PrivacyStats privacy_before = privacy_stats_;
     if (observe) {
       for (double& ms : phase_ms_) ms = 0.0;
     }
@@ -245,8 +254,9 @@ const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
       }
     }
     if (observe) {
-      RecordRoundObservations(round, round_start_us, faults_before, evaluated,
-                              eval, mean_client_loss);
+      RecordRoundObservations(round, round_start_us, faults_before,
+                              privacy_before, evaluated, eval,
+                              mean_client_loss);
     }
   }
   return history_;
@@ -255,6 +265,7 @@ const MetricsHistory& FlAlgorithm::Run(int rounds, int eval_every,
 void FlAlgorithm::RecordRoundObservations(int round,
                                           std::int64_t round_start_us,
                                           const FaultStats& faults_before,
+                                          const PrivacyStats& privacy_before,
                                           bool evaluated,
                                           const EvalResult& eval,
                                           double mean_client_loss) {
@@ -286,6 +297,14 @@ void FlAlgorithm::RecordRoundObservations(int round,
     m.population_resident.Set(
         static_cast<double>(population_.resident_clients()));
     m.peak_rss.Set(static_cast<double>(util::PeakRssBytes()));
+    // eps gauge follows the event encoding: -1 stands in for +infinity
+    // (clip-only runs carry no guarantee).
+    const double eps = privacy_epsilon();
+    m.privacy_epsilon.Set(std::isfinite(eps) ? eps : -1.0);
+    m.privacy_clipped.Set(static_cast<double>(privacy_stats_.clipped));
+    m.privacy_mask_pairs.Set(static_cast<double>(privacy_stats_.mask_pairs));
+    m.privacy_mask_recoveries.Set(
+        static_cast<double>(privacy_stats_.mask_recoveries));
   }
 
   if (obs::EventsEnabled()) {
@@ -326,6 +345,14 @@ void FlAlgorithm::RecordRoundObservations(int round,
     event.staleness_max = round_staleness_max_;
     event.resident_clients = population_.resident_clients();
     event.peak_rss_bytes = util::PeakRssBytes();
+    // JSON has no infinity: -1 encodes "no guarantee" (clip without noise).
+    const double eps = privacy_epsilon();
+    event.dp_epsilon = std::isfinite(eps) ? eps : -1.0;
+    event.dp_delta = config_.dp.delta;
+    event.dp_clipped = privacy_stats_.clipped - privacy_before.clipped;
+    event.mask_pairs = privacy_stats_.mask_pairs - privacy_before.mask_pairs;
+    event.mask_recoveries =
+        privacy_stats_.mask_recoveries - privacy_before.mask_recoveries;
     obs::EmitRoundEvent(event);
   }
 }
@@ -396,11 +423,15 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
   auto train_slot = [&](int slot) {
     util::Rng job_rng(ClientJobSeed(config_.seed, round, salt, slot));
     // The fault stream is derived independently of the training stream, so
-    // fault draws can never perturb a surviving client's trajectory.
+    // fault draws can never perturb a surviving client's trajectory. The
+    // privacy stream is independent of all three, so DP noise never skews
+    // batch shuffling and DP runs stay thread-count invariant.
     util::Rng fault_rng(FaultSeed(config_.seed, round, salt, slot));
     util::Rng codec_rng(CodecSeed(config_.seed, round, salt, slot));
+    util::Rng privacy_rng(
+        privacy::PrivacySeed(config_.seed, round, salt, slot));
     TrainClientJob(jobs[slot], *client_slots_[slot], residual_slots_[slot],
-                   job_rng, fault_rng, codec_rng,
+                   job_rng, fault_rng, codec_rng, privacy_rng,
                    config_.faults.round_deadline, wire_scratch_[slot],
                    results_[slot]);
   };
@@ -465,6 +496,9 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     comm_.AddUpload(CommTracker::FloatBytes(model_size_),
                     result.wire_bytes_up);
     if (result.fault == FaultKind::kCorrupted) ++fault_stats_.corrupted;
+    // Counted at upload receipt, before the screening verdict: a clipped
+    // upload the screener then rejects was still clipped on-device.
+    if (result.dp_clipped) ++privacy_stats_.clipped;
     if (screen) {
       util::Status verdict = ScreenUpload(*jobs[slot].init_params,
                                           result.params, config_.screening);
@@ -485,6 +519,26 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
     round_loss_sum_ += result.mean_loss;
     ++round_loss_count_;
   }
+  // Secure-aggregation overlay over the dispatch cohort: members whose
+  // upload survived screening contribute; dropouts, deadline stragglers and
+  // rejections are the dropped members whose masks recovery reconstructs.
+  if (config_.secure_agg.Enabled() && count > 0) {
+    mask_slots_.resize(count);
+    for (int slot = 0; slot < count; ++slot) {
+      mask_slots_[slot] =
+          results_[slot].dropped ? nullptr : &results_[slot].params;
+    }
+    ApplyMaskingOverlay(round, salt, mask_slots_);
+  }
+  // One noised aggregation event enters the RDP ledger at this batch's
+  // actual sampling rate (FedCluster's per-cluster batches compose as
+  // separate events, exactly as the mechanism fires).
+  if (config_.dp.Noised() && count > 0) {
+    accountant_.AccumulateRound(
+        std::min(1.0, static_cast<double>(count) /
+                          static_cast<double>(num_clients())),
+        config_.dp.noise_multiplier);
+  }
   // The barrier releases when the slowest slot reports; the aggregation
   // that follows is one global-model version.
   virtual_now_ += makespan;
@@ -492,19 +546,37 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClients(
   return results_;
 }
 
+void FlAlgorithm::ApplyMaskingOverlay(
+    int round, int salt, const std::vector<const FlatParams*>& uploads) {
+  privacy::MaskedSumReport report = privacy::SimulateMaskedAggregation(
+      config_.seed, round, salt, uploads, config_.secure_agg);
+  FC_CHECK(report.exact)
+      << "masked aggregate failed to unmask to the direct fixed-point sum "
+         "(cohort "
+      << report.cohort << ", survivors " << report.survivors << ", pairs "
+      << report.pairs << ", recovered " << report.recovered_pairs << ")";
+  privacy_stats_.mask_pairs += report.pairs;
+  privacy_stats_.mask_recoveries += report.recovered_pairs;
+  // Recovery is the only masking step that costs extra wire traffic: the
+  // surviving peers upload 8 bytes of revealed pair seed per dangling mask.
+  if (report.recovery_seed_bytes > 0) {
+    comm_.AddUpload(report.recovery_seed_bytes, report.recovery_seed_bytes);
+  }
+}
+
 void FlAlgorithm::TrainClientJob(const ClientJob& job, const FlClient& client,
                                  FlatParams* residual, util::Rng& rng,
                                  util::Rng& fault_rng, util::Rng& codec_rng,
-                                 double round_deadline, WireScratch& wire,
-                                 LocalTrainResult& result) {
+                                 util::Rng& privacy_rng, double round_deadline,
+                                 WireScratch& wire, LocalTrainResult& result) {
   FaultDecision decision;
   if (!PrepareClientJob(job, client, fault_rng, round_deadline, wire, result,
                         decision)) {
     return;
   }
   client.Train(pool_, wire.dispatched, *job.spec, rng, result);
-  FinishClientJob(job, residual, decision, rng, fault_rng, codec_rng, wire,
-                  result);
+  FinishClientJob(job, residual, decision, fault_rng, codec_rng, privacy_rng,
+                  wire, result);
 }
 
 bool FlAlgorithm::PrepareClientJob(const ClientJob& job,
@@ -537,6 +609,7 @@ bool FlAlgorithm::PrepareClientJob(const ClientJob& job,
     result.weight_scale = 1.0;
     result.slowdown = decision.duration;
     result.upload_corrupt = false;
+    result.dp_clipped = false;
     return false;
   }
 
@@ -553,12 +626,17 @@ bool FlAlgorithm::PrepareClientJob(const ClientJob& job,
 
 void FlAlgorithm::FinishClientJob(const ClientJob& job, FlatParams* residual,
                                   const FaultDecision& decision,
-                                  util::Rng& rng, util::Rng& fault_rng,
-                                  util::Rng& codec_rng, WireScratch& wire,
+                                  util::Rng& fault_rng, util::Rng& codec_rng,
+                                  util::Rng& privacy_rng, WireScratch& wire,
                                   LocalTrainResult& result) {
-  if (config_.dp.clip_norm > 0.0f) {
-    result.params =
-        SanitizeUpdate(wire.dispatched, result.params, config_.dp, rng);
+  // DP sanitisation before corruption and the upload codec: the mechanism
+  // runs on-device against the dispatched reference, and its noise comes
+  // from the dedicated privacy stream — never the training rng, whose draw
+  // position must not depend on whether DP is enabled.
+  result.dp_clipped = false;
+  if (config_.dp.Enabled()) {
+    result.dp_clipped = privacy::SanitizeUpdateInPlace(
+        wire.dispatched, result.params, config_.dp, privacy_rng);
   }
   if (decision.corrupt) {
     const FaultProfile& profile = config_.faults.ProfileFor(job.client_id);
@@ -595,6 +673,7 @@ void FlAlgorithm::TrainClientsPlan(int round, int salt,
     util::Rng job_rng;
     util::Rng fault_rng;
     util::Rng codec_rng;
+    util::Rng privacy_rng;
     FaultDecision decision;
     bool trains = false;
   };
@@ -608,6 +687,7 @@ void FlAlgorithm::TrainClientsPlan(int round, int salt,
         util::Rng(ClientJobSeed(config_.seed, round, salt, slot)),
         util::Rng(FaultSeed(config_.seed, round, salt, slot)),
         util::Rng(CodecSeed(config_.seed, round, salt, slot)),
+        util::Rng(privacy::PrivacySeed(config_.seed, round, salt, slot)),
         FaultDecision{}, false});
   }
   std::vector<PlanJob> plan_jobs;
@@ -654,8 +734,8 @@ void FlAlgorithm::TrainClientsPlan(int round, int salt,
   for (int slot = 0; slot < count; ++slot) {
     if (!ctx[slot].trains) continue;
     FinishClientJob(jobs[slot], residual_slots_[slot], ctx[slot].decision,
-                    ctx[slot].job_rng, ctx[slot].fault_rng,
-                    ctx[slot].codec_rng, wire_scratch_[slot],
+                    ctx[slot].fault_rng, ctx[slot].codec_rng,
+                    ctx[slot].privacy_rng, wire_scratch_[slot],
                     results_[slot]);
   }
 }
@@ -708,12 +788,14 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClientsAsync(
       util::Rng fault_rng(FaultSeed(config_.seed, round, attempt_salt, slot));
       util::Rng codec_rng(CodecSeed(config_.seed, round, attempt_salt, slot));
       util::Rng clock_rng(ClockSeed(config_.seed, round, attempt_salt, slot));
+      util::Rng privacy_rng(
+          privacy::PrivacySeed(config_.seed, round, attempt_salt, slot));
       LocalTrainResult& result = out.result;
       // The engine owns the deadline race (round_deadline = 0): stragglers
       // train slowly and land late instead of being dropped at a barrier.
       TrainClientJob(job, *client_slots_[slot], residual_slots_[slot],
-                     job_rng, fault_rng, codec_rng, /*round_deadline=*/0.0,
-                     wire_scratch_[slot], result);
+                     job_rng, fault_rng, codec_rng, privacy_rng,
+                     /*round_deadline=*/0.0, wire_scratch_[slot], result);
       result.client_id = job.client_id;
       result.slot = slot;
       result.dispatch_version = version;
@@ -814,6 +896,7 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClientsAsync(
   // degrades the round instead of stalling it.
   const int want = async.buffer_size > 0 ? async.buffer_size : count;
   results_.clear();
+  mask_indices_.clear();
   int collected = 0;
   while (collected < want && !inflight_.empty()) {
     std::pop_heap(inflight_.begin(), inflight_.end(), after);
@@ -827,10 +910,25 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClientsAsync(
                                   result.fault == FaultKind::kRejected)) {
       ++fault_stats_.corrupted;
     }
+    // Clipping mirrors corruption: tallied when the clipped upload reaches
+    // the server. A rejected arrival did reach it (screening then discarded
+    // it); a dropout or terminal straggler never uploaded at all.
+    if (result.dp_clipped &&
+        (!result.dropped || result.fault == FaultKind::kRejected)) {
+      ++privacy_stats_.clipped;
+    }
     if (result.dropped) {
       if (result.fault == FaultKind::kDropout) ++fault_stats_.dropouts;
       if (result.fault == FaultKind::kStraggler) ++fault_stats_.stragglers;
       if (result.fault == FaultKind::kRejected) ++fault_stats_.rejected;
+      // A rejected arrival is a dropped member of this collection event's
+      // masking cohort: its pair masks dangle and recovery reconstructs
+      // them. (Dropouts and terminal stragglers never uploaded a masked
+      // sum, so they were never in the cohort.)
+      if (config_.secure_agg.Enabled() &&
+          result.fault == FaultKind::kRejected) {
+        mask_indices_.push_back(-1);
+      }
       continue;
     }
     const int tau = static_cast<int>(model_version_ - result.dispatch_version);
@@ -846,8 +944,33 @@ const std::vector<LocalTrainResult>& FlAlgorithm::TrainClientsAsync(
     Metrics().uploads_accepted.Add(1);
     round_loss_sum_ += result.mean_loss;
     ++round_loss_count_;
+    if (config_.secure_agg.Enabled()) {
+      mask_indices_.push_back(static_cast<int>(results_.size()));
+    }
     results_.push_back(std::move(result));
     ++collected;
+  }
+  // Secure-aggregation overlay over this collection event's cohort — the
+  // arrivals popped above, in pop order. Indices (not pointers) were
+  // recorded because results_ reallocates as it grows; pair masks key on
+  // cohort position, so duplicate client ids (the same client sampled by
+  // overlapping rounds) still cancel exactly.
+  if (config_.secure_agg.Enabled() && !mask_indices_.empty()) {
+    mask_slots_.clear();
+    mask_slots_.reserve(mask_indices_.size());
+    for (int index : mask_indices_) {
+      mask_slots_.push_back(index < 0 ? nullptr : &results_[index].params);
+    }
+    ApplyMaskingOverlay(round, salt, mask_slots_);
+  }
+  // Every dispatched job ran the DP mechanism once, so one noised event at
+  // this dispatch batch's sampling rate enters the ledger — regardless of
+  // when its upload is collected.
+  if (config_.dp.Noised() && count > 0) {
+    accountant_.AccumulateRound(
+        std::min(1.0, static_cast<double>(count) /
+                          static_cast<double>(num_clients())),
+        config_.dp.noise_multiplier);
   }
   // The aggregation the caller performs on these results is one version.
   ++model_version_;
@@ -991,6 +1114,20 @@ std::uint64_t FlAlgorithm::ConfigFingerprint() const {
     h = mix_float(h, static_cast<float>(config_.async.clock.bandwidth_max));
     h = mix_float(h, static_cast<float>(config_.async.clock.jitter));
   }
+  // Privacy follows the codec precedent: only enabled DP / masking perturb
+  // the fingerprint, so checkpoints from builds that predate the privacy
+  // subsystem (both features implicitly off) keep loading.
+  if (config_.dp.Enabled()) {
+    h = MixSeed(h ^ 0x70726976616379ULL);  // "privacy"
+    h = mix_float(h, config_.dp.clip_norm);
+    h = mix_float(h, config_.dp.noise_multiplier);
+    h = mix_float(h, static_cast<float>(config_.dp.delta));
+  }
+  if (config_.secure_agg.Enabled()) {
+    h = MixSeed(h ^ (0x7061697273656564ULL +  // "pairseed"
+                     static_cast<std::uint64_t>(
+                         config_.secure_agg.fixed_point_bits)));
+  }
   return h;
 }
 
@@ -1096,7 +1233,20 @@ util::Status FlAlgorithm::SaveCheckpoint(const std::string& path,
       writer.WriteI64(r.dispatch_version);
       writer.WriteF64(r.slowdown);
       writer.WriteBool(r.upload_corrupt);
+      if (writer.version() >= 5) writer.WriteBool(r.dp_clipped);
     }
+  }
+
+  // v5 privacy state: the RDP accountant's per-order totals (exact f64
+  // bits, so the restored epsilon is bit-identical) and the privacy
+  // counters. Downgraded files drop it: a resumed DP run restarts its
+  // ledger, under-reporting the spent budget.
+  if (writer.version() >= 5) {
+    writer.WriteI64(accountant_.rounds());
+    writer.WriteDoubles(accountant_.order_totals());
+    writer.WriteI64(privacy_stats_.clipped);
+    writer.WriteI64(privacy_stats_.mask_pairs);
+    writer.WriteI64(privacy_stats_.mask_recoveries);
   }
 
   SaveExtraState(writer);
@@ -1293,8 +1443,32 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
       FC_RETURN_IF_ERROR(reader.ReadI64(r.dispatch_version));
       FC_RETURN_IF_ERROR(reader.ReadF64(r.slowdown));
       FC_RETURN_IF_ERROR(reader.ReadBool(r.upload_corrupt));
+      if (reader.version() >= 5) {
+        FC_RETURN_IF_ERROR(reader.ReadBool(r.dp_clipped));
+      }
       inflight.push_back(std::move(pending));
     }
+  }
+
+  // v5 privacy state; pre-v5 files restore with an empty ledger and zeroed
+  // counters — exactly the state a pre-privacy run never left.
+  std::int64_t accountant_rounds = 0;
+  std::vector<double> order_totals;
+  PrivacyStats privacy_stats;
+  if (reader.version() >= 5) {
+    FC_RETURN_IF_ERROR(reader.ReadI64(accountant_rounds));
+    FC_RETURN_IF_ERROR(reader.ReadDoubles(order_totals));
+    if (accountant_rounds < 0) {
+      return util::Status::InvalidArgument(
+          "negative checkpoint accountant round counter");
+    }
+    if (order_totals.size() != privacy::RdpAccountant::Orders().size()) {
+      return util::Status::InvalidArgument(
+          "checkpoint accountant order grid does not match this build");
+    }
+    FC_RETURN_IF_ERROR(reader.ReadI64(privacy_stats.clipped));
+    FC_RETURN_IF_ERROR(reader.ReadI64(privacy_stats.mask_pairs));
+    FC_RETURN_IF_ERROR(reader.ReadI64(privacy_stats.mask_recoveries));
   }
 
   FC_RETURN_IF_ERROR(LoadExtraState(reader));
@@ -1309,6 +1483,12 @@ util::Status FlAlgorithm::LoadCheckpoint(const std::string& path) {
   comm_.Restore(total_down, total_up, total_wire_down, total_wire_up,
                 total_wasted, total_wire_wasted);
   fault_stats_ = stats;
+  privacy_stats_ = privacy_stats;
+  if (reader.version() >= 5) {
+    accountant_.Restore(order_totals, accountant_rounds);
+  } else {
+    accountant_.Reset();
+  }
   history_ = std::move(restored);
   virtual_now_ = virtual_now;
   model_version_ = model_version;

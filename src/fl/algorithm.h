@@ -23,6 +23,8 @@
 #include "fl/state_store.h"
 #include "fl/types.h"
 #include "models/model_zoo.h"
+#include "privacy/accountant.h"
+#include "privacy/masking.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -54,8 +56,20 @@ struct AlgorithmConfig {
   AggregatorOptions aggregator;
 
   // Differential privacy: clip-and-noise applied to every client upload
-  // (see fl/privacy.h). clip_norm <= 0 disables.
+  // (see privacy/dp.h). Noise rides a dedicated per-(round, salt, slot)
+  // privacy stream, so DP-enabled runs stay bit-identical across
+  // --fl_threads; when noise_multiplier > 0 the subsampled-Gaussian RDP
+  // accountant composes eps(delta) across rounds at the actual sampling
+  // rate K/N. clip_norm <= 0 disables.
   DpOptions dp;
+
+  // Secure-aggregation-style pairwise masking (see privacy/masking.h): the
+  // server sum is recomputed in a fixed-point domain under seed-derived
+  // pairwise masks and checked to unmask exactly, with dropped members'
+  // masks recovered from surviving peers' pair seeds. Verification overlay:
+  // the float aggregation path is untouched, so enabling masking is
+  // bit-identical to a masking-off run. Disabled by default.
+  privacy::MaskOptions secure_agg;
 
   // Wire codec for the communication path (see comm/wire.h). Every
   // dispatch and upload round-trips through the framed codec; the default
@@ -94,6 +108,16 @@ struct AlgorithmConfig {
   // The default (sync, homogeneous clock) is bit-identical to pre-engine
   // builds; in sync mode the clock only *observes* the round makespan.
   AsyncOptions async;
+};
+
+// Cumulative per-run privacy accounting, kept by FlAlgorithm alongside
+// FaultStats: uploads the DP mechanism clipped, pairwise masks the
+// secure-aggregation overlay applied, and dangling masks it recovered from
+// dropped members' pair seeds.
+struct PrivacyStats {
+  std::int64_t clipped = 0;
+  std::int64_t mask_pairs = 0;
+  std::int64_t mask_recoveries = 0;
 };
 
 // Base class of every FL algorithm in the repository (the five baselines in
@@ -151,6 +175,21 @@ class FlAlgorithm {
   // Cumulative fault accounting (dropouts, stragglers, corrupted uploads,
   // server-side rejections) across the whole run.
   const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // Cumulative privacy accounting (DP clips, mask pairs, mask recoveries).
+  const PrivacyStats& privacy_stats() const { return privacy_stats_; }
+
+  // The RDP ledger behind privacy_epsilon(); restored bit-exactly by
+  // LoadCheckpoint (FCRS v5).
+  const privacy::RdpAccountant& accountant() const { return accountant_; }
+
+  // eps(config.dp.delta) spent so far under the subsampled-Gaussian RDP
+  // accountant: 0 before any noised aggregation, +infinity if a round ever
+  // ran with clipping but no noise. Deterministic in the run config — the
+  // same value at every --fl_threads.
+  double privacy_epsilon() const {
+    return accountant_.Epsilon(config_.dp.delta);
+  }
 
   const std::string& name() const { return name_; }
   // 64-bit: virtual populations register far more clients than int holds.
@@ -328,8 +367,8 @@ class FlAlgorithm {
   void TrainClientJob(const ClientJob& job, const FlClient& client,
                       FlatParams* residual, util::Rng& rng,
                       util::Rng& fault_rng, util::Rng& codec_rng,
-                      double round_deadline, WireScratch& wire,
-                      LocalTrainResult& result);
+                      util::Rng& privacy_rng, double round_deadline,
+                      WireScratch& wire, LocalTrainResult& result);
 
   // TrainClientJob split at the training boundary, so the plan-mode path
   // can run all surviving jobs' local SGD as one lockstep cohort between
@@ -343,9 +382,19 @@ class FlAlgorithm {
                         WireScratch& wire, LocalTrainResult& result,
                         FaultDecision& decision);
   void FinishClientJob(const ClientJob& job, FlatParams* residual,
-                       const FaultDecision& decision, util::Rng& rng,
-                       util::Rng& fault_rng, util::Rng& codec_rng,
+                       const FaultDecision& decision, util::Rng& fault_rng,
+                       util::Rng& codec_rng, util::Rng& privacy_rng,
                        WireScratch& wire, LocalTrainResult& result);
+
+  // The secure-aggregation verification overlay for one aggregation event:
+  // recomputes the cohort's sum under pairwise fixed-point masks, recovers
+  // dropped members' masks from their pair seeds, checks the unmasked total
+  // equals the direct fixed-point sum bit-for-bit, and folds pair/recovery
+  // tallies into privacy_stats_ (revealed recovery seeds are charged to the
+  // uplink). `uploads[m]` is cohort member m's accepted upload or nullptr
+  // when it dropped / timed out / was screened away.
+  void ApplyMaskingOverlay(int round, int salt,
+                           const std::vector<const FlatParams*>& uploads);
 
   // One resolved dispatch whose outcome the (async) server has not yet
   // consumed. Clients are simulations, so the whole dispatch — training,
@@ -402,8 +451,10 @@ class FlAlgorithm {
   // CommTracker totals and cumulative FaultStats into the metrics registry
   // as gauges. Called from Run() only when a sink is active.
   void RecordRoundObservations(int round, std::int64_t round_start_us,
-                               const FaultStats& faults_before, bool evaluated,
-                               const EvalResult& eval, double mean_client_loss);
+                               const FaultStats& faults_before,
+                               const PrivacyStats& privacy_before,
+                               bool evaluated, const EvalResult& eval,
+                               double mean_client_loss);
 
   std::string name_;
   AlgorithmConfig config_;
@@ -433,6 +484,15 @@ class FlAlgorithm {
   FlatParams agg_scratch_;   // robust-aggregator scratch, recycled
   FlatParams agg_column_;    // per-coordinate gather scratch, recycled
   FaultStats fault_stats_;
+  PrivacyStats privacy_stats_;
+  // Subsampled-Gaussian RDP ledger: one AccumulateRound per noised
+  // aggregation event, at that event's actual sampling rate. Serialised in
+  // FCRS v5 so a resumed run's eps(delta) is bit-exact.
+  privacy::RdpAccountant accountant_;
+  // Masking-overlay cohort scratch, recycled: per-member upload pointers
+  // (sync) and popped-arrival result indices (async; -1 = dropped member).
+  std::vector<const FlatParams*> mask_slots_;
+  std::vector<int> mask_indices_;
   int completed_rounds_ = 0;
   std::string checkpoint_path_;  // autosave target; empty = disabled
   int checkpoint_every_ = 0;

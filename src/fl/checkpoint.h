@@ -25,7 +25,12 @@ namespace fedcross::fl {
 // clobber the previous good checkpoint. All reads are bounds-checked and
 // return util::Status on truncated or malformed input.
 //
-// Format versions: v4 (current) adds the async event-engine state — the
+// Format versions: v5 (current) adds the privacy state — the RDP
+// accountant's per-order totals and round counter (so a resumed DP run's
+// epsilon is bit-identical to the uninterrupted run's), the privacy
+// counters (clipped uploads, mask pairs, mask recoveries), and a
+// dp-clipped flag on each in-flight dispatch record; v4 adds the async
+// event-engine state — the
 // virtual clock, model-version and dispatch counters, wasted-comm totals,
 // the timeout/retry fault tallies, and the full in-flight dispatch table
 // (so a buffered-async run resumes mid-buffer bit-identically); v3 stores
@@ -35,15 +40,15 @@ namespace fedcross::fl {
 // million-client population costs bytes only for the clients that ever
 // trained; v2 stored those tables densely over all N clients (and 32-bit
 // cluster ids); v1 stored two f64 communication totals and no residuals.
-// Readers accept all four — StateReader::version() lets load paths branch
+// Readers accept all five — StateReader::version() lets load paths branch
 // on what the file actually contains (pre-v4 files restore with a zeroed
-// engine state). Writers normally stamp kCheckpointVersion; a StateWriter
+// engine state; pre-v5 files with an empty privacy ledger). Writers normally stamp kCheckpointVersion; a StateWriter
 // constructed with an older version lets FlAlgorithm::SaveCheckpoint
 // produce downgraded files (compat tests, handing a checkpoint to an older
 // build) — downgrading a mid-buffer async run loses its in-flight table.
 
 // The version WriteStateFile stamps on new checkpoints.
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 
 // Appends little-endian POD values to a byte buffer.
 class StateWriter {

@@ -74,6 +74,11 @@ struct LocalTrainResult {
   // separate from `fault` because a later screening rejection overwrites
   // it, and the async engine still counts the corruption at arrival.
   bool upload_corrupt = false;
+  // The DP mechanism (privacy/dp.h) scaled this upload's update down to the
+  // clipping bound. Counted when the upload reaches the server — at the
+  // sync screen loop, or at arrival for a buffered async upload (so it
+  // rides the in-flight checkpoint table, FCRS v5).
+  bool dp_clipped = false;
 };
 
 // A simulated device: owns a training shard and can run local SGD on any

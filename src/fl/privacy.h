@@ -1,38 +1,20 @@
 #ifndef FEDCROSS_FL_PRIVACY_H_
 #define FEDCROSS_FL_PRIVACY_H_
 
-#include "fl/types.h"
-#include "util/rng.h"
+// Compatibility shim: the DP mechanism moved into the dedicated privacy
+// subsystem (src/privacy — clip-and-noise, the subsampled-Gaussian RDP
+// accountant, and secure-aggregation masking). Existing fl:: callers keep
+// compiling; new code should include privacy/dp.h (and friends) directly.
+
+#include "privacy/dp.h"
 
 namespace fedcross::fl {
 
-// Differential-privacy update sanitisation (paper Section IV-F1 notes that
-// FedCross composes with the standard DP mechanisms used for FedAvg, since
-// its dispatch/upload pattern is identical). The client-side mechanism is
-// the classic clip-and-noise on the model *update*:
-//
-//   delta  = uploaded - reference            (what local training changed)
-//   delta' = delta * min(1, clip / ||delta||)
-//   upload = reference + delta' + N(0, (noise_multiplier * clip)^2 I)
-//
-// clip_norm <= 0 disables the mechanism entirely.
-struct DpOptions {
-  float clip_norm = 0.0f;
-  float noise_multiplier = 0.0f;
-};
-
-// Returns the sanitised upload. reference and uploaded must be equal size.
-FlatParams SanitizeUpdate(const FlatParams& reference,
-                          const FlatParams& uploaded, const DpOptions& options,
-                          util::Rng& rng);
-
-// Classic Gaussian-mechanism bound: per-round epsilon for a given noise
-// multiplier at privacy slack delta (sigma = sqrt(2 ln(1.25/delta)) / eps).
-// A loose per-round figure for documentation, not a tight accountant.
-double GaussianMechanismEpsilon(double noise_multiplier, double delta);
-
-// L2 norm of (uploaded - reference); exposed for tests and diagnostics.
-double UpdateNorm(const FlatParams& reference, const FlatParams& uploaded);
+using privacy::DpOptions;
+using privacy::GaussianMechanismEpsilon;
+using privacy::SanitizeUpdate;
+using privacy::SanitizeUpdateInPlace;
+using privacy::UpdateNorm;
 
 }  // namespace fedcross::fl
 

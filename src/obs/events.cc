@@ -59,7 +59,9 @@ void EmitRoundEvent(const RoundEvent& e) {
       ",\"rejected\":%lld,\"timeouts\":%lld,\"async_retries\":%lld"
       ",\"virtual_time\":%.9g,\"model_version\":%lld,\"inflight\":%lld"
       ",\"staleness_mean\":%.9g,\"staleness_max\":%lld"
-      ",\"resident_clients\":%lld,\"peak_rss_bytes\":%lld}\n",
+      ",\"resident_clients\":%lld,\"peak_rss_bytes\":%lld"
+      ",\"dp_epsilon\":%.17g,\"dp_delta\":%.9g,\"dp_clipped\":%lld"
+      ",\"mask_pairs\":%lld,\"mask_recoveries\":%lld}\n",
       algo.c_str(), e.round, e.round_ms, e.dispatch_ms, e.train_ms,
       e.screen_ms, e.aggregate_ms, e.eval_ms, e.checkpoint_ms,
       e.evaluated ? "true" : "false", e.test_accuracy, e.test_loss,
@@ -77,7 +79,11 @@ void EmitRoundEvent(const RoundEvent& e) {
       e.staleness_mean,
       static_cast<long long>(e.staleness_max),
       static_cast<long long>(e.resident_clients),
-      static_cast<long long>(e.peak_rss_bytes));
+      static_cast<long long>(e.peak_rss_bytes),
+      e.dp_epsilon, e.dp_delta,
+      static_cast<long long>(e.dp_clipped),
+      static_cast<long long>(e.mask_pairs),
+      static_cast<long long>(e.mask_recoveries));
   std::fflush(g_events_file);
   ++g_events_emitted;
 }

@@ -68,6 +68,18 @@ struct RoundEvent {
   // platform cannot report it).
   std::int64_t resident_clients = 0;
   std::int64_t peak_rss_bytes = 0;
+
+  // Privacy subsystem (src/privacy; all zero/-1 when DP and masking are
+  // off): the RDP accountant's cumulative epsilon at dp_delta after this
+  // round (-1 encodes "infinite / not yet bounded" — JSON has no inf), the
+  // clipped uploads received this round, and the secure-aggregation overlay
+  // counts — pair masks applied and dropout masks reconstructed from
+  // revealed pair seeds.
+  double dp_epsilon = -1.0;
+  double dp_delta = 0.0;
+  std::int64_t dp_clipped = 0;
+  std::int64_t mask_pairs = 0;
+  std::int64_t mask_recoveries = 0;
 };
 
 // Opens (truncating) the JSONL sink at `path`; an empty path flushes and

@@ -1,0 +1,123 @@
+#include "privacy/masking.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fedcross::privacy {
+namespace {
+
+std::uint64_t MixSeed(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t PairSeed(std::uint64_t seed, int round, int salt, int member_u,
+                       int member_v) {
+  FC_CHECK_LT(member_u, member_v);
+  std::uint64_t h = MixSeed(seed ^ 0x7061697273656564ULL);  // "pairseed"
+  h = MixSeed(h + static_cast<std::uint64_t>(round));
+  h = MixSeed(h + static_cast<std::uint64_t>(salt));
+  h = MixSeed(h + static_cast<std::uint64_t>(member_u));
+  return MixSeed(h + static_cast<std::uint64_t>(member_v));
+}
+
+std::uint64_t FixedPointEncode(float value, int bits) {
+  if (!std::isfinite(value)) return 0;
+  double scaled = static_cast<double>(value) * std::ldexp(1.0, bits);
+  constexpr double kSat = 4611686018427387904.0;  // 2^62
+  if (scaled > kSat) scaled = kSat;
+  if (scaled < -kSat) scaled = -kSat;
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(
+      std::llround(scaled)));
+}
+
+MaskedSumReport SimulateMaskedAggregation(
+    std::uint64_t run_seed, int round, int salt,
+    const std::vector<const fl::FlatParams*>& uploads,
+    const MaskOptions& options) {
+  MaskedSumReport report;
+  report.cohort = static_cast<std::int64_t>(uploads.size());
+  std::size_t size = 0;
+  for (const fl::FlatParams* upload : uploads) {
+    if (upload == nullptr) continue;
+    ++report.survivors;
+    if (size == 0) {
+      size = upload->size();
+    } else {
+      FC_CHECK_EQ(upload->size(), size);
+    }
+  }
+  if (report.survivors == 0) {
+    report.exact = true;  // an empty sum needs no unmasking
+    return report;
+  }
+
+  // The direct fixed-point sum — the value the unmasked total must equal.
+  std::vector<std::uint64_t> direct(size, 0);
+  for (const fl::FlatParams* upload : uploads) {
+    if (upload == nullptr) continue;
+    for (std::size_t i = 0; i < size; ++i) {
+      direct[i] += FixedPointEncode((*upload)[i], options.fixed_point_bits);
+    }
+  }
+
+  // The masked server sum: every survivor contributes its quantised upload
+  // plus its signed pairwise masks (lower member adds, higher subtracts).
+  // A pair of survivors contributes +m and -m — cancelling in mod-2^64
+  // arithmetic; a survivor-dropout pair leaves its mask dangling and is
+  // queued for recovery.
+  std::vector<std::uint64_t> masked = direct;
+  const int members = static_cast<int>(uploads.size());
+  std::vector<std::pair<int, int>> dangling;
+  for (int u = 0; u < members; ++u) {
+    for (int v = u + 1; v < members; ++v) {
+      const bool u_alive = uploads[u] != nullptr;
+      const bool v_alive = uploads[v] != nullptr;
+      if (!u_alive && !v_alive) continue;  // no endpoint uploaded a mask
+      ++report.pairs;
+      util::Rng stream(PairSeed(run_seed, round, salt, u, v));
+      if (u_alive && v_alive) {
+        // Apply both endpoints' terms explicitly: the +m from u and the -m
+        // from v must annihilate word-for-word, which is exactly what the
+        // exactness check at the bottom verifies.
+        for (std::size_t i = 0; i < size; ++i) {
+          std::uint64_t m = stream.NextUint64();
+          masked[i] += m;
+          masked[i] -= m;
+        }
+      } else {
+        // Only one endpoint reached the server; its mask term dangles.
+        for (std::size_t i = 0; i < size; ++i) {
+          std::uint64_t m = stream.NextUint64();
+          masked[i] += u_alive ? m : static_cast<std::uint64_t>(0) - m;
+        }
+        dangling.emplace_back(u, v);
+      }
+    }
+  }
+
+  // Dropout recovery: the surviving peer reveals the pair seed (8 wire
+  // bytes), the server regenerates the stream and subtracts the dangling
+  // term.
+  for (const auto& [u, v] : dangling) {
+    util::Rng stream(PairSeed(run_seed, round, salt, u, v));
+    const bool u_alive = uploads[u] != nullptr;
+    for (std::size_t i = 0; i < size; ++i) {
+      std::uint64_t m = stream.NextUint64();
+      masked[i] -= u_alive ? m : static_cast<std::uint64_t>(0) - m;
+    }
+    ++report.recovered_pairs;
+    report.recovery_seed_bytes += sizeof(std::uint64_t);
+  }
+
+  report.exact = masked == direct;
+  return report;
+}
+
+}  // namespace fedcross::privacy

@@ -220,6 +220,54 @@ TEST(ParallelDeterminismTest, FaultyFedCrossIsThreadCountInvariant) {
 }
 
 // --------------------------------------------------------------------------
+// Differential-privacy determinism
+// --------------------------------------------------------------------------
+
+// DP noise is drawn from the dedicated per-(seed, round, salt, slot)
+// privacy stream (privacy/dp.h), never from the training rng — so a noised
+// run must be bit-identical across thread counts, exactly like the fault
+// and codec streams.
+TEST(ParallelDeterminismTest, DpNoiseIsThreadCountInvariant) {
+  FlThreadsGuard guard;
+  auto run = [](int threads) {
+    SetFlThreads(threads);
+    AlgorithmConfig config = ToyConfig();
+    config.dp.clip_norm = 0.5f;
+    config.dp.noise_multiplier = 1.0f;
+    FedAvg fedavg(config, MakeToyFederated(8, 40, 4, 41), LinearFactory(4));
+    for (int r = 0; r < 5; ++r) fedavg.RunRound(r);
+    return fedavg.GlobalParams();
+  };
+  FlatParams one = run(1);
+  FlatParams two = run(2);
+  FlatParams four = run(4);
+  ExpectBitIdentical(one, two);
+  ExpectBitIdentical(one, four);
+}
+
+TEST(ParallelDeterminismTest, DpFedCrossWithFaultsIsThreadCountInvariant) {
+  FlThreadsGuard guard;
+  auto run = [](int threads) {
+    SetFlThreads(threads);
+    AlgorithmConfig config = FaultyConfig();
+    config.dp.clip_norm = 0.5f;
+    config.dp.noise_multiplier = 1.0f;
+    config.secure_agg.enabled = true;
+    core::FedCrossOptions options;
+    options.alpha = 0.9;
+    core::FedCross fedcross(config, MakeToyFederated(8, 40, 4, 41),
+                            LinearFactory(4), options);
+    for (int r = 0; r < 5; ++r) fedcross.RunRound(r);
+    return fedcross.GlobalParams();
+  };
+  FlatParams one = run(1);
+  FlatParams two = run(2);
+  FlatParams four = run(4);
+  ExpectBitIdentical(one, two);
+  ExpectBitIdentical(one, four);
+}
+
+// --------------------------------------------------------------------------
 // Wire codec determinism
 // --------------------------------------------------------------------------
 
