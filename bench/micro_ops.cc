@@ -10,6 +10,9 @@
 
 #include "comm/wire.h"
 #include "core/fedcross.h"
+#include "data/partition.h"
+#include "data/synthetic_image.h"
+#include "data/synthetic_text.h"
 #include "fl/evaluator.h"
 #include "fl/fedavg.h"
 #include "fl/model_pool.h"
@@ -85,6 +88,54 @@ BENCHMARK(BM_GemmSmallLooped)->Arg(5)->Arg(10)->Arg(20);
 
 void BM_GemmGrouped(benchmark::State& state) { RunSmallGemmLoop(state, true); }
 BENCHMARK(BM_GemmGrouped)->Arg(5)->Arg(10)->Arg(20);
+
+// Cross-replica grouped conv forward (the plan executor's conv fusion) vs
+// the same per-image GEMM chain dispatched one standalone call at a time.
+// Geometry mirrors a late residual-stage conv — 3x3 over 16 channels on a
+// 2x2 feature map (patch 144, area 4) — the narrow-n regime where the
+// standalone loop serialises each output pixel on a long FP chain and the
+// lane-interleaved kernel engages (ops under the small threshold, area <= 8);
+// the arg is the replica count.
+void RunSmallConvLoop(benchmark::State& state, bool grouped) {
+  const int count = static_cast<int>(state.range(0));
+  constexpr int kBatch = 10, kOc = 16, kArea = 4, kPatch = 144;
+  constexpr std::int64_t kColSize = static_cast<std::int64_t>(kPatch) * kArea;
+  constexpr std::int64_t kOutSize = static_cast<std::int64_t>(kOc) * kArea;
+  util::Rng rng(5);
+  std::vector<std::vector<float>> w(count), cols(count), out(count);
+  std::vector<ops::ConvGroup> groups(count);
+  for (int r = 0; r < count; ++r) {
+    w[r].resize(static_cast<std::size_t>(kOc) * kPatch);
+    cols[r].resize(static_cast<std::size_t>(kBatch) * kColSize);
+    out[r].resize(static_cast<std::size_t>(kBatch) * kOutSize);
+    for (float& x : w[r]) x = static_cast<float>(rng.Normal(0.0, 1.0));
+    for (float& x : cols[r]) x = static_cast<float>(rng.Normal(0.0, 1.0));
+    groups[r] = {w[r].data(), cols[r].data(), out[r].data()};
+  }
+  for (auto _ : state) {
+    if (grouped) {
+      ops::ConvGrouped(kBatch, kOc, kArea, kPatch, groups.data(), count);
+    } else {
+      for (int r = 0; r < count; ++r) {
+        for (int b = 0; b < kBatch; ++b) {
+          ops::Gemm(false, false, kOc, kArea, kPatch, 1.0f, w[r].data(),
+                    kPatch, cols[r].data() + b * kColSize, kArea, 0.0f,
+                    out[r].data() + b * kOutSize, kArea);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out[0][0]);
+  }
+  state.SetItemsProcessed(state.iterations() * count * kBatch);
+}
+
+void BM_ConvSmallLooped(benchmark::State& state) {
+  RunSmallConvLoop(state, false);
+}
+BENCHMARK(BM_ConvSmallLooped)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_ConvGrouped(benchmark::State& state) { RunSmallConvLoop(state, true); }
+BENCHMARK(BM_ConvGrouped)->Arg(5)->Arg(10)->Arg(20);
 
 void BM_ConvForward(benchmark::State& state) {
   int channels = static_cast<int>(state.range(0));
@@ -386,6 +437,86 @@ void BM_FedCrossRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * k);
 }
 BENCHMARK(BM_FedCrossRound)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->ArgNames({"K", "plan"})
+    ->UseRealTime();
+
+// The same K x exec sweep on the compiled zoo topologies: ResNet (residual
+// skip refs + the cross-replica grouped-conv fusion) and the Embedding+LSTM
+// head (bounded per-timestep loop with grouped gate GEMMs). Both lower
+// natively, so plan:1 runs with zero interpreter fallbacks.
+void RunFedCrossZooRound(benchmark::State& state,
+                         const models::ModelFactory& factory,
+                         data::FederatedDataset data) {
+  const int k = static_cast<int>(state.range(0));
+  fl::SetFlThreads(1);
+  fl::AlgorithmConfig config;
+  config.clients_per_round = k;
+  config.train.local_epochs = 1;
+  config.train.batch_size = 10;
+  config.seed = 42;
+  config.train.exec =
+      state.range(1) == 1 ? fl::ExecMode::kPlan : fl::ExecMode::kLayers;
+  core::FedCrossOptions options;
+  options.alpha = 0.9;
+  core::FedCross server(config, std::move(data), factory, options);
+  int round = 0;
+  for (auto _ : state) {
+    server.RunRound(round++);
+    benchmark::DoNotOptimize(round);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+
+void BM_FedCrossRoundResNet(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  models::ResNetConfig resnet;
+  resnet.height = resnet.width = 8;
+  resnet.num_classes = 4;
+  resnet.base_width = 4;
+  data::SyntheticImageOptions image;
+  image.num_classes = 4;
+  image.height = image.width = 8;
+  image.train_per_class = 10 * k;  // ~20 examples per client at 2K clients
+  image.test_per_class = 8;
+  image.seed = 11;
+  data::ImageCorpus corpus = data::MakeSyntheticImageCorpus(image);
+  util::Rng rng(12);
+  data::FederatedDataset federated;
+  federated.num_classes = 4;
+  federated.client_train = data::MakeClientShards(
+      corpus.train, data::IidPartition(*corpus.train, 2 * k, rng));
+  federated.test = corpus.test;
+  RunFedCrossZooRound(state, models::MakeResNet(resnet),
+                      std::move(federated));
+}
+BENCHMARK(BM_FedCrossRoundResNet)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->ArgNames({"K", "plan"})
+    ->UseRealTime();
+
+void BM_FedCrossRoundLstm(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  models::LstmConfig lstm;  // vocab 32, seq 16, embed 16, hidden 32
+  data::SyntheticCharLmOptions text;
+  text.num_clients = 2 * k;
+  text.mean_samples_per_client = 20;
+  text.test_samples = 40;
+  text.seed = 13;
+  RunFedCrossZooRound(state, models::MakeLstm(lstm),
+                      data::MakeSyntheticCharLm(text));
+}
+BENCHMARK(BM_FedCrossRoundLstm)
     ->Args({5, 0})
     ->Args({5, 1})
     ->Args({10, 0})

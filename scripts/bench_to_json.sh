@@ -17,12 +17,14 @@
 #   BENCH_comm.json    BM_Encode/BM_Decode per wire-codec scheme (identity,
 #                      delta, int8, topk, int8_topk); bytes_per_second is
 #                      raw payload throughput through the codec
-#   BENCH_plan.json    BM_FedCrossRound/{K,plan} (full FedCross round
-#                      sweeping middleware-model count K at both execution
-#                      backends; the plan:1 vs plan:0 delta at fixed K is
-#                      the batched-executor speedup) plus
-#                      BM_GemmGrouped/BM_GemmSmallLooped (the cross-replica
-#                      fusion primitive vs per-replica dispatch)
+#   BENCH_plan.json    BM_FedCrossRound{,ResNet,Lstm}/{K,plan} (full
+#                      FedCross round sweeping middleware-model count K at
+#                      both execution backends, for the MLP, ResNet and
+#                      Embedding+LSTM topologies; the plan:1 vs plan:0
+#                      delta at fixed K is the batched-executor speedup)
+#                      plus BM_GemmGrouped/BM_GemmSmallLooped and
+#                      BM_ConvGrouped/BM_ConvSmallLooped (the cross-replica
+#                      fusion primitives vs per-replica dispatch)
 #   BENCH_scale.json   BM_FedRoundScale/{1k..1M} (one FedAvg round against a
 #                      lazily materialised virtual population; wall time
 #                      should be flat in registered N and the peak_rss_mb
@@ -70,6 +72,6 @@ run_filter '^BM_FedRoundRobust/' "${out_dir}/BENCH_robust.json"
 run_filter '^BM_FedRoundAsync/' "${out_dir}/BENCH_async.json"
 run_filter '^BM_FedRoundObs/' "${out_dir}/BENCH_obs.json"
 run_filter '^BM_(Encode|Decode)/' "${out_dir}/BENCH_comm.json"
-run_filter '^BM_(FedCrossRound|GemmGrouped|GemmSmallLooped)/' "${out_dir}/BENCH_plan.json"
+run_filter '^BM_(FedCrossRound(ResNet|Lstm)?|GemmGrouped|GemmSmallLooped|ConvGrouped|ConvSmallLooped)/' "${out_dir}/BENCH_plan.json"
 run_filter '^BM_FedRoundScale/' "${out_dir}/BENCH_scale.json"
 run_filter '^BM_(SanitizeUpdate|MaskedSum)/' "${out_dir}/BENCH_privacy.json"

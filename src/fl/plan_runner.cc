@@ -97,9 +97,10 @@ bool NextSlotBatch(Slot& slot, Tensor& features, std::vector<int>& labels) {
   }
 }
 
-// Layer-path fallback for topologies the plan runtime cannot compile: each
-// job reruns under exec=kLayers with its untouched rng, so the results are
-// exactly what the layer path would have produced.
+// Layer-path fallback for topologies the plan runtime cannot compile (the
+// whole current model zoo lowers, so this is reserved for future layer
+// kinds): each job reruns under exec=kLayers with its untouched rng, so the
+// results are exactly what the layer path would have produced.
 void RunFallback(ModelPool& pool, const PlanJob* jobs, int count) {
   Metrics().fallbacks.Add(count);
   for (int i = 0; i < count; ++i) {
@@ -124,8 +125,7 @@ void RunPlanJobs(ModelPool& pool, const PlanJob* jobs, int count) {
     Tensor::Shape probe_shape = dataset.example_shape();
     int rows = std::min(jobs[0].spec->options.batch_size, dataset.size());
     probe_shape.insert(probe_shape.begin(), std::max(rows, 1));
-    ModelPool::Lease probe = pool.Acquire();
-    if (pool.ProgramFor(probe_shape, probe->model) == nullptr) {
+    if (!pool.SupportsPlan(probe_shape)) {
       RunFallback(pool, jobs, count);
       return;
     }
@@ -222,8 +222,12 @@ void RunPlanJobs(ModelPool& pool, const PlanJob* jobs, int count) {
         Slot& slot = *group[g];
         ModelPool::Replica& replica = *slot.lease;
         replica.model.ZeroGrad();
+        const bool want_bf16 = slot.job->spec->options.plan_bf16;
         nn::plan::PlanState& st = replica.plan_states[lead.features.shape()];
-        if (st.program != program) st.Bind(*program, replica.model);
+        if (st.program != program || st.model != &replica.model ||
+            st.bf16 != want_bf16) {
+          st.Bind(*program, replica.model, want_bf16);
+        }
         states[g] = &st;
         batches[g] = {replica.features.data(), replica.labels.data()};
         grad_scales[g] =

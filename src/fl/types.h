@@ -15,9 +15,10 @@ using FlatParams = std::vector<float>;
 // (the historical path). kPlan compiles the model once into a static
 // execution plan (nn/plan.h) and runs all of a round's replicas in
 // lockstep, fusing each GEMM across replicas into one grouped call. Both
-// modes train bit-identically at every --fl_threads value; kPlan falls
-// back to kLayers per job when the topology is unsupported (LSTM,
-// residual, batch-norm, embedding). Not part of the checkpoint
+// modes train bit-identically at every --fl_threads value. The whole model
+// zoo compiles — MLP/CNN/VGG straight lines, ResNet residual blocks, the
+// Embedding+LSTM head — so the per-job kLayers fallback is reserved for
+// future layer kinds (e.g. batch-norm). Not part of the checkpoint
 // fingerprint: a run may switch modes across resume boundaries.
 enum class ExecMode { kLayers = 0, kPlan = 1 };
 
@@ -49,6 +50,13 @@ struct TrainOptions {
   float weight_decay = 0.0f;
   float grad_clip_norm = 5.0f;  // stabilises small-width CPU models
   ExecMode exec = ExecMode::kLayers;
+  // Plan mode only: store replica activation arenas as bfloat16 (packed on
+  // write with round-to-nearest-even, computed in fp32), roughly halving
+  // pooled replica memory. Master weights, gradients and optimizer state
+  // stay fp32. Training remains deterministic across --fl_threads but is
+  // NOT bit-identical to fp32 runs, so the flag perturbs the checkpoint
+  // config fingerprint.
+  bool plan_bf16 = false;
 };
 
 // Test-set metrics of one global model.

@@ -1,13 +1,41 @@
 #include "models/plan_support.h"
 
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
 #include "nn/plan.h"
 
 namespace fedcross::models {
+namespace {
+
+// Verdicts memoised by (topology fingerprint, input shape). The factory is
+// opaque, so one probe model is still built to derive the fingerprint
+// (Sequential::Summary names every layer and width), but the Compile walk —
+// and its arena-layout bookkeeping — runs once per distinct topology/shape.
+std::mutex g_mutex;
+std::map<std::pair<std::string, Tensor::Shape>, bool>& VerdictCache() {
+  static auto* cache =
+      new std::map<std::pair<std::string, Tensor::Shape>, bool>();
+  return *cache;
+}
+
+}  // namespace
 
 bool SupportsExecutionPlan(const ModelFactory& factory,
                            const Tensor::Shape& input_shape) {
   nn::Sequential model = factory();
-  return nn::plan::Program::Compile(model, input_shape).has_value();
+  auto key = std::make_pair(model.Summary(), input_shape);
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = VerdictCache().find(key);
+    if (it != VerdictCache().end()) return it->second;
+  }
+  bool ok = nn::plan::Program::Compile(model, input_shape).has_value();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  VerdictCache().emplace(std::move(key), ok);
+  return ok;
 }
 
 }  // namespace fedcross::models

@@ -7,11 +7,14 @@
 namespace fedcross::models {
 
 // True when `factory`'s topology compiles under the execution-plan runtime
-// (nn/plan.h) for `input_shape` ([batch, ...example dims]). Plan-supported
-// models run ExecMode::kPlan natively; unsupported ones (LSTM, residual
-// stacks, batch-norm) fall back to the layer path per job. Builds one
-// throwaway model instance, so call it for capability checks, not in hot
-// paths — the FL layer itself uses ModelPool::ProgramFor's cache.
+// (nn/plan.h) for `input_shape` ([batch, ...example dims]). The whole model
+// zoo now lowers — MLP/CNN/VGG, ResNet residual stacks, the Embedding+LSTM
+// head — so this returns false only for layer kinds the runtime has no
+// lowering for yet (e.g. batch-norm), which fall back to the layer path per
+// job. Verdicts are memoised per (topology fingerprint, input shape); a
+// probe model is still built to derive the fingerprint, so hot paths should
+// prefer ModelPool::SupportsPlan, which reuses pooled replicas and the
+// compiled-Program cache.
 bool SupportsExecutionPlan(const ModelFactory& factory,
                            const Tensor::Shape& input_shape);
 

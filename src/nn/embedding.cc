@@ -1,7 +1,8 @@
 #include "nn/embedding.h"
 
 #include <cmath>
-#include <cstring>
+
+#include "nn/kernels.h"
 
 namespace fedcross::nn {
 
@@ -23,18 +24,9 @@ const Tensor& Embedding::Forward(const Tensor& input, bool train) {
   cached_ids_.resize(tokens);
 
   output_.ResizeTo({cached_batch_, cached_time_, embed_dim_});
-  const float* ids = input.data();
-  const float* table = table_.value.data();
-  float* out = output_.data();
-  for (std::int64_t i = 0; i < tokens; ++i) {
-    int id = static_cast<int>(ids[i]);
-    FC_CHECK_GE(id, 0);
-    FC_CHECK_LT(id, vocab_size_);
-    cached_ids_[i] = id;
-    std::memcpy(out + i * embed_dim_,
-                table + static_cast<std::int64_t>(id) * embed_dim_,
-                embed_dim_ * sizeof(float));
-  }
+  kernels::EmbeddingGather(input.data(), tokens, vocab_size_,
+                           table_.value.data(), embed_dim_,
+                           cached_ids_.data(), output_.data());
   return output_;
 }
 
@@ -44,14 +36,10 @@ const Tensor& Embedding::Backward(const Tensor& grad_output) {
   FC_CHECK_EQ(grad_output.dim(1), cached_time_);
   FC_CHECK_EQ(grad_output.dim(2), embed_dim_);
 
-  float* table_grad = table_.grad.data();
-  const float* grad = grad_output.data();
-  for (std::size_t i = 0; i < cached_ids_.size(); ++i) {
-    float* row = table_grad +
-                 static_cast<std::int64_t>(cached_ids_[i]) * embed_dim_;
-    const float* src = grad + static_cast<std::int64_t>(i) * embed_dim_;
-    for (int d = 0; d < embed_dim_; ++d) row[d] += src[d];
-  }
+  kernels::EmbeddingScatterAdd(cached_ids_.data(),
+                               static_cast<std::int64_t>(cached_ids_.size()),
+                               grad_output.data(), embed_dim_,
+                               table_.grad.data());
   return empty_grad_;  // no gradient for discrete token ids
 }
 

@@ -1,6 +1,7 @@
 #ifndef FEDCROSS_NN_EMBEDDING_H_
 #define FEDCROSS_NN_EMBEDDING_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,11 +29,16 @@ class Embedding : public Layer {
   int vocab_size() const { return vocab_size_; }
   int embed_dim() const { return embed_dim_; }
 
+  // Plan-executor access to the table parameter.
+  Param& table_param() { return table_; }
+
  private:
   int vocab_size_;
   int embed_dim_;
   Param table_;
-  std::vector<int> cached_ids_;  // batch-major token ids from last Forward
+  // Batch-major token ids from last Forward (int64 so the plan executor's
+  // argmax-slot storage and this cache share the gather/scatter kernels).
+  std::vector<std::int64_t> cached_ids_;
   Tensor output_;
   Tensor empty_grad_;  // stays numel()==0: the stop-backprop sentinel
   int cached_batch_ = 0;

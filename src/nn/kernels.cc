@@ -247,6 +247,116 @@ void GroupNormBackward(const float* dy, const float* xhat,
   }
 }
 
+void Add(const float* a, const float* b, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+namespace {
+inline float SigmoidScalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+void LstmGateForward(float* z, const float* c_prev, float* c, float* h,
+                     int batch, int hidden) {
+  int h4 = 4 * hidden;
+  for (int b = 0; b < batch; ++b) {
+    float* row = z + static_cast<std::int64_t>(b) * h4;
+    std::int64_t base = static_cast<std::int64_t>(b) * hidden;
+    for (int j = 0; j < hidden; ++j) {
+      float i_gate = SigmoidScalar(row[j]);
+      float f_gate = SigmoidScalar(row[hidden + j]);
+      float g_gate = std::tanh(row[2 * hidden + j]);
+      float o_gate = SigmoidScalar(row[3 * hidden + j]);
+      row[j] = i_gate;
+      row[hidden + j] = f_gate;
+      row[2 * hidden + j] = g_gate;
+      row[3 * hidden + j] = o_gate;
+      float c_new =
+          f_gate * (c_prev ? c_prev[base + j] : 0.0f) + i_gate * g_gate;
+      c[base + j] = c_new;
+      h[base + j] = o_gate * std::tanh(c_new);
+    }
+  }
+}
+
+void LstmGateBackward(const float* gates, const float* cell,
+                      const float* cell_prev, const float* dh, float* dc,
+                      float* dz, int batch, int hidden) {
+  int h4 = 4 * hidden;
+  for (int b = 0; b < batch; ++b) {
+    std::int64_t base = static_cast<std::int64_t>(b) * hidden;
+    const float* grow = gates + static_cast<std::int64_t>(b) * h4;
+    float* dzrow = dz + static_cast<std::int64_t>(b) * h4;
+    for (int j = 0; j < hidden; ++j) {
+      float i_gate = grow[j];
+      float f_gate = grow[hidden + j];
+      float g_gate = grow[2 * hidden + j];
+      float o_gate = grow[3 * hidden + j];
+      float tanh_c = std::tanh(cell[base + j]);
+      float dh_val = dh[base + j];
+
+      float dc_val = dc[base + j] + dh_val * o_gate * (1.0f - tanh_c * tanh_c);
+      float c_prev = cell_prev ? cell_prev[base + j] : 0.0f;
+
+      // Pre-activation gate gradients.
+      dzrow[j] = dc_val * g_gate * i_gate * (1.0f - i_gate);
+      dzrow[hidden + j] = dc_val * c_prev * f_gate * (1.0f - f_gate);
+      dzrow[2 * hidden + j] = dc_val * i_gate * (1.0f - g_gate * g_gate);
+      dzrow[3 * hidden + j] = dh_val * tanh_c * o_gate * (1.0f - o_gate);
+
+      dc[base + j] = dc_val * f_gate;  // becomes dc_{t-1}
+    }
+  }
+}
+
+void EmbeddingGather(const float* ids_f, std::int64_t tokens, int vocab,
+                     const float* table, int embed, std::int64_t* ids,
+                     float* y) {
+  for (std::int64_t i = 0; i < tokens; ++i) {
+    int id = static_cast<int>(ids_f[i]);
+    FC_CHECK_GE(id, 0);
+    FC_CHECK_LT(id, vocab);
+    ids[i] = id;
+    std::memcpy(y + i * embed, table + static_cast<std::int64_t>(id) * embed,
+                embed * sizeof(float));
+  }
+}
+
+void EmbeddingScatterAdd(const std::int64_t* ids, std::int64_t tokens,
+                         const float* dy, int embed, float* table_grad) {
+  for (std::int64_t i = 0; i < tokens; ++i) {
+    float* row = table_grad + ids[i] * embed;
+    const float* src = dy + i * embed;
+    for (int d = 0; d < embed; ++d) row[d] += src[d];
+  }
+}
+
+std::uint16_t Bf16FromFloat(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  if ((bits & 0x7F800000u) == 0x7F800000u) {
+    // NaN/Inf: truncate (keeps the exponent all-ones; the high mantissa bit
+    // of a quiet NaN lives in the top 16 bits, so quietness survives).
+    return static_cast<std::uint16_t>(bits >> 16);
+  }
+  bits += 0x7FFFu + ((bits >> 16) & 1u);  // round to nearest, ties to even
+  return static_cast<std::uint16_t>(bits >> 16);
+}
+
+float Bf16ToFloat(std::uint16_t v) {
+  std::uint32_t bits = static_cast<std::uint32_t>(v) << 16;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+void PackBf16(const float* src, std::uint16_t* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = Bf16FromFloat(src[i]);
+}
+
+void UnpackBf16(const std::uint16_t* src, float* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = Bf16ToFloat(src[i]);
+}
+
 void CrossEntropyInPlace(float* probs, int batch, int classes,
                          const int* labels, bool compute_grad, float* loss,
                          int* correct) {

@@ -76,6 +76,45 @@ void GroupNormBackward(const float* dy, const float* xhat,
                        float* dbeta, float* dx, int batch, int channels,
                        int groups, int area);
 
+// ---- Elementwise add --------------------------------------------------------
+// y[i] = a[i] + b[i]; y may alias a (the historical Tensor::AddInPlace form
+// the residual block used). Also the residual gradient-accumulation rule.
+void Add(const float* a, const float* b, float* y, std::int64_t n);
+
+// ---- LSTM gates -------------------------------------------------------------
+// Fused gate update for one timestep. `z` holds the [batch, 4*hidden]
+// pre-activations ([i | f | g | o] layout) on entry and the activated gates
+// on exit; c_prev may be null (c_{-1} = 0). Writes c_t and h_t
+// ([batch, hidden] each).
+void LstmGateForward(float* z, const float* c_prev, float* c, float* h,
+                     int batch, int hidden);
+// Backward gate update for one timestep: reads the activated gates, c_t,
+// c_{t-1} (null = zeros) and dh_t, consumes/updates dc in place (in: dc_t,
+// out: dc_{t-1}) and writes the pre-activation gradients dz.
+void LstmGateBackward(const float* gates, const float* cell,
+                      const float* cell_prev, const float* dh, float* dc,
+                      float* dz, int batch, int hidden);
+
+// ---- Embedding --------------------------------------------------------------
+// Casts float-stored token ids to integers (bounds-checked against vocab),
+// records them in `ids`, and gathers table rows: y[i, :] = table[ids[i], :].
+void EmbeddingGather(const float* ids_f, std::int64_t tokens, int vocab,
+                     const float* table, int embed, std::int64_t* ids,
+                     float* y);
+// table_grad[ids[i], :] += dy[i, :], accumulated in ascending token order.
+void EmbeddingScatterAdd(const std::int64_t* ids, std::int64_t tokens,
+                         const float* dy, int embed, float* table_grad);
+
+// ---- bf16 storage -----------------------------------------------------------
+// Round-to-nearest-even float -> bfloat16 (the top 16 bits of the fp32 bit
+// pattern). NaN/Inf inputs truncate instead, so the rounding carry can never
+// corrupt the exponent; a bf16 arena therefore stores the same specials the
+// fp32 arena would.
+std::uint16_t Bf16FromFloat(float v);
+float Bf16ToFloat(std::uint16_t v);
+void PackBf16(const float* src, std::uint16_t* dst, std::int64_t n);
+void UnpackBf16(const std::uint16_t* src, float* dst, std::int64_t n);
+
 // ---- Softmax cross-entropy ------------------------------------------------
 // `probs` holds the logits on entry and is softmaxed in place; when
 // compute_grad it then becomes (softmax - onehot) / batch. Returns the mean

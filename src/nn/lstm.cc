@@ -1,17 +1,12 @@
 #include "nn/lstm.h"
 
-#include <cmath>
 #include <utility>
 
 #include "nn/init.h"
+#include "nn/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace fedcross::nn {
-namespace {
-
-float SigmoidScalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
-
-}  // namespace
 
 Lstm::Lstm(int input_dim, int hidden_dim, util::Rng& rng)
     : input_dim_(input_dim),
@@ -68,39 +63,17 @@ const Tensor& Lstm::Forward(const Tensor& input, bool train) {
     ops::Gemm(false, false, batch, h4, hidden_dim_, 1.0f,
               hiddens_[t].data(), hidden_dim_, weight_h_.value.data(), h4,
               1.0f, z.data(), h4);
-    const float* bias = bias_.value.data();
-    float* zd = z.data();
-    for (int b = 0; b < batch; ++b) {
-      float* row = zd + static_cast<std::int64_t>(b) * h4;
-      for (int j = 0; j < h4; ++j) row[j] += bias[j];
-    }
+    kernels::BiasAddRows(z.data(), bias_.value.data(), batch, h4);
 
-    // Activations and state update.
+    // Activations and state update (shared fused-gate kernel: the plan
+    // executor's kLstm step calls the same loop).
     Tensor& cell = cells_[t];
     Tensor& hidden = hiddens_[t + 1];
     cell.ResizeTo({batch, hidden_dim_});
     hidden.ResizeTo({batch, hidden_dim_});
     const float* c_prev = t > 0 ? cells_[t - 1].data() : nullptr;  // c_{-1}=0
-    float* c = cell.data();
-    float* h = hidden.data();
-    for (int b = 0; b < batch; ++b) {
-      float* row = zd + static_cast<std::int64_t>(b) * h4;
-      std::int64_t base = static_cast<std::int64_t>(b) * hidden_dim_;
-      for (int j = 0; j < hidden_dim_; ++j) {
-        float i_gate = SigmoidScalar(row[j]);
-        float f_gate = SigmoidScalar(row[hidden_dim_ + j]);
-        float g_gate = std::tanh(row[2 * hidden_dim_ + j]);
-        float o_gate = SigmoidScalar(row[3 * hidden_dim_ + j]);
-        row[j] = i_gate;
-        row[hidden_dim_ + j] = f_gate;
-        row[2 * hidden_dim_ + j] = g_gate;
-        row[3 * hidden_dim_ + j] = o_gate;
-        float c_new =
-            f_gate * (c_prev ? c_prev[base + j] : 0.0f) + i_gate * g_gate;
-        c[base + j] = c_new;
-        h[base + j] = o_gate * std::tanh(c_new);
-      }
-    }
+    kernels::LstmGateForward(z.data(), c_prev, cell.data(), hidden.data(),
+                             batch, hidden_dim_);
   }
   return hiddens_[time];
 }
@@ -123,39 +96,11 @@ const Tensor& Lstm::Backward(const Tensor& grad_output) {
   dh_prev_.ResizeTo({batch, hidden_dim_});
 
   for (int t = time - 1; t >= 0; --t) {
-    const float* gates = gates_[t].data();
-    const float* cell = cells_[t].data();
     const float* cell_prev_data =
         t > 0 ? cells_[t - 1].data() : nullptr;  // c_{-1} = 0
-    float* dzd = dz_.data();
-    float* dcd = dc_.data();
-    const float* dhd = dh_.data();
-
-    for (int b = 0; b < batch; ++b) {
-      std::int64_t base = static_cast<std::int64_t>(b) * hidden_dim_;
-      const float* grow = gates + static_cast<std::int64_t>(b) * h4;
-      float* dzrow = dzd + static_cast<std::int64_t>(b) * h4;
-      for (int j = 0; j < hidden_dim_; ++j) {
-        float i_gate = grow[j];
-        float f_gate = grow[hidden_dim_ + j];
-        float g_gate = grow[2 * hidden_dim_ + j];
-        float o_gate = grow[3 * hidden_dim_ + j];
-        float tanh_c = std::tanh(cell[base + j]);
-        float dh_val = dhd[base + j];
-
-        float dc_val = dcd[base + j] + dh_val * o_gate * (1.0f - tanh_c * tanh_c);
-        float c_prev = cell_prev_data ? cell_prev_data[base + j] : 0.0f;
-
-        // Pre-activation gate gradients.
-        dzrow[j] = dc_val * g_gate * i_gate * (1.0f - i_gate);
-        dzrow[hidden_dim_ + j] = dc_val * c_prev * f_gate * (1.0f - f_gate);
-        dzrow[2 * hidden_dim_ + j] = dc_val * i_gate * (1.0f - g_gate * g_gate);
-        dzrow[3 * hidden_dim_ + j] =
-            dh_val * tanh_c * o_gate * (1.0f - o_gate);
-
-        dcd[base + j] = dc_val * f_gate;  // becomes dc_{t-1}
-      }
-    }
+    kernels::LstmGateBackward(gates_[t].data(), cells_[t].data(),
+                              cell_prev_data, dh_.data(), dc_.data(),
+                              dz_.data(), batch, hidden_dim_);
 
     // Gather x_t for the weight gradient.
     const float* in = cached_input_.data();
@@ -172,11 +117,7 @@ const Tensor& Lstm::Backward(const Tensor& grad_output) {
               dz_.data(), h4, 1.0f, weight_x_.grad.data(), h4);
     ops::Gemm(true, false, hidden_dim_, h4, batch, 1.0f, hiddens_[t].data(),
               hidden_dim_, dz_.data(), h4, 1.0f, weight_h_.grad.data(), h4);
-    float* bias_grad = bias_.grad.data();
-    for (int b = 0; b < batch; ++b) {
-      const float* row = dz_.data() + static_cast<std::int64_t>(b) * h4;
-      for (int j = 0; j < h4; ++j) bias_grad[j] += row[j];
-    }
+    kernels::BiasGradRows(dz_.data(), bias_.grad.data(), batch, h4);
 
     // dx_t = dz Wx^T ; dh_{t-1} = dz Wh^T.
     ops::Gemm(false, true, batch, input_dim_, h4, 1.0f, dz_.data(), h4,

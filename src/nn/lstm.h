@@ -27,6 +27,12 @@ class Lstm : public Layer {
   std::string Name() const override { return "Lstm"; }
 
   int hidden_dim() const { return hidden_dim_; }
+  int input_dim() const { return input_dim_; }
+
+  // Plan-executor access to the fused parameter blocks.
+  Param& weight_x_param() { return weight_x_; }
+  Param& weight_h_param() { return weight_h_; }
+  Param& bias_param() { return bias_; }
 
  private:
   int input_dim_;

@@ -1,5 +1,7 @@
 #include "nn/residual.h"
 
+#include "nn/kernels.h"
+
 namespace fedcross::nn {
 
 ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride,
@@ -24,12 +26,14 @@ const Tensor& ResidualBlock::Forward(const Tensor& input, bool train) {
   x = &conv2_.Forward(*x, train);
   sum_ = norm2_.Forward(*x, train);  // copy: we mutate it with the skip add
 
+  // The skip add goes through the shared kernel so the plan executor's kAdd
+  // op evaluates the identical expression in the identical TU.
   if (has_projection_) {
     const Tensor& skip =
         proj_norm_->Forward(proj_conv_->Forward(input, train), train);
-    sum_.AddInPlace(skip);
+    kernels::Add(sum_.data(), skip.data(), sum_.data(), sum_.numel());
   } else {
-    sum_.AddInPlace(input);
+    kernels::Add(sum_.data(), input.data(), sum_.data(), sum_.numel());
   }
   return relu_out_.Forward(sum_, train);
 }
@@ -50,11 +54,25 @@ const Tensor& ResidualBlock::Backward(const Tensor& grad_output) {
   if (has_projection_) {
     const Tensor& grad_skip =
         proj_conv_->Backward(proj_norm_->Backward(grad_sum));
-    grad_input_.AddInPlace(grad_skip);
+    kernels::Add(grad_input_.data(), grad_skip.data(), grad_input_.data(),
+                 grad_input_.numel());
   } else {
-    grad_input_.AddInPlace(grad_sum);
+    kernels::Add(grad_input_.data(), grad_sum.data(), grad_input_.data(),
+                 grad_input_.numel());
   }
   return grad_input_;
+}
+
+Layer* ResidualBlock::sub_layer(int index) {
+  switch (index) {
+    case kConv1: return &conv1_;
+    case kNorm1: return &norm1_;
+    case kConv2: return &conv2_;
+    case kNorm2: return &norm2_;
+    case kProjConv: return proj_conv_.get();
+    case kProjNorm: return proj_norm_.get();
+    default: return nullptr;
+  }
 }
 
 void ResidualBlock::CollectParams(std::vector<Param*>& out) {

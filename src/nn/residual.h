@@ -25,6 +25,20 @@ class ResidualBlock : public Layer {
   void CollectParams(std::vector<Param*>& out) override;
   std::string Name() const override { return "ResidualBlock"; }
 
+  // Plan-compiler access to the sub-layers, indexed in CollectParams order
+  // (the contract the plan's sub-op bindings rely on). The projection
+  // accessors return null for identity-skip blocks.
+  enum SubLayer {
+    kConv1 = 0,
+    kNorm1 = 1,
+    kConv2 = 2,
+    kNorm2 = 3,
+    kProjConv = 4,
+    kProjNorm = 5,
+  };
+  Layer* sub_layer(int index);
+  bool has_projection() const { return has_projection_; }
+
  private:
   bool has_projection_;
   Conv2d conv1_;

@@ -20,10 +20,14 @@ constexpr std::int64_t kSmallGemmOps = 16 * 1024;
 //
 // Contract: within one tier, gemm_grouped_small applied to `count`
 // instances produces, for every instance, exactly the bytes gemm_small
-// produces on that instance alone. Tiers achieve this by sharing the
-// multiply-add helper (fused iff the tier has FMA) between both kernels.
-// gemm_grouped_small may be null (the portable tier without FMA); the
-// driver then loops gemm_small per instance.
+// produces on that instance alone, and conv_grouped_small produces exactly
+// the bytes of per-image gemm_small calls (alpha = 1, beta = 0). Tiers
+// achieve this by sharing the multiply-add helper (fused iff the tier has
+// FMA) between all kernels. gemm_grouped_small may be null (the portable
+// tier without FMA); the driver then loops gemm_small per instance.
+// conv_grouped_small is non-null on every tier: the portable tier carries a
+// scalar lane-interleaved body that the compiler may vectorise because each
+// lane's ascending-p MAddF chain is independent.
 struct GemmKernels {
   SimdTier tier;
   void (*gemm_small)(bool trans_a, bool trans_b, int m, int n, int k,
@@ -35,6 +39,8 @@ struct GemmKernels {
   void (*gemm_grouped_small)(bool trans_a, bool trans_b, int m, int n, int k,
                              float alpha, int lda, int ldb, int ldc,
                              const GemmGroup* groups, int count);
+  void (*conv_grouped_small)(int batch, int m, int n, int k,
+                             const ConvGroup* groups, int count);
 };
 
 // Tier accessors. Each translation unit that fails to get its ISA at

@@ -177,6 +177,49 @@ void GemmGrouped(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
   }
 }
 
+void ConvGrouped(int batch, int out_channels, int out_area, int patch,
+                 const ConvGroup* groups, int count) {
+  FC_CHECK_GE(batch, 0);
+  FC_CHECK_GE(out_channels, 0);
+  FC_CHECK_GE(out_area, 0);
+  FC_CHECK_GE(patch, 0);
+  FC_CHECK_GE(count, 0);
+  if (batch == 0 || out_channels == 0 || out_area == 0 || patch == 0 ||
+      count == 0) {
+    return;
+  }
+  const GemmKernels& kernels = ActiveKernels();
+  // Same per-image shape threshold as Gemm, so each instance runs the
+  // kernel the standalone per-image call would have picked; that shared
+  // choice is what keeps the grouped path bit-identical per instance. The
+  // interleave condition mirrors GemmGrouped's: n here is out_area, so the
+  // cross-replica gather only pays on late, spatially-small conv stages
+  // (area <= 8), where the standalone loop serialises each output element
+  // on a long ascending-patch FP chain. Early wide-area stages vectorise
+  // fine standalone, so they take the per-image loop below.
+  std::int64_t ops =
+      static_cast<std::int64_t>(out_channels) * out_area * patch;
+  if (ops <= kSmallGemmOps && out_area <= 8 &&
+      kernels.conv_grouped_small != nullptr && count > 1) {
+    kernels.conv_grouped_small(batch, out_channels, out_area, patch, groups,
+                               count);
+    return;
+  }
+  // Large per-image shapes (or a single replica): the exact standalone
+  // calls — Gemm applies the beta == 0 zero-fill and picks small/blocked by
+  // the shared threshold.
+  const std::int64_t col_size = static_cast<std::int64_t>(patch) * out_area;
+  const std::int64_t out_size =
+      static_cast<std::int64_t>(out_channels) * out_area;
+  for (int b = 0; b < batch; ++b) {
+    for (int g = 0; g < count; ++g) {
+      Gemm(false, false, out_channels, out_area, patch, 1.0f,
+           groups[g].weights, patch, groups[g].columns + b * col_size,
+           out_area, 0.0f, groups[g].output + b * out_size, out_area);
+    }
+  }
+}
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   FC_CHECK_EQ(a.ndim(), 2);
   FC_CHECK_EQ(b.ndim(), 2);

@@ -58,6 +58,26 @@ void GemmGrouped(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
                  int lda, int ldb, float beta, int ldc,
                  const GemmGroup* groups, int count);
 
+// One instance of a grouped conv forward: the per-replica operand pointers.
+// `columns` holds the caller-filled im2col patches for the whole mini-batch
+// ([batch, patch * out_area], kept for the backward pass) and `output` the
+// pre-bias conv result ([batch, out_channels * out_area]).
+struct ConvGroup {
+  const float* weights = nullptr;  // [out_channels, patch]
+  const float* columns = nullptr;  // [batch, patch * out_area]
+  float* output = nullptr;         // [batch, out_channels * out_area]
+};
+
+// Runs, for every instance, the per-image GEMM chain of the conv forward:
+//   output_b = weights * columns_b      (b = 0..batch-1, alpha = 1, beta = 0)
+// Guarantee: instance i's output is bit-identical to per-image Gemm() calls
+// on instance i alone. Small per-image shapes run replica-interleaved across
+// SIMD lanes with the weight interleave hoisted out of the image loop (the
+// weights are the only operand shared by all batch images); large shapes
+// loop the blocked kernel, which is already compute-bound per instance.
+void ConvGrouped(int batch, int out_channels, int out_area, int patch,
+                 const ConvGroup* groups, int count);
+
 // 2-d tensor product: result(m,n) = a(m,k) * b(k,n).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 

@@ -1,11 +1,15 @@
-// Execution-plan runtime (nn/plan.h + fl/plan_runner.h): the grouped GEMM
-// primitive must be bit-identical to standalone calls on every dispatch
-// tier, and --exec=plan must train byte-for-byte like --exec=layers for
-// every algorithm, model topology (falling back where unsupported), and
-// --fl_threads value, while keeping the steady-state round free of tensor
-// heap allocations.
+// Execution-plan runtime (nn/plan.h + fl/plan_runner.h): the grouped
+// GEMM/conv primitives must be bit-identical to standalone calls on every
+// dispatch tier, and --exec=plan must train byte-for-byte like
+// --exec=layers for every algorithm, the whole model zoo (MLP/CNN/VGG,
+// ResNet residual stacks, the Embedding+LSTM head — no fallbacks), every
+// --fl_threads value, and both round modes, while keeping the steady-state
+// round free of tensor heap allocations and scratch growth. bf16 arena
+// storage must stay thread-invariant, within bf16 rounding of fp32, and
+// cut the pooled arena bytes roughly in half.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -15,6 +19,7 @@
 #include "core/fedcross.h"
 #include "data/partition.h"
 #include "data/synthetic_image.h"
+#include "data/synthetic_text.h"
 #include "fl/clusamp.h"
 #include "fl/fedavg.h"
 #include "fl/fedgen.h"
@@ -26,6 +31,7 @@
 #include "nn/dropout.h"
 #include "nn/linear.h"
 #include "nn/plan.h"
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -112,6 +118,88 @@ TEST(PlanGemmTest, GroupedBitIdenticalAvx2Tier) {
 TEST(PlanGemmTest, GroupedBitIdenticalAvx512Tier) {
   SimdTierGuard guard;
   CheckGroupedMatchesStandalone(ops::SimdTier::kAvx512);
+}
+
+// ---------------------------------------------------------------------------
+// ConvGrouped == per-image Gemm, bitwise, on every available tier
+// ---------------------------------------------------------------------------
+
+void CheckConvGroupedMatchesStandalone(ops::SimdTier tier) {
+  if (!ops::testing::ForceSimdTier(tier)) {
+    GTEST_SKIP() << "tier " << ops::SimdTierName(tier)
+                 << " unavailable on this CPU/build";
+  }
+  struct ConvCase {
+    int batch, out_channels, out_area, patch;
+  };
+  // Narrow-area cases (out_area <= 8 with small per-image ops) take the
+  // replica-interleaved grouped kernel (with the weight interleave hoisted
+  // across the image loop); wide-area cases fall back to the per-image
+  // standalone loop even when ops are small, and the last case exceeds
+  // kSmallGemmOps per image on top of that (blocked-kernel territory).
+  // Every path must match the standalone chain bitwise.
+  const ConvCase cases[] = {
+      {2, 4, 4, 12},    // interleaved: tiny late-stage conv
+      {3, 8, 8, 27},    // interleaved: area at the crossover boundary
+      {1, 5, 7, 10},    // interleaved: odd area exercises lane tails
+      {5, 16, 4, 144},  // interleaved: deep-channel 2x2 stage
+      {5, 3, 36, 8},    // per-image loop: area too wide to interleave
+      {2, 16, 64, 72},  // per-image loop: 16*64*72 ops/image on top
+  };
+  const int kCount = 5;
+  util::Rng rng(321);
+  for (const ConvCase& c : cases) {
+    std::vector<std::vector<float>> weights(kCount), columns(kCount),
+        grouped(kCount), solo(kCount);
+    std::vector<ops::ConvGroup> groups(kCount);
+    for (int r = 0; r < kCount; ++r) {
+      weights[r].resize(static_cast<std::size_t>(c.out_channels) * c.patch);
+      columns[r].resize(static_cast<std::size_t>(c.batch) * c.patch *
+                        c.out_area);
+      grouped[r].resize(static_cast<std::size_t>(c.batch) * c.out_channels *
+                        c.out_area);
+      FillNormal(weights[r], rng);
+      FillNormal(columns[r], rng);
+      FillNormal(grouped[r], rng);  // garbage: beta == 0 must overwrite it
+      solo[r] = grouped[r];
+      groups[r] = {weights[r].data(), columns[r].data(), grouped[r].data()};
+    }
+    ops::ConvGrouped(c.batch, c.out_channels, c.out_area, c.patch,
+                     groups.data(), kCount);
+    const std::int64_t col_size =
+        static_cast<std::int64_t>(c.patch) * c.out_area;
+    const std::int64_t out_size =
+        static_cast<std::int64_t>(c.out_channels) * c.out_area;
+    for (int r = 0; r < kCount; ++r) {
+      for (int b = 0; b < c.batch; ++b) {
+        ops::Gemm(false, false, c.out_channels, c.out_area, c.patch, 1.0f,
+                  weights[r].data(), c.patch, columns[r].data() + b * col_size,
+                  c.out_area, 0.0f, solo[r].data() + b * out_size, c.out_area);
+      }
+      EXPECT_EQ(std::memcmp(grouped[r].data(), solo[r].data(),
+                            grouped[r].size() * sizeof(float)),
+                0)
+          << ops::SimdTierName(tier) << " batch=" << c.batch
+          << " oc=" << c.out_channels << " area=" << c.out_area
+          << " patch=" << c.patch << " replica " << r;
+    }
+  }
+  ops::testing::ResetForcedSimdTier();
+}
+
+TEST(PlanConvTest, GroupedBitIdenticalGenericTier) {
+  SimdTierGuard guard;
+  CheckConvGroupedMatchesStandalone(ops::SimdTier::kGeneric);
+}
+
+TEST(PlanConvTest, GroupedBitIdenticalAvx2Tier) {
+  SimdTierGuard guard;
+  CheckConvGroupedMatchesStandalone(ops::SimdTier::kAvx2);
+}
+
+TEST(PlanConvTest, GroupedBitIdenticalAvx512Tier) {
+  SimdTierGuard guard;
+  CheckConvGroupedMatchesStandalone(ops::SimdTier::kAvx512);
 }
 
 // ---------------------------------------------------------------------------
@@ -213,8 +301,9 @@ void ExpectBitIdentical(const FlatParams& a, const FlatParams& b,
 }
 
 std::unique_ptr<FlAlgorithm> MakeAlgorithm(const std::string& name,
-                                           ExecMode exec) {
+                                           ExecMode exec, bool bf16 = false) {
   AlgorithmConfig config = ToyConfig(exec);
+  config.train.plan_bf16 = bf16;
   data::FederatedDataset data = MakeToyFederated(8, 35, 6, 41);
   models::ModelFactory factory = MlpFactory(6, 2);
   if (name == "fedavg") {
@@ -239,9 +328,9 @@ std::unique_ptr<FlAlgorithm> MakeAlgorithm(const std::string& name,
 }
 
 FlatParams RunToy(const std::string& algo, ExecMode exec, int threads,
-                  int rounds) {
+                  int rounds, bool bf16 = false) {
   SetFlThreads(threads);
-  std::unique_ptr<FlAlgorithm> server = MakeAlgorithm(algo, exec);
+  std::unique_ptr<FlAlgorithm> server = MakeAlgorithm(algo, exec, bf16);
   for (int r = 0; r < rounds; ++r) server->RunRound(r);
   return server->GlobalParams();
 }
@@ -264,8 +353,8 @@ TEST(PlanExecutionTest, AllAlgorithmsBitIdenticalAcrossExecAndThreads) {
 }
 
 // ---------------------------------------------------------------------------
-// plan == layers across the model zoo (conv topologies natively, ResNet via
-// the per-job layer fallback)
+// plan == layers across the model zoo — all topologies lower natively, so
+// every run below goes through the lockstep executor with zero fallbacks
 // ---------------------------------------------------------------------------
 
 FlatParams RunImageFedAvg(const models::ModelFactory& factory, ExecMode exec,
@@ -299,7 +388,7 @@ TEST(PlanExecutionTest, ModelZooBitIdentical) {
   vgg.base_width = 4;
   vgg.fc_dim = 16;
 
-  models::ResNetConfig resnet;  // residual blocks: exercises the fallback
+  models::ResNetConfig resnet;  // residual blocks: skip-branch lowering
   resnet.height = resnet.width = 8;
   resnet.num_classes = 4;
   resnet.base_width = 4;
@@ -316,6 +405,79 @@ TEST(PlanExecutionTest, ModelZooBitIdentical) {
     FlatParams plan = RunImageFedAvg(z.factory, ExecMode::kPlan, 2);
     ExpectBitIdentical(layers, plan, z.name);
   }
+}
+
+// ---------------------------------------------------------------------------
+// ResNet and LSTM: plan == layers across fl_threads and both round modes
+// ---------------------------------------------------------------------------
+
+models::ResNetConfig SmallResNet() {
+  models::ResNetConfig resnet;
+  resnet.height = resnet.width = 8;
+  resnet.num_classes = 4;
+  resnet.base_width = 4;
+  return resnet;
+}
+
+models::LstmConfig SmallLstm() {
+  models::LstmConfig lstm;  // vocab 32, seq 16
+  lstm.embed_dim = 8;
+  lstm.hidden_dim = 12;
+  return lstm;
+}
+
+data::FederatedDataset MakeTextFederated(int num_clients, std::uint64_t seed) {
+  data::SyntheticCharLmOptions text;
+  text.num_clients = num_clients;
+  text.mean_samples_per_client = 30;
+  text.test_samples = 40;
+  text.seed = seed;
+  return data::MakeSyntheticCharLm(text);
+}
+
+FlatParams RunFedAvgMode(const models::ModelFactory& factory,
+                         data::FederatedDataset data, ExecMode exec,
+                         int threads, RoundMode mode, int rounds) {
+  SetFlThreads(threads);
+  AlgorithmConfig config;
+  config.clients_per_round = 3;
+  config.train.local_epochs = 1;
+  config.train.batch_size = 10;
+  config.train.lr = 0.05f;
+  config.train.exec = exec;
+  config.seed = 23;
+  config.async.mode = mode;
+  config.async.buffer_size = 2;
+  FedAvg server(config, std::move(data), factory);
+  server.Run(rounds, /*eval_every=*/rounds);
+  return server.GlobalParams();
+}
+
+void CheckThreadAndModeInvariance(const models::ModelFactory& factory,
+                                  const data::FederatedDataset& data,
+                                  const std::string& what) {
+  FlThreadsGuard guard;
+  for (RoundMode mode : {RoundMode::kSync, RoundMode::kAsync}) {
+    std::string tag = std::string(what) + "/" + RoundModeName(mode);
+    FlatParams layers1 =
+        RunFedAvgMode(factory, data, ExecMode::kLayers, 1, mode, 2);
+    FlatParams plan1 =
+        RunFedAvgMode(factory, data, ExecMode::kPlan, 1, mode, 2);
+    FlatParams plan4 =
+        RunFedAvgMode(factory, data, ExecMode::kPlan, 4, mode, 2);
+    ExpectBitIdentical(layers1, plan1, tag + ": plan@1");
+    ExpectBitIdentical(layers1, plan4, tag + ": plan@4");
+  }
+}
+
+TEST(PlanExecutionTest, ResNetBitIdenticalAcrossThreadsAndRoundModes) {
+  CheckThreadAndModeInvariance(models::MakeResNet(SmallResNet()),
+                               MakeImageFederated(4, 9), "resnet");
+}
+
+TEST(PlanExecutionTest, LstmBitIdenticalAcrossThreadsAndRoundModes) {
+  CheckThreadAndModeInvariance(models::MakeLstm(SmallLstm()),
+                               MakeTextFederated(4, 13), "lstm");
 }
 
 // ---------------------------------------------------------------------------
@@ -339,10 +501,10 @@ TEST(PlanCompileTest, SupportMatrixMatchesTopologies) {
       models::SupportsExecutionPlan(models::MakeCnn(cnn), {2, 3, 8, 8}));
   EXPECT_TRUE(
       models::SupportsExecutionPlan(models::MakeVgg(vgg), {2, 3, 8, 8}));
-  EXPECT_FALSE(models::SupportsExecutionPlan(models::MakeResNet(resnet),
-                                             {2, 3, 8, 8}));
-  EXPECT_FALSE(models::SupportsExecutionPlan(models::MakeLstm(lstm),
-                                             {2, 16}));
+  EXPECT_TRUE(models::SupportsExecutionPlan(models::MakeResNet(resnet),
+                                            {2, 3, 8, 8}));
+  EXPECT_TRUE(models::SupportsExecutionPlan(models::MakeLstm(lstm),
+                                            {2, 16}));
 }
 
 TEST(PlanCompileTest, FirstOpSkipsInputGradientAndProgramsAreCached) {
@@ -375,8 +537,16 @@ TEST(PlanCompileTest, FirstOpSkipsInputGradientAndProgramsAreCached) {
   resnet.num_classes = 4;
   ModelPool resnet_pool(models::MakeResNet(resnet));
   ModelPool::Lease resnet_lease = resnet_pool.Acquire();
-  EXPECT_EQ(resnet_pool.ProgramFor({2, 3, 8, 8}, resnet_lease->model),
-            nullptr);
+  const nn::plan::Program* rp =
+      resnet_pool.ProgramFor({2, 3, 8, 8}, resnet_lease->model);
+  ASSERT_NE(rp, nullptr);  // residual stacks compile natively now
+  EXPECT_TRUE(resnet_pool.SupportsPlan({2, 3, 8, 8}));
+  // The compiled residual graph carries skip-join steps.
+  bool has_add = false;
+  for (const nn::plan::Op& op : rp->ops) {
+    if (op.kind == nn::plan::OpKind::kAdd) has_add = true;
+  }
+  EXPECT_TRUE(has_add);
 }
 
 // ---------------------------------------------------------------------------
@@ -410,6 +580,210 @@ TEST(PlanExecutionTest, SteadyStatePlanTrainingAllocatesNoTensors) {
   }
   EXPECT_EQ(Tensor::HeapAllocations(), 0u);
   EXPECT_EQ(pool.replicas_created(), 1u);
+}
+
+// The ResNet plan (grouped conv + residual skip refs) must also hold the
+// allocation-free line once warm, and the executor's thread-local scratch
+// (grouped instance tables, im2col buffers, staging slots) must stop
+// growing: per-op scratch is size-asserted, so any regrowth is a bug.
+TEST(PlanExecutionTest, SteadyStateResNetPlanIsAllocationAndScratchFree) {
+  data::FederatedDataset federated = MakeImageFederated(2, 5);
+  FlClient client(0, federated.client_train[0]);
+  models::ModelFactory factory = models::MakeResNet(SmallResNet());
+  ModelPool pool(factory);
+  FlatParams init = factory().ParamsToFlat();
+
+  ClientTrainSpec spec;
+  spec.options.local_epochs = 2;
+  spec.options.batch_size = 7;  // 40 examples: short tail batch every epoch
+  spec.options.lr = 0.05f;
+  spec.options.exec = ExecMode::kPlan;
+
+  LocalTrainResult result;
+  for (int round = 0; round < 2; ++round) {
+    util::Rng rng(200 + round);
+    client.Train(pool, init, spec, rng, result);
+  }
+
+  Tensor::ResetHeapAllocations();
+  const std::int64_t scratch_before =
+      nn::plan::testing::ScratchReallocEvents();
+  for (int round = 2; round < 5; ++round) {
+    util::Rng rng(200 + round);
+    client.Train(pool, init, spec, rng, result);
+  }
+  EXPECT_EQ(Tensor::HeapAllocations(), 0u);
+  EXPECT_EQ(nn::plan::testing::ScratchReallocEvents(), scratch_before);
+  EXPECT_EQ(pool.replicas_created(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient check of the lowered residual / LSTM steps: the plan executor
+// produces both the analytic gradient and the perturbed-loss evaluations
+// ---------------------------------------------------------------------------
+
+std::vector<int> CyclicLabels(int batch, int classes) {
+  std::vector<int> labels(batch);
+  for (int b = 0; b < batch; ++b) labels[b] = b % classes;
+  return labels;
+}
+
+// Directional-derivative check (see tests/test_util.h): perturb each
+// parameter tensor along its own plan-computed gradient and compare the
+// numeric derivative of the plan's loss against ||grad_p||.
+double PlanGradCheckWorstRel(const models::ModelFactory& factory,
+                             const Tensor& input,
+                             const std::vector<int>& labels) {
+  nn::Sequential model = factory();
+  std::optional<nn::plan::Program> program =
+      nn::plan::Program::Compile(model, input.shape());
+  if (!program.has_value()) {
+    ADD_FAILURE() << "model does not compile to a plan";
+    return 1e9;
+  }
+  nn::plan::PlanState state;
+  state.Bind(*program, model);
+  nn::plan::PlanState* states[] = {&state};
+  nn::plan::BatchRef batch{input.data(), labels.data()};
+  float loss = 0.0f;
+  int correct = 0;
+  auto step = [&]() {
+    nn::plan::ExecuteStep(*program, states, &batch, 1, &loss, &correct);
+    return static_cast<double>(loss);
+  };
+
+  model.ZeroGrad();
+  step();
+  std::vector<nn::Param*> params = model.Params();
+  std::vector<Tensor> grads;
+  grads.reserve(params.size());
+  for (nn::Param* p : params) grads.push_back(p->grad);
+
+  const float eps = 1e-4f;
+  double worst_rel = 0.0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    double norm = std::sqrt(grads[i].SquaredL2Norm());
+    if (norm < 1e-2) continue;  // below float32 loss resolution
+    Tensor original = params[i]->value;
+    params[i]->value.Axpy(eps / static_cast<float>(norm), grads[i]);
+    double loss_plus = step();
+    params[i]->value = original;
+    params[i]->value.Axpy(-eps / static_cast<float>(norm), grads[i]);
+    double loss_minus = step();
+    params[i]->value = original;
+    double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+    double rel = std::abs(numeric - norm) / std::max(norm, 1e-4);
+    worst_rel = std::max(worst_rel, rel);
+  }
+  return worst_rel;
+}
+
+constexpr double kGradTol = 0.08;  // float32 central differences are noisy
+
+TEST(PlanGradCheckTest, ResNetLoweredSteps) {
+  util::Rng rng(7);
+  Tensor input = Tensor::RandomNormal({2, 3, 8, 8}, rng);
+  double err = PlanGradCheckWorstRel(models::MakeResNet(SmallResNet()), input,
+                                     CyclicLabels(2, 4));
+  EXPECT_LT(err, kGradTol);
+}
+
+TEST(PlanGradCheckTest, LstmLoweredSteps) {
+  util::Rng rng(8);
+  models::LstmConfig lstm = SmallLstm();
+  Tensor input({3, 16});
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    input.data()[i] = static_cast<float>(
+        static_cast<int>(rng.Uniform() * lstm.vocab_size) % lstm.vocab_size);
+  }
+  double err = PlanGradCheckWorstRel(models::MakeLstm(lstm), input,
+                                     CyclicLabels(3, lstm.num_classes));
+  EXPECT_LT(err, kGradTol);
+}
+
+// ---------------------------------------------------------------------------
+// bf16 replica storage: thread-invariant, within bf16 rounding of fp32,
+// fingerprinted, and roughly half the pooled arena bytes
+// ---------------------------------------------------------------------------
+
+TEST(PlanBf16Test, ThreadInvariantAndWithinBf16RoundingOfFp32) {
+  FlThreadsGuard guard;
+  FlatParams fp32 = RunToy("fedcross", ExecMode::kPlan, 1, 3);
+  FlatParams b1 = RunToy("fedcross", ExecMode::kPlan, 1, 3, /*bf16=*/true);
+  FlatParams b4 = RunToy("fedcross", ExecMode::kPlan, 4, 3, /*bf16=*/true);
+  // Determinism semantics: a bf16 run is a *different* deterministic
+  // trajectory (every arena store rounds to nearest-even) that reproduces
+  // exactly across --fl_threads; it is NOT bit-identical to fp32, which is
+  // why the flag perturbs the config fingerprint.
+  ExpectBitIdentical(b1, b4, "bf16: plan@1 vs plan@4");
+  ASSERT_EQ(fp32.size(), b1.size());
+  double diff2 = 0.0, ref2 = 0.0;
+  for (std::size_t i = 0; i < fp32.size(); ++i) {
+    double a = fp32[i], b = b1[i];
+    diff2 += (a - b) * (a - b);
+    ref2 += a * a;
+  }
+  ASSERT_GT(ref2, 0.0);
+  double rel = std::sqrt(diff2 / ref2);
+  // Only activations round (master weights and the optimizer path stay
+  // fp32), so after three FedCross rounds the parameters must sit within
+  // one bf16 mantissa step of the fp32 trajectory — rounding, not drift.
+  EXPECT_LE(rel, 1.0 / 256);  // 2^-8
+  EXPECT_GT(rel, 0.0);        // and it genuinely rounds (not silently fp32)
+}
+
+TEST(PlanBf16Test, PerturbsTheCheckpointFingerprint) {
+  FlThreadsGuard guard;
+  SetFlThreads(1);
+  const char* path = "plan_bf16_fp.ckpt";
+  models::ModelFactory factory = MlpFactory(6, 2);
+  AlgorithmConfig config = ToyConfig(ExecMode::kPlan);
+  config.train.plan_bf16 = true;
+  FedAvg writer(config, MakeToyFederated(8, 35, 6, 41), factory);
+  writer.Run(2, 1);
+  ASSERT_TRUE(writer.SaveCheckpoint(path).ok());
+
+  // The same bf16 configuration resumes...
+  FedAvg same(config, MakeToyFederated(8, 35, 6, 41), factory);
+  EXPECT_TRUE(same.LoadCheckpoint(path).ok());
+  // ...but an fp32 run must refuse the checkpoint: the parameter
+  // trajectories are not interchangeable (unlike ExecMode, which is).
+  FedAvg other(ToyConfig(ExecMode::kPlan), MakeToyFederated(8, 35, 6, 41),
+               factory);
+  EXPECT_FALSE(other.LoadCheckpoint(path).ok());
+  std::remove(path);
+}
+
+TEST(PlanBf16Test, ArenaGaugeDropsByHalfAtK20) {
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  models::ModelFactory factory = models::MakeResNet(SmallResNet());
+  nn::Sequential probe = factory();
+  std::optional<nn::plan::Program> program =
+      nn::plan::Program::Compile(probe, {10, 3, 8, 8});
+  ASSERT_TRUE(program.has_value());
+  obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("fl.pool.arena_bytes");
+  const double base = gauge.Value();
+
+  // Bind a K=20 pooled fleet and read this fleet's gauge contribution; the
+  // states settle their accounting on destruction at scope exit.
+  auto fleet_bytes = [&](bool bf16) {
+    std::vector<std::unique_ptr<nn::Sequential>> models;
+    std::vector<std::unique_ptr<nn::plan::PlanState>> states;
+    for (int k = 0; k < 20; ++k) {
+      models.push_back(std::make_unique<nn::Sequential>(factory()));
+      states.push_back(std::make_unique<nn::plan::PlanState>());
+      states.back()->Bind(*program, *models.back(), bf16);
+    }
+    return gauge.Value() - base;
+  };
+  const double fp32_bytes = fleet_bytes(false);
+  const double bf16_bytes = fleet_bytes(true);
+  EXPECT_GT(fp32_bytes, 0.0);
+  EXPECT_LE(bf16_bytes, 0.55 * fp32_bytes);  // >= 45% cut (acceptance bar)
+  EXPECT_NEAR(gauge.Value(), base, 1.0);     // destructors settled up
+  obs::SetMetricsEnabled(was_enabled);
 }
 
 // ---------------------------------------------------------------------------
